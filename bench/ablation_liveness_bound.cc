@@ -1,0 +1,59 @@
+// Ablation "Figure B": sensitivity of liveness detection to the §2.5
+// bounded-infinite-execution heuristic. For the vNext liveness bug, sweeps
+// the per-execution step bound (with threshold = bound * 0.4) and reports
+// detection and false-positive behavior: too small a bound cannot fit the
+// failure-then-stuck pattern; the fixed system must stay clean at every
+// bound (no false positives).
+#include <cstdio>
+
+#include "core/systest.h"
+#include "vnext/harness.h"
+
+namespace {
+
+void Sweep(bool fixed) {
+  std::printf("%s Extent Manager:\n", fixed ? "fixed" : "buggy");
+  std::printf("  %10s  %10s  %7s  %12s  %10s\n", "max_steps", "threshold",
+              "found", "iterations", "time(s)");
+  for (const std::uint64_t max_steps :
+       {200ull, 500ull, 1000ull, 2000ull, 3000ull, 5000ull}) {
+    vnext::DriverOptions options;
+    options.manager.fix_stale_sync_report = fixed;
+    systest::TestConfig config =
+        vnext::DefaultConfig(systest::StrategyKind::kRandom);
+    config.max_steps = max_steps;
+    config.liveness_temperature_threshold = max_steps * 2 / 5;
+    config.iterations = fixed ? 500 : 20'000;
+    config.time_budget_seconds = 30;
+    const systest::TestReport report =
+        systest::TestingEngine(config, vnext::MakeExtentRepairHarness(options))
+            .Run();
+    std::printf("  %10llu  %10llu  %7s  %12llu  %10.3f\n",
+                static_cast<unsigned long long>(max_steps),
+                static_cast<unsigned long long>(
+                    config.liveness_temperature_threshold),
+                report.bug_found ? "yes" : "no",
+                static_cast<unsigned long long>(
+                    report.bug_found ? report.bug_iteration
+                                     : report.executions),
+                report.bug_found ? report.seconds_to_bug
+                                 : report.total_seconds);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation B — liveness bound sensitivity "
+              "(vNext ExtentNodeLivenessViolation)\n\n");
+  Sweep(/*fixed=*/false);
+  std::printf("\n");
+  Sweep(/*fixed=*/true);
+  std::printf(
+      "\nExpected shape: with very small bounds the failure/repair pattern\n"
+      "does not fit before the bound, hurting detection or soundness; from\n"
+      "a moderate bound upward the bug is found quickly and the fixed\n"
+      "system reports no false positives.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Ablation "Figure A": scheduling-strategy comparison beyond the paper's
+// two. For a representative bug from each case study, measures executions-
+// to-bug (median over seeds) for random, PCT with several priority-change
+// budgets, delay-bounded and round-robin scheduling.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/systest.h"
+#include "fabric/harness.h"
+#include "mtable/harness.h"
+#include "samplerepl/harness.h"
+#include "vnext/harness.h"
+
+namespace {
+
+struct Strategy {
+  const char* label;
+  systest::StrategyKind kind;
+  int budget;
+};
+
+constexpr Strategy kStrategies[] = {
+    {"random", systest::StrategyKind::kRandom, 0},
+    {"pct(1)", systest::StrategyKind::kPct, 1},
+    {"pct(2)", systest::StrategyKind::kPct, 2},
+    {"pct(3)", systest::StrategyKind::kPct, 3},
+    {"pct(10)", systest::StrategyKind::kPct, 10},
+    {"delay-bounded(2)", systest::StrategyKind::kDelayBounded, 2},
+    {"round-robin", systest::StrategyKind::kRoundRobin, 0},
+};
+
+constexpr std::uint64_t kSeeds[] = {1, 7, 42, 1234, 2016};
+
+/// Median executions-to-bug over the seeds; 0 = not found within budget.
+void Sweep(const char* bug_label, systest::TestConfig base,
+           const systest::Harness& harness) {
+  std::printf("  %-36s", bug_label);
+  for (const Strategy& strategy : kStrategies) {
+    std::vector<std::uint64_t> counts;
+    for (const std::uint64_t seed : kSeeds) {
+      systest::TestConfig config = base;
+      config.strategy = strategy.kind;
+      config.strategy_budget = strategy.budget;
+      config.seed = seed;
+      const systest::TestReport report =
+          systest::TestingEngine(config, harness).Run();
+      counts.push_back(report.bug_found ? report.bug_iteration : 0);
+    }
+    std::sort(counts.begin(), counts.end());
+    const std::uint64_t median = counts[counts.size() / 2];
+    if (median == 0) {
+      std::printf("  %9s", ">budget");
+    } else {
+      std::printf("  %9llu", static_cast<unsigned long long>(median));
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A — median executions-to-bug over %zu seeds\n",
+              std::size(kSeeds));
+  std::printf("  %-36s", "bug");
+  for (const Strategy& strategy : kStrategies) {
+    std::printf("  %9s", strategy.label);
+  }
+  std::printf("\n");
+
+  {
+    samplerepl::HarnessOptions options;
+    options.bugs.non_unique_replica_count = true;
+    systest::TestConfig config;
+    config.iterations = 20'000;
+    config.max_steps = 2'000;
+    config.time_budget_seconds = 20;
+    Sweep("samplerepl/NonUniqueReplicaCount", config,
+          samplerepl::MakeHarness(options));
+  }
+  {
+    vnext::DriverOptions options;  // buggy by default
+    systest::TestConfig config =
+        vnext::DefaultConfig(systest::StrategyKind::kRandom);
+    config.iterations = 5'000;
+    config.time_budget_seconds = 30;
+    Sweep("vnext/ExtentNodeLivenessViolation", config,
+          vnext::MakeExtentRepairHarness(options));
+  }
+  {
+    mtable::MigrationHarnessOptions options;
+    options.bugs = EnableBug(mtable::MTableBugId::kInsertBehindMigrator);
+    systest::TestConfig config =
+        mtable::DefaultConfig(systest::StrategyKind::kRandom);
+    config.iterations = 20'000;
+    config.time_budget_seconds = 30;
+    Sweep("mtable/InsertBehindMigrator", config,
+          mtable::MakeMigrationHarness(options));
+  }
+  {
+    mtable::MigrationHarnessOptions options;
+    options.bugs = EnableBug(mtable::MTableBugId::kQueryStreamedLock);
+    systest::TestConfig config =
+        mtable::DefaultConfig(systest::StrategyKind::kRandom);
+    config.iterations = 20'000;
+    config.time_budget_seconds = 30;
+    Sweep("mtable/QueryStreamedLock", config,
+          mtable::MakeMigrationHarness(options));
+  }
+  {
+    fabric::FailoverOptions options;
+    options.bugs.promote_during_copy = true;
+    systest::TestConfig config =
+        fabric::DefaultConfig(systest::StrategyKind::kRandom);
+    config.iterations = 20'000;
+    config.time_budget_seconds = 30;
+    Sweep("fabric/PromoteDuringCopy", config,
+          fabric::MakeFailoverHarness(options));
+  }
+
+  std::printf(
+      "\nShape to compare with the paper: random scheduling is competitive\n"
+      "across the board; PCT's small change-point budgets find some bugs\n"
+      "dramatically faster (the paper's QueryStreamedLock went from 2121s\n"
+      "to 6.6s); deterministic round-robin misses race-dependent bugs.\n");
+  return 0;
+}

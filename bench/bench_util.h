@@ -1,0 +1,56 @@
+// Shared helpers for the SysTest benches: runs a harness under a scheduler
+// with the paper's 100,000-execution budget and prints Table 2-style rows
+// (BF?, time-to-bug in seconds, #NDC — the number of nondeterministic
+// choices in the first execution that found the bug).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/systest.h"
+
+namespace bench {
+
+struct RowResult {
+  bool found = false;
+  double seconds = 0.0;
+  std::uint64_t ndc = 0;
+  std::uint64_t executions = 0;
+};
+
+/// Runs `harness` under `config` and prints one Table 2-style row.
+inline RowResult RunRow(const std::string& label,
+                        const systest::TestConfig& config,
+                        const systest::Harness& harness) {
+  systest::TestingEngine engine(config, harness);
+  const systest::TestReport report = engine.Run();
+  RowResult row;
+  row.found = report.bug_found;
+  row.seconds = report.seconds_to_bug;
+  row.ndc = report.ndc;
+  row.executions = report.executions;
+  if (report.bug_found) {
+    std::printf("  %-42s  %-3s  %10.3f  %8llu   (iteration %llu)\n",
+                label.c_str(), "yes", report.seconds_to_bug,
+                static_cast<unsigned long long>(report.ndc),
+                static_cast<unsigned long long>(report.bug_iteration));
+  } else {
+    std::printf("  %-42s  %-3s  %10s  %8s   (%llu executions)\n",
+                label.c_str(), "no", "-", "-",
+                static_cast<unsigned long long>(report.executions));
+  }
+  std::fflush(stdout);
+  return row;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("  %-42s  %-3s  %10s  %8s\n", "Bug Identifier", "BF?",
+              "TimeToBug(s)", "#NDC");
+  std::printf(
+      "  ------------------------------------------  ---  ----------  "
+      "--------\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench

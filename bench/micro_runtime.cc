@@ -1,0 +1,118 @@
+// Engine microbenchmarks (google-benchmark): raw serialized-execution
+// throughput of the runtime — send/dequeue cost via ping-pong machines,
+// whole-execution setup/teardown cost, and the per-iteration cost of the
+// flagship harnesses. These quantify the "cost of systematic testing" (§6.2)
+// on this implementation.
+#include <benchmark/benchmark.h>
+
+#include "core/systest.h"
+#include "fabric/harness.h"
+#include "mtable/harness.h"
+#include "samplerepl/harness.h"
+#include "vnext/harness.h"
+
+namespace {
+
+using systest::Event;
+using systest::Machine;
+using systest::MachineId;
+
+struct Ball final : Event {
+  explicit Ball(int n) : n(n) {}
+  int n;
+};
+
+class PingPong final : public Machine {
+ public:
+  PingPong(MachineId peer, int rounds, bool serve)
+      : peer_(peer), rounds_(rounds), serve_(serve) {
+    State("Play").OnEntry(&PingPong::OnStart).On<Ball>(&PingPong::OnBall);
+    SetStart("Play");
+  }
+  MachineId peer_;
+
+ private:
+  void OnStart() {
+    if (serve_) {
+      Send<Ball>(peer_, 0);
+    }
+  }
+  void OnBall(const Ball& ball) {
+    if (ball.n < rounds_) {
+      Send<Ball>(peer_, ball.n + 1);
+    }
+  }
+  int rounds_;
+  bool serve_;
+};
+
+void BM_PingPongSteps(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    systest::RandomStrategy strategy(42);
+    strategy.PrepareIteration(0, 1'000'000);
+    systest::RuntimeOptions options;
+    options.max_steps = 1'000'000;
+    systest::Runtime rt(strategy, options);
+    auto a = rt.CreateMachine<PingPong>("A", MachineId{}, rounds, false);
+    auto b = rt.CreateMachine<PingPong>("B", a, rounds, true);
+    static_cast<PingPong*>(rt.FindMachine(a))->peer_ = b;
+    while (rt.Step()) {
+    }
+    steps += rt.Steps();
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PingPongSteps)->Arg(100)->Arg(1000);
+
+void RunHarnessBenchmark(benchmark::State& state, systest::TestConfig config,
+                         const systest::Harness& harness) {
+  config.stop_on_first_bug = true;
+  std::uint64_t executions = 0;
+  for (auto _ : state) {
+    config.iterations = 50;
+    config.seed = 42 + executions;  // vary schedules across runs
+    systest::TestingEngine engine(config, harness);
+    const systest::TestReport report = engine.Run();
+    executions += report.executions;
+  }
+  state.counters["executions/s"] = benchmark::Counter(
+      static_cast<double>(executions), benchmark::Counter::kIsRate);
+}
+
+void BM_SampleReplExecution(benchmark::State& state) {
+  systest::TestConfig config;
+  config.max_steps = 2'000;
+  RunHarnessBenchmark(state, config,
+                      samplerepl::MakeHarness(samplerepl::HarnessOptions{}));
+}
+BENCHMARK(BM_SampleReplExecution);
+
+void BM_VNextExecution(benchmark::State& state) {
+  vnext::DriverOptions options;
+  options.manager.fix_stale_sync_report = true;
+  RunHarnessBenchmark(state,
+                      vnext::DefaultConfig(systest::StrategyKind::kRandom),
+                      vnext::MakeExtentRepairHarness(options));
+}
+BENCHMARK(BM_VNextExecution);
+
+void BM_MTableExecution(benchmark::State& state) {
+  RunHarnessBenchmark(
+      state, mtable::DefaultConfig(systest::StrategyKind::kRandom),
+      mtable::MakeMigrationHarness(mtable::MigrationHarnessOptions{}));
+}
+BENCHMARK(BM_MTableExecution);
+
+void BM_FabricExecution(benchmark::State& state) {
+  RunHarnessBenchmark(state,
+                      fabric::DefaultConfig(systest::StrategyKind::kRandom),
+                      fabric::MakeFailoverHarness(fabric::FailoverOptions{}));
+}
+BENCHMARK(BM_FabricExecution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

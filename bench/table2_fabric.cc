@@ -1,0 +1,49 @@
+// The §5 Fabric bugs (promote-during-copy role assertion; CScale-like
+// pipeline null dereference) under both schedulers — the rows the paper
+// reports narratively ("awaiting confirmation" in its Table 1).
+#include "bench/bench_util.h"
+#include "fabric/harness.h"
+
+int main() {
+  std::printf("Table 2 (extension) — Azure Service Fabric model (§5)\n");
+  for (const auto strategy :
+       {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
+    bench::PrintHeader(std::string("scheduler: ") +
+                       std::string(ToString(strategy)));
+    {
+      fabric::FailoverOptions options;
+      options.bugs.promote_during_copy = true;
+      systest::TestConfig config = fabric::DefaultConfig(strategy);
+      config.time_budget_seconds = 60;
+      bench::RunRow("PromoteDuringCopy (role assertion)", config,
+                    fabric::MakeFailoverHarness(options));
+    }
+    {
+      fabric::PipelineOptions options;
+      options.bugs.unguarded_pipeline_config = true;
+      systest::TestConfig config = fabric::DefaultConfig(strategy);
+      config.time_budget_seconds = 60;
+      bench::RunRow("PipelineNullReference (CScale-like)", config,
+                    fabric::MakePipelineHarness(options));
+    }
+  }
+  // Controls.
+  bench::PrintHeader("control: fixed model (random)");
+  {
+    fabric::FailoverOptions options;
+    systest::TestConfig config =
+        fabric::DefaultConfig(systest::StrategyKind::kRandom);
+    config.iterations = 10'000;
+    bench::RunRow("Failover(fixed)", config,
+                  fabric::MakeFailoverHarness(options));
+  }
+  {
+    fabric::PipelineOptions options;
+    systest::TestConfig config =
+        fabric::DefaultConfig(systest::StrategyKind::kRandom);
+    config.iterations = 10'000;
+    bench::RunRow("Pipeline(fixed)", config,
+                  fabric::MakePipelineHarness(options));
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces the vNext row of Table 2 (case study 1): the
+// ExtentNodeLivenessViolation bug under the random and PCT schedulers with a
+// 100,000-execution budget. The paper found it in ~11s with ~9,000
+// nondeterministic choices on both schedulers; the liveness nature of the
+// bug (bounded-infinite executions) makes #NDC much larger than for the
+// safety bugs, which should reproduce here.
+#include "bench/bench_util.h"
+#include "vnext/harness.h"
+
+int main() {
+  std::printf("Table 2 — Azure Storage vNext (case study 1)\n");
+  std::printf("100,000-execution budget (120s wall-clock cap per row); "
+              "PCT budget: 2 priority change points\n");
+
+  for (const auto strategy :
+       {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
+    bench::PrintHeader(std::string("scheduler: ") +
+                       std::string(ToString(strategy)));
+    vnext::DriverOptions options;
+    options.manager.fix_stale_sync_report = false;  // re-introduce the bug
+    systest::TestConfig config = vnext::DefaultConfig(strategy);
+    config.time_budget_seconds = 120;
+    bench::RunRow("ExtentNodeLivenessViolation", config,
+                  vnext::MakeExtentRepairHarness(options));
+  }
+
+  // Control: the fixed Extent Manager must survive a sizeable budget.
+  bench::PrintHeader("control: fix_stale_sync_report = true (random)");
+  vnext::DriverOptions fixed;
+  fixed.manager.fix_stale_sync_report = true;
+  systest::TestConfig config =
+      vnext::DefaultConfig(systest::StrategyKind::kRandom);
+  config.iterations = 2'000;
+  bench::RunRow("ExtentNodeLivenessViolation(fixed)", config,
+                vnext::MakeExtentRepairHarness(fixed));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// SysTest — Live Table Migration case study (§4).
+//
+// IChainTable: the table interface of the paper. The backend tables, the
+// reference table and the MigratingTable all speak it. Point writes are
+// conditional on ETags; queries come in two flavors with very different
+// consistency contracts:
+//
+//  * ExecuteQueryAtomic — returns a snapshot of all matching rows as of one
+//    linearization point.
+//  * streaming queries (Start/ReadNext) — return matching rows in ascending
+//    key order, where "each row read from a stream may reflect the state of
+//    the table at any time between when the stream was started and the row
+//    was read" (§6.2). The weaker contract is what makes the merging logic
+//    in MigratingTable subtle — and buggy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chaintable/types.h"
+
+namespace chaintable {
+
+/// Handle to an open streaming query.
+using StreamId = std::uint64_t;
+constexpr StreamId kInvalidStream = 0;
+
+class IChainTable {
+ public:
+  virtual ~IChainTable() = default;
+
+  /// Executes one point write. Returns the outcome, with the new etag on
+  /// success.
+  virtual OpResult ExecuteWrite(const WriteOp& op) = 0;
+
+  /// Point lookup by primary key.
+  virtual OpResult Retrieve(const TableKey& key) const = 0;
+
+  /// Atomic filtered snapshot, sorted by key.
+  virtual std::vector<QueryRow> ExecuteQueryAtomic(const Filter& filter) const = 0;
+
+  /// Returns the first matching row with key strictly greater than `after`
+  /// (or the first matching row overall if `after` is empty), evaluated
+  /// against the *current* state. This primitive is both the implementation
+  /// vehicle for streaming queries and the "back up the stream" operation
+  /// MigratingTable needs.
+  virtual std::optional<QueryRow> QueryAbove(
+      const Filter& filter, const std::optional<TableKey>& after) const = 0;
+
+  /// Monotone counter bumped on every successful write anywhere in the
+  /// table. Lets callers detect interference between two reads (the basis of
+  /// MigratingTable's atomic cross-table query).
+  virtual std::uint64_t MutationCount() const = 0;
+};
+
+}  // namespace chaintable

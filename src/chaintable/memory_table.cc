@@ -1,0 +1,179 @@
+#include "chaintable/memory_table.h"
+
+namespace chaintable {
+
+std::string_view ToString(TableCode code) noexcept {
+  switch (code) {
+    case TableCode::kOk:
+      return "Ok";
+    case TableCode::kNotFound:
+      return "NotFound";
+    case TableCode::kConditionNotMet:
+      return "ConditionNotMet";
+    case TableCode::kAlreadyExists:
+      return "AlreadyExists";
+    case TableCode::kInvalid:
+      return "Invalid";
+  }
+  return "?";
+}
+
+std::string_view ToString(WriteKind kind) noexcept {
+  switch (kind) {
+    case WriteKind::kInsert:
+      return "Insert";
+    case WriteKind::kReplace:
+      return "Replace";
+    case WriteKind::kMerge:
+      return "Merge";
+    case WriteKind::kInsertOrReplace:
+      return "InsertOrReplace";
+    case WriteKind::kDelete:
+      return "Delete";
+  }
+  return "?";
+}
+
+bool Filter::Matches(const TableRow& row) const {
+  if (partition && row.key.partition != *partition) return false;
+  if (row_from && row.key.row < *row_from) return false;
+  if (row_to && row.key.row >= *row_to) return false;
+  if (property_equals) {
+    auto it = row.properties.find(property_equals->first);
+    if (it == row.properties.end() || it->second != property_equals->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Filter::ToString() const {
+  std::string out = "filter(";
+  if (partition) out += "p=" + *partition + " ";
+  if (row_from) out += "from=" + *row_from + " ";
+  if (row_to) out += "to=" + *row_to + " ";
+  if (property_equals) {
+    out += property_equals->first + "==" + property_equals->second;
+  }
+  out += ")";
+  return out;
+}
+
+OpResult InMemoryChainTable::ExecuteWrite(const WriteOp& op) {
+  OpResult result;
+  auto it = rows_.find(op.row.key);
+  switch (op.kind) {
+    case WriteKind::kInsert: {
+      if (it != rows_.end()) {
+        result.code = TableCode::kAlreadyExists;
+        return result;
+      }
+      const Etag etag = NextEtag();
+      rows_.emplace(op.row.key, Stored{op.row.properties, etag});
+      Bump();
+      result.code = TableCode::kOk;
+      result.etag = etag;
+      return result;
+    }
+    case WriteKind::kReplace: {
+      if (it == rows_.end()) {
+        result.code = TableCode::kNotFound;
+        return result;
+      }
+      if (!Matches(op.etag, it->second)) {
+        result.code = TableCode::kConditionNotMet;
+        return result;
+      }
+      it->second.properties = op.row.properties;
+      it->second.etag = NextEtag();
+      Bump();
+      result.code = TableCode::kOk;
+      result.etag = it->second.etag;
+      return result;
+    }
+    case WriteKind::kMerge: {
+      if (it == rows_.end()) {
+        result.code = TableCode::kNotFound;
+        return result;
+      }
+      if (!Matches(op.etag, it->second)) {
+        result.code = TableCode::kConditionNotMet;
+        return result;
+      }
+      for (const auto& [name, value] : op.row.properties) {
+        it->second.properties[name] = value;
+      }
+      it->second.etag = NextEtag();
+      Bump();
+      result.code = TableCode::kOk;
+      result.etag = it->second.etag;
+      return result;
+    }
+    case WriteKind::kInsertOrReplace: {
+      if (it == rows_.end()) {
+        it = rows_.emplace(op.row.key, Stored{op.row.properties, 0}).first;
+      } else {
+        it->second.properties = op.row.properties;
+      }
+      it->second.etag = NextEtag();
+      Bump();
+      result.code = TableCode::kOk;
+      result.etag = it->second.etag;
+      return result;
+    }
+    case WriteKind::kDelete: {
+      if (it == rows_.end()) {
+        result.code = TableCode::kNotFound;
+        return result;
+      }
+      if (!Matches(op.etag, it->second)) {
+        result.code = TableCode::kConditionNotMet;
+        return result;
+      }
+      rows_.erase(it);
+      Bump();
+      result.code = TableCode::kOk;
+      return result;
+    }
+  }
+  return result;
+}
+
+OpResult InMemoryChainTable::Retrieve(const TableKey& key) const {
+  OpResult result;
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    result.code = TableCode::kNotFound;
+    return result;
+  }
+  result.code = TableCode::kOk;
+  result.row = TableRow{key, it->second.properties};
+  result.row_etag = it->second.etag;
+  return result;
+}
+
+std::vector<QueryRow> InMemoryChainTable::ExecuteQueryAtomic(
+    const Filter& filter) const {
+  std::vector<QueryRow> out;
+  for (const auto& [key, stored] : rows_) {
+    const TableRow row{key, stored.properties};
+    if (filter.Matches(row)) {
+      out.push_back(QueryRow{row, stored.etag});
+    }
+  }
+  return out;
+}
+
+std::optional<QueryRow> InMemoryChainTable::QueryAbove(
+    const Filter& filter, const std::optional<TableKey>& after) const {
+  auto it = after.has_value() ? rows_.upper_bound(*after) : rows_.begin();
+  for (; it != rows_.end(); ++it) {
+    const TableRow row{it->first, it->second.properties};
+    if (filter.Matches(row)) {
+      return QueryRow{row, it->second.etag};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace chaintable

@@ -1,0 +1,60 @@
+// SysTest — Live Table Migration case study (§4).
+//
+// InMemoryChainTable: the reference implementation of the IChainTable
+// specification. The paper's harness used its reference implementation both
+// as the reference table and as the two backend tables ("this reference
+// implementation was reused for the BTs, since the goal was not to test the
+// real Azure tables") — we make the same substitution.
+#pragma once
+
+#include <map>
+
+#include "chaintable/chain_table.h"
+
+namespace chaintable {
+
+class InMemoryChainTable final : public IChainTable {
+ public:
+  /// ETags are `first_etag + k * etag_stride`. Multi-table deployments (the
+  /// MigratingTable harness) give each table a distinct residue class so
+  /// etag values never collide across tables — MigratingTable's virtual-etag
+  /// scheme relies on that uniqueness, just as real Azure etags (GUID-like)
+  /// never collide between tables.
+  explicit InMemoryChainTable(Etag first_etag = 1, Etag etag_stride = 1)
+      : etag_counter_(first_etag), etag_stride_(etag_stride) {}
+
+  OpResult ExecuteWrite(const WriteOp& op) override;
+  OpResult Retrieve(const TableKey& key) const override;
+  std::vector<QueryRow> ExecuteQueryAtomic(const Filter& filter) const override;
+  std::optional<QueryRow> QueryAbove(
+      const Filter& filter, const std::optional<TableKey>& after) const override;
+  std::uint64_t MutationCount() const override { return mutations_; }
+
+  [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool Empty() const noexcept { return rows_.empty(); }
+
+ private:
+  struct Stored {
+    Properties properties;
+    Etag etag;
+  };
+
+  Etag NextEtag() noexcept {
+    const Etag etag = etag_counter_;
+    etag_counter_ += etag_stride_;
+    return etag;
+  }
+  void Bump() noexcept { ++mutations_; }
+
+  /// True iff the condition etag matches the stored row.
+  static bool Matches(Etag condition, const Stored& stored) noexcept {
+    return condition == kAnyEtag || condition == stored.etag;
+  }
+
+  std::map<TableKey, Stored> rows_;
+  Etag etag_counter_;
+  Etag etag_stride_;
+  std::uint64_t mutations_ = 0;
+};
+
+}  // namespace chaintable

@@ -1,0 +1,23 @@
+#include "core/bug.h"
+
+namespace systest {
+
+std::string_view ToString(BugKind kind) noexcept {
+  switch (kind) {
+    case BugKind::kSafety:
+      return "safety";
+    case BugKind::kLiveness:
+      return "liveness";
+    case BugKind::kDeadlock:
+      return "deadlock";
+    case BugKind::kUnhandledEvent:
+      return "unhandled-event";
+    case BugKind::kReplayDivergence:
+      return "replay-divergence";
+    case BugKind::kHarnessError:
+      return "harness-error";
+  }
+  return "unknown";
+}
+
+}  // namespace systest

@@ -1,0 +1,40 @@
+// SysTest systematic-testing framework.
+//
+// Bug classification and the exception used to abort an execution once a
+// violation is detected. The testing engine catches BugFound at the top of
+// the per-iteration loop and converts it into a TestReport.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace systest {
+
+/// Kind of property violation detected during an execution.
+enum class BugKind {
+  kSafety,           ///< Machine/monitor assertion failed.
+  kLiveness,         ///< Liveness monitor hot past the temperature threshold.
+  kDeadlock,         ///< Quiescence while some machine blocks in Receive.
+  kUnhandledEvent,   ///< Event dequeued with no handler in the current state.
+  kReplayDivergence, ///< Replayed trace diverged from recorded decisions.
+  kHarnessError,     ///< Misuse of the framework by the test harness.
+};
+
+/// Human-readable name of a BugKind (stable; used in reports and traces).
+std::string_view ToString(BugKind kind) noexcept;
+
+/// Thrown (internally) when a property violation is detected. User code never
+/// needs to catch this; the TestingEngine does.
+class BugFound : public std::runtime_error {
+ public:
+  BugFound(BugKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] BugKind Kind() const noexcept { return kind_; }
+
+ private:
+  BugKind kind_;
+};
+
+}  // namespace systest

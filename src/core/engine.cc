@@ -1,0 +1,126 @@
+#include "core/engine.h"
+
+#include <chrono>
+#include <utility>
+
+namespace systest {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+std::string TestReport::Summary() const {
+  std::string out;
+  if (bug_found) {
+    out += "BUG[" + std::string(ToString(bug_kind)) + "] iter=" +
+           std::to_string(bug_iteration) + " time=" +
+           std::to_string(seconds_to_bug) + "s ndc=" + std::to_string(ndc) +
+           " :: " + bug_message;
+  } else {
+    out += "no bug in " + std::to_string(executions) + " executions (" +
+           std::to_string(total_seconds) + "s)";
+  }
+  return out;
+}
+
+TestingEngine::TestingEngine(TestConfig config, Harness harness)
+    : config_(std::move(config)), harness_(std::move(harness)) {}
+
+RuntimeOptions TestingEngine::MakeRuntimeOptions(bool logging) const {
+  RuntimeOptions options;
+  options.max_steps = config_.max_steps;
+  options.liveness_temperature_threshold =
+      config_.liveness_temperature_threshold;
+  options.report_deadlock = config_.report_deadlock;
+  options.logging = logging;
+  return options;
+}
+
+bool TestingEngine::ExecuteOnce(Runtime& runtime) {
+  harness_(runtime);
+  while (runtime.Steps() < config_.max_steps) {
+    if (!runtime.Step()) {
+      runtime.CheckTermination(/*hit_bound=*/false);
+      return false;
+    }
+  }
+  runtime.CheckTermination(/*hit_bound=*/true);
+  return true;
+}
+
+TestReport TestingEngine::Run() {
+  TestReport report;
+  const auto strategy =
+      MakeStrategy(config_.strategy, config_.seed, config_.strategy_budget);
+  report.strategy_name = strategy->Name();
+  const auto start = Clock::now();
+
+  for (std::uint64_t iteration = 0; iteration < config_.iterations;
+       ++iteration) {
+    if (config_.time_budget_seconds > 0 &&
+        SecondsSince(start) >= config_.time_budget_seconds) {
+      break;
+    }
+    strategy->PrepareIteration(iteration, config_.max_steps);
+    Runtime runtime(*strategy, MakeRuntimeOptions(false));
+    ++report.executions;
+    try {
+      ExecuteOnce(runtime);
+      report.total_steps += runtime.Steps();
+    } catch (const BugFound& bug) {
+      report.total_steps += runtime.Steps();
+      if (!report.bug_found) {
+        // Keep the FIRST violation; with stop_on_first_bug=false later
+        // buggy executions only contribute to the execution count.
+        report.bug_found = true;
+        report.bug_kind = bug.Kind();
+        report.bug_message = bug.what();
+        report.bug_iteration = iteration + 1;
+        report.seconds_to_bug = SecondsSince(start);
+        report.ndc = runtime.GetTrace().Size();
+        report.bug_steps = runtime.Steps();
+        report.bug_trace = runtime.GetTrace();
+        if (config_.readable_trace_on_bug) {
+          report.execution_log = Replay(report.bug_trace).execution_log;
+        }
+      }
+      if (config_.stop_on_first_bug) {
+        break;
+      }
+    }
+  }
+  report.total_seconds = SecondsSince(start);
+  return report;
+}
+
+TestReport TestingEngine::Replay(const Trace& trace) {
+  TestReport report;
+  ReplayStrategy strategy(trace);
+  strategy.PrepareIteration(0, config_.max_steps);
+  report.strategy_name = strategy.Name();
+  Runtime runtime(strategy, MakeRuntimeOptions(true));
+  ++report.executions;
+  const auto start = Clock::now();
+  try {
+    ExecuteOnce(runtime);
+  } catch (const BugFound& bug) {
+    report.bug_found = true;
+    report.bug_kind = bug.Kind();
+    report.bug_message = bug.what();
+    report.bug_iteration = 1;
+    report.seconds_to_bug = SecondsSince(start);
+    report.ndc = runtime.GetTrace().Size();
+    report.bug_steps = runtime.Steps();
+    report.bug_trace = runtime.GetTrace();
+  }
+  report.total_steps = runtime.Steps();
+  report.total_seconds = SecondsSince(start);
+  report.execution_log = runtime.Log();
+  return report;
+}
+
+}  // namespace systest

@@ -1,0 +1,90 @@
+// SysTest systematic-testing framework.
+//
+// The TestingEngine is the paper's "systematic testing engine" (§2): it
+// repeatedly executes a harness from start to completion, each time exploring
+// a potentially different set of nondeterministic choices, until it reaches a
+// user-supplied bound (number of executions or time) or hits a safety or
+// liveness violation. On a bug it produces a TestReport carrying the full
+// decision trace, which can be replayed to reproduce the bug deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/bug.h"
+#include "core/runtime.h"
+#include "core/strategy.h"
+#include "core/trace.h"
+
+namespace systest {
+
+/// A harness closes the system under test: it populates a fresh Runtime with
+/// the wrapped real components, the modeled environment and the monitors
+/// (the paper's three modeling artifacts, §1).
+using Harness = std::function<void(Runtime&)>;
+
+/// Engine configuration. Defaults mirror the paper's setup where applicable
+/// (the evaluation used 100,000-execution budgets and a PCT budget of 2
+/// priority change points).
+struct TestConfig {
+  std::uint64_t iterations = 10'000;
+  std::uint64_t max_steps = 10'000;
+  std::uint64_t seed = 0;
+  StrategyKind strategy = StrategyKind::kRandom;
+  int strategy_budget = 2;  ///< PCT priority change points / delay budget
+  std::uint64_t liveness_temperature_threshold = 0;  ///< 0 = max_steps / 2
+  bool report_deadlock = true;
+  bool stop_on_first_bug = true;
+  double time_budget_seconds = 0;  ///< 0 = unlimited
+  /// When true, the buggy execution is re-run under replay with verbose
+  /// logging to produce a human-readable trace in TestReport::execution_log.
+  bool readable_trace_on_bug = false;
+};
+
+/// Outcome of a testing run.
+struct TestReport {
+  bool bug_found = false;
+  BugKind bug_kind = BugKind::kSafety;
+  std::string bug_message;
+  std::uint64_t bug_iteration = 0;     ///< 1-based iteration that found the bug
+  double seconds_to_bug = 0.0;
+  std::uint64_t ndc = 0;               ///< nondet. choices in the buggy execution
+  std::uint64_t bug_steps = 0;         ///< scheduling steps in the buggy execution
+  Trace bug_trace;                     ///< replayable witness
+  std::string execution_log;           ///< readable trace (optional)
+  std::uint64_t executions = 0;        ///< executions actually performed
+  std::uint64_t total_steps = 0;
+  double total_seconds = 0.0;
+  std::string strategy_name;
+
+  /// One-line summary suitable for bench output.
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Systematic testing engine. Thread-compatible; one engine per thread.
+class TestingEngine {
+ public:
+  TestingEngine(TestConfig config, Harness harness);
+
+  /// Runs up to config.iterations executions (or until the time budget or the
+  /// first bug, per config). Returns the aggregate report.
+  TestReport Run();
+
+  /// Replays a recorded trace once, with readable logging enabled, and
+  /// returns the resulting report (bug_found reflects whether the violation
+  /// reproduced).
+  TestReport Replay(const Trace& trace);
+
+  [[nodiscard]] const TestConfig& Config() const noexcept { return config_; }
+
+ private:
+  RuntimeOptions MakeRuntimeOptions(bool logging) const;
+  /// Runs one execution on `runtime`; returns true if it hit the step bound.
+  bool ExecuteOnce(Runtime& runtime);
+
+  TestConfig config_;
+  Harness harness_;
+};
+
+}  // namespace systest

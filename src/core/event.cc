@@ -1,0 +1,32 @@
+#include "core/event.h"
+
+#include <cstdlib>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+namespace systest {
+
+std::string DemangleTypeName(const char* mangled) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string result(demangled);
+    std::free(demangled);
+    return result;
+  }
+#endif
+  return mangled;
+}
+
+std::string ShortTypeName(const std::type_info& info) {
+  std::string full = DemangleTypeName(info.name());
+  const auto pos = full.rfind("::");
+  return pos == std::string::npos ? full : full.substr(pos + 2);
+}
+
+std::string Event::Name() const { return ShortTypeName(typeid(*this)); }
+
+}  // namespace systest

@@ -1,0 +1,56 @@
+// SysTest systematic-testing framework.
+//
+// Events are the only way machines communicate (the paper's P# events model
+// messages, failures and timeouts, §2.1). An event is an immutable value;
+// ownership is transferred into the target machine's queue as a
+// std::unique_ptr<const Event>. Dispatch is by std::type_index, so user
+// events are ordinary structs deriving from systest::Event — no codegen, no
+// registration step.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <typeinfo>
+
+namespace systest {
+
+/// Base class for all events exchanged between machines (and notifications
+/// delivered to monitors).
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  Event(Event&&) = delete;
+  Event& operator=(Event&&) = delete;
+  virtual ~Event() = default;
+
+  /// Dynamic type of the most-derived event, used for handler dispatch.
+  [[nodiscard]] std::type_index Type() const { return std::type_index(typeid(*this)); }
+
+  /// Demangled name of the most-derived event type (for traces and errors).
+  /// Virtual so events can enrich the readable trace with payload details —
+  /// the paper notes that "out of the box, P# traces include only machine-
+  /// and event-level information, but it is easy to add application-specific
+  /// information, and we did so in all of our case studies" (§6.2).
+  [[nodiscard]] virtual std::string Name() const;
+};
+
+/// Demangles a typeid name on GCC/Clang; returns the raw name elsewhere.
+std::string DemangleTypeName(const char* mangled);
+
+/// Short name: namespace qualifiers stripped from a demangled type name.
+std::string ShortTypeName(const std::type_info& info);
+
+/// Built-in event that halts the receiving machine (P# halt semantics: the
+/// machine stops processing and silently drops all further events).
+struct HaltEvent final : Event {};
+
+/// Convenience factory: make a unique_ptr<const Event> from an event type.
+template <typename E, typename... Args>
+std::unique_ptr<const Event> MakeEvent(Args&&... args) {
+  return std::make_unique<const E>(std::forward<Args>(args)...);
+}
+
+}  // namespace systest

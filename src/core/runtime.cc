@@ -1,0 +1,587 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+namespace systest {
+
+// ===========================================================================
+// Machine
+
+namespace {
+const std::string kNoState = "<no-state>";
+}  // namespace
+
+const std::string& Machine::CurrentStateName() const {
+  return current_state_ ? current_state_->name : kNoState;
+}
+
+StateBuilder Machine::State(std::string name) {
+  auto [it, inserted] = states_.try_emplace(name);
+  if (inserted) {
+    it->second.name = std::move(name);
+  }
+  return StateBuilder(&it->second);
+}
+
+Runtime& Machine::Rt() {
+  if (runtime_ == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   "machine '" + debug_name_ +
+                       "' used the runtime API before being attached "
+                       "(Create/Send belong in entry actions, not constructors)");
+  }
+  return *runtime_;
+}
+
+void Machine::Send(MachineId target, std::unique_ptr<const Event> ev) {
+  Rt().DeliverEvent(target, std::move(ev), this);
+}
+
+void Machine::RaiseEvent(std::unique_ptr<const Event> ev) {
+  if (pending_raise_) {
+    throw BugFound(BugKind::kHarnessError,
+                   "machine '" + debug_name_ + "' raised two events in one action");
+  }
+  pending_raise_ = std::move(ev);
+}
+
+void Machine::Goto(std::string state) {
+  if (pending_goto_) {
+    throw BugFound(BugKind::kHarnessError,
+                   "machine '" + debug_name_ + "' called Goto twice in one action");
+  }
+  pending_goto_ = std::move(state);
+}
+
+bool Machine::NondetBool() { return Rt().ChooseBool(); }
+
+std::uint64_t Machine::NondetInt(std::uint64_t bound) {
+  return Rt().ChooseInt(bound);
+}
+
+void Machine::Assert(bool cond, const std::string& message) {
+  Rt().Assert(cond, "machine '" + debug_name_ + "': " + message);
+}
+
+detail::StateDecl& Machine::FindState(const std::string& name) {
+  auto it = states_.find(name);
+  if (it == states_.end()) {
+    throw BugFound(BugKind::kHarnessError,
+                   "machine '" + debug_name_ + "' has no state '" + name + "'");
+  }
+  return it->second;
+}
+
+void Machine::BeginReceive(std::vector<std::type_index> types) {
+  waiting_types_ = std::move(types);
+}
+
+bool Machine::TryFulfillReceive() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const std::type_index type = (*it)->Type();
+    if (std::find(waiting_types_.begin(), waiting_types_.end(), type) !=
+        waiting_types_.end()) {
+      received_ = std::move(*it);
+      queue_.erase(it);
+      waiting_types_.clear();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<const Event> Machine::TakeReceived() {
+  assert(received_);
+  return std::move(received_);
+}
+
+bool Machine::HasMatchingQueuedEvent() const {
+  for (const auto& ev : queue_) {
+    const std::type_index type = ev->Type();
+    if (std::find(waiting_types_.begin(), waiting_types_.end(), type) !=
+        waiting_types_.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Machine::IsEnabled() const {
+  if (halted_) return false;
+  if (!started_) return true;
+  if (root_task_.Valid()) {
+    // Suspended in Receive: enabled iff a matching event is queued.
+    return HasMatchingQueuedEvent();
+  }
+  // Idle: enabled iff some queued event is processable in the current state
+  // (handler, goto, ignore-drop, halt or unhandled — everything except a
+  // deferred event constitutes a step).
+  for (const auto& ev : queue_) {
+    if (current_state_ != nullptr &&
+        current_state_->defers.contains(ev->Type())) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Machine::RunStep() {
+  if (!started_) {
+    started_ = true;
+    if (runtime_->LoggingEnabled()) {
+      runtime_->LogLine("start   " + debug_name_ + " -> " + start_state_);
+    }
+    Transition(start_state_);
+    RunCascade();
+    return;
+  }
+  if (root_task_.Valid()) {
+    // Resume the coroutine blocked in Receive with the matching event.
+    const bool fulfilled = TryFulfillReceive();
+    runtime_->Assert(fulfilled, "internal: scheduled non-fulfillable receive");
+    if (runtime_->LoggingEnabled()) {
+      runtime_->LogLine("resume  " + debug_name_ + " <- " + received_->Name());
+    }
+    resume_point_.resume();
+    RunCascade();
+    return;
+  }
+  // Dequeue the first processable event.
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    while (it != queue_.end() && current_state_ != nullptr &&
+           current_state_->defers.contains((*it)->Type())) {
+      ++it;
+    }
+    if (it == queue_.end()) return;  // only deferred events remain
+    std::unique_ptr<const Event> ev = std::move(*it);
+    queue_.erase(it);
+    if (current_state_ != nullptr &&
+        current_state_->ignores.contains(ev->Type())) {
+      if (runtime_->LoggingEnabled()) {
+        runtime_->LogLine("ignore  " + debug_name_ + " x " + ev->Name());
+      }
+      continue;  // dropped; look for another processable event in this step
+    }
+    DispatchEvent(std::move(ev), /*raised=*/false);
+    RunCascade();
+    return;
+  }
+}
+
+void Machine::DispatchEvent(std::unique_ptr<const Event> ev, bool raised) {
+  runtime_->CountCascadeAction();
+  if (ev->Type() == std::type_index(typeid(HaltEvent))) {
+    DoHalt();
+    return;
+  }
+  if (current_state_ == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   "machine '" + debug_name_ + "' dispatching without a state");
+  }
+  if (auto git = current_state_->gotos.find(ev->Type());
+      git != current_state_->gotos.end()) {
+    if (runtime_->LoggingEnabled()) {
+      runtime_->LogLine("goto    " + debug_name_ + " -- " + ev->Name() +
+                        " --> " + git->second);
+    }
+    current_event_ = std::move(ev);
+    Transition(git->second);
+    return;
+  }
+  auto hit = current_state_->handlers.find(ev->Type());
+  if (hit == current_state_->handlers.end()) {
+    throw BugFound(BugKind::kUnhandledEvent,
+                   "machine '" + debug_name_ + "' in state '" +
+                       current_state_->name + "' cannot handle " +
+                       (raised ? "raised " : "") + "event " + ev->Name());
+  }
+  if (runtime_->LoggingEnabled()) {
+    runtime_->LogLine("handle  " + debug_name_ + " <- " + ev->Name() + " [" +
+                      current_state_->name + "]");
+  }
+  current_event_ = std::move(ev);
+  InvokeHandler(hit->second, current_event_.get());
+}
+
+void Machine::InvokeHandler(const detail::Handler& handler, const Event* event) {
+  if (handler.sync) {
+    handler.sync(*this, event);
+    return;
+  }
+  root_task_ = handler.coro(*this, event);
+  resume_point_ = root_task_.RawHandle();
+  resume_point_.resume();
+}
+
+void Machine::Transition(const std::string& target) {
+  if (current_state_ != nullptr && current_state_->exit) {
+    current_state_->exit(*this);
+  }
+  detail::StateDecl& next = FindState(target);
+  current_state_ = &next;
+  ++transitions_taken_;
+  if (next.entry.Valid()) {
+    InvokeHandler(next.entry, nullptr);
+  }
+}
+
+void Machine::RunCascade() {
+  for (;;) {
+    if (root_task_.Valid() && !root_task_.Done()) {
+      // Suspended in Receive: yield back to the scheduler. The machine must
+      // actually be waiting; any other suspension is a framework-misuse bug.
+      runtime_->Assert(IsWaitingInReceive(),
+                       "machine '" + debug_name_ +
+                           "' suspended outside Receive (co_await of a "
+                           "foreign awaitable?)");
+      return;
+    }
+    if (root_task_.Valid()) {
+      root_task_.RethrowIfFailed();
+      root_task_ = Task();
+      resume_point_ = {};
+    }
+    if (pending_halt_) {
+      DoHalt();
+      return;
+    }
+    if (pending_raise_ && pending_goto_) {
+      throw BugFound(BugKind::kHarnessError,
+                     "machine '" + debug_name_ +
+                         "' both raised an event and called Goto in one action");
+    }
+    if (pending_raise_) {
+      std::unique_ptr<const Event> ev = std::move(pending_raise_);
+      if (runtime_->LoggingEnabled()) {
+        runtime_->LogLine("raise   " + debug_name_ + " ^ " + ev->Name());
+      }
+      DispatchEvent(std::move(ev), /*raised=*/true);
+      continue;
+    }
+    if (pending_goto_) {
+      std::string target = std::move(*pending_goto_);
+      pending_goto_.reset();
+      if (runtime_->LoggingEnabled()) {
+        runtime_->LogLine("goto    " + debug_name_ + " --> " + target);
+      }
+      runtime_->CountCascadeAction();
+      Transition(target);
+      continue;
+    }
+    current_event_.reset();
+    return;
+  }
+}
+
+void Machine::DoHalt() {
+  halted_ = true;
+  pending_halt_ = false;
+  pending_raise_.reset();
+  pending_goto_.reset();
+  queue_.clear();
+  waiting_types_.clear();
+  root_task_ = Task();
+  resume_point_ = {};
+  current_event_.reset();
+  if (runtime_->LoggingEnabled()) {
+    runtime_->LogLine("halt    " + debug_name_);
+  }
+}
+
+// ===========================================================================
+// Monitor
+
+bool Monitor::IsHot() const {
+  return current_state_ != nullptr && current_state_->hot;
+}
+
+const std::string& Monitor::CurrentStateName() const {
+  return current_state_ ? current_state_->name : kNoState;
+}
+
+MonitorStateBuilder Monitor::State(std::string name) {
+  auto [it, inserted] = states_.try_emplace(name);
+  if (inserted) {
+    it->second.name = std::move(name);
+  }
+  return MonitorStateBuilder(&it->second);
+}
+
+Runtime& Monitor::Rt() {
+  if (runtime_ == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   "monitor '" + debug_name_ + "' used before attachment");
+  }
+  return *runtime_;
+}
+
+detail::MonitorStateDecl& Monitor::FindState(const std::string& name) {
+  auto it = states_.find(name);
+  if (it == states_.end()) {
+    throw BugFound(BugKind::kHarnessError,
+                   "monitor '" + debug_name_ + "' has no state '" + name + "'");
+  }
+  return it->second;
+}
+
+void Monitor::Goto(const std::string& state) {
+  detail::MonitorStateDecl& next = FindState(state);
+  current_state_ = &next;
+  ++transitions_taken_;
+  if (runtime_ != nullptr && runtime_->LoggingEnabled()) {
+    runtime_->LogLine("monitor " + debug_name_ + " --> " + state +
+                      (next.hot ? " [hot]" : next.cold ? " [cold]" : ""));
+  }
+  if (next.entry) {
+    next.entry(*this);
+  }
+}
+
+void Monitor::Assert(bool cond, const std::string& message) {
+  Rt().Assert(cond, "monitor '" + debug_name_ + "': " + message);
+}
+
+void Monitor::Start() { Goto(start_state_); }
+
+void Monitor::HandleNotification(const Event& event) {
+  if (current_state_ == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   "monitor '" + debug_name_ + "' notified before start");
+  }
+  if (current_state_->ignores.contains(event.Type())) {
+    return;
+  }
+  auto it = current_state_->handlers.find(event.Type());
+  if (it == current_state_->handlers.end()) {
+    throw BugFound(BugKind::kHarnessError,
+                   "monitor '" + debug_name_ + "' in state '" +
+                       current_state_->name + "' cannot handle notification " +
+                       event.Name());
+  }
+  it->second(*this, event);
+}
+
+// ===========================================================================
+// Runtime
+
+Runtime::Runtime(SchedulingStrategy& strategy, RuntimeOptions options)
+    : strategy_(strategy), options_(options) {}
+
+Runtime::~Runtime() = default;
+
+MachineId Runtime::Attach(std::unique_ptr<Machine> machine,
+                          std::string debug_name) {
+  machine->runtime_ = this;
+  machine->id_ = MachineId{machines_.size() + 1};
+  machine->debug_name_ =
+      debug_name + "(" + std::to_string(machine->id_.value) + ")";
+  if (machine->start_state_.empty()) {
+    throw BugFound(BugKind::kHarnessError,
+                   "machine '" + machine->debug_name_ +
+                       "' declared no start state (call SetStart)");
+  }
+  machines_.push_back(std::move(machine));
+  const MachineId id = machines_.back()->id_;
+  if (LoggingEnabled()) {
+    LogLine("create  " + machines_.back()->debug_name_);
+  }
+  return id;
+}
+
+void Runtime::AttachMonitor(std::unique_ptr<Monitor> monitor,
+                            std::string debug_name) {
+  monitor->runtime_ = this;
+  monitor->debug_name_ = std::move(debug_name);
+  if (monitor->start_state_.empty()) {
+    throw BugFound(BugKind::kHarnessError,
+                   "monitor '" + monitor->debug_name_ +
+                       "' declared no start state (call SetStart)");
+  }
+  Monitor* raw = monitor.get();
+  monitors_.push_back(std::move(monitor));
+  monitor_by_type_.emplace(std::type_index(typeid(*raw)), raw);
+  raw->Start();
+}
+
+const Machine* Runtime::FindMachine(MachineId id) const {
+  if (!id.Valid() || id.value > machines_.size()) return nullptr;
+  return machines_[id.value - 1].get();
+}
+
+Machine* Runtime::FindMachine(MachineId id) {
+  if (!id.Valid() || id.value > machines_.size()) return nullptr;
+  return machines_[id.value - 1].get();
+}
+
+void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
+                           const Machine* sender) {
+  Machine* machine = FindMachine(target);
+  if (machine == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   std::string("send to unknown machine id ") +
+                       std::to_string(target.value) + " from '" +
+                       (sender ? sender->DebugName() : "<harness>") + "'");
+  }
+  if (machine->halted_) {
+    return;  // events to halted machines are silently dropped (P# semantics)
+  }
+  if (LoggingEnabled()) {
+    LogLine("send    " + (sender ? sender->DebugName() : "<harness>") +
+            " -> " + machine->DebugName() + " : " + ev->Name());
+  }
+  machine->queue_.push_back(std::move(ev));
+}
+
+void Runtime::SendEvent(MachineId target, std::unique_ptr<const Event> ev) {
+  DeliverEvent(target, std::move(ev), nullptr);
+}
+
+void Runtime::NotifyMonitorByType(std::type_index type, const Event& event) {
+  auto it = monitor_by_type_.find(type);
+  if (it == monitor_by_type_.end()) {
+    return;  // monitor not registered in this harness: notification is a no-op
+  }
+  if (LoggingEnabled()) {
+    LogLine("notify  " + it->second->DebugName() + " <- " + event.Name());
+  }
+  it->second->HandleNotification(event);
+}
+
+void Runtime::Assert(bool cond, const std::string& message) {
+  if (!cond) {
+    throw BugFound(BugKind::kSafety, message);
+  }
+}
+
+bool Runtime::ChooseBool() {
+  const bool value = strategy_.NextBool();
+  trace_.RecordBool(value);
+  return value;
+}
+
+std::uint64_t Runtime::ChooseInt(std::uint64_t bound) {
+  if (bound == 0) {
+    throw BugFound(BugKind::kHarnessError, "NondetInt with bound 0");
+  }
+  const std::uint64_t value = strategy_.NextInt(bound);
+  trace_.RecordInt(value, bound);
+  return value;
+}
+
+std::vector<MachineId> Runtime::EnabledMachines() const {
+  std::vector<MachineId> enabled;
+  enabled.reserve(machines_.size());
+  for (const auto& machine : machines_) {
+    if (machine->IsEnabled()) {
+      enabled.push_back(machine->id_);
+    }
+  }
+  return enabled;  // sorted: machines_ is in id order
+}
+
+bool Runtime::Step() {
+  const std::vector<MachineId> enabled = EnabledMachines();
+  if (enabled.empty()) {
+    return false;
+  }
+  const MachineId chosen = strategy_.Next(enabled, steps_);
+  trace_.RecordSchedule(chosen.value);
+  ++steps_;
+  cascade_actions_ = 0;
+  Machine* machine = FindMachine(chosen);
+  machine->RunStep();
+  UpdateMonitorTemperatures();
+  return true;
+}
+
+void Runtime::UpdateMonitorTemperatures() {
+  for (const auto& monitor : monitors_) {
+    if (monitor->IsHot()) {
+      ++monitor->hot_steps_;
+    } else {
+      monitor->hot_steps_ = 0;
+    }
+  }
+}
+
+void Runtime::CountCascadeAction() {
+  if (++cascade_actions_ > options_.max_cascade_actions) {
+    throw BugFound(BugKind::kHarnessError,
+                   "handler cascade exceeded " +
+                       std::to_string(options_.max_cascade_actions) +
+                       " actions in one step (raise/goto loop?)");
+  }
+}
+
+void Runtime::CheckTermination(bool hit_bound) {
+  if (!hit_bound) {
+    // Quiescence: nothing is in flight, so a hot monitor can never cool down
+    // — a definite liveness violation.
+    for (const auto& monitor : monitors_) {
+      if (monitor->IsHot()) {
+        throw BugFound(BugKind::kLiveness,
+                       "monitor '" + monitor->DebugName() +
+                           "' is hot (state '" + monitor->CurrentStateName() +
+                           "') at quiescence: required progress can never happen");
+      }
+    }
+    if (options_.report_deadlock) {
+      for (const auto& machine : machines_) {
+        if (!machine->Halted() && machine->IsWaitingInReceive()) {
+          throw BugFound(BugKind::kDeadlock,
+                         "machine '" + machine->DebugName() +
+                             "' blocked in Receive at quiescence");
+        }
+      }
+    }
+    return;
+  }
+  // Bound reached: treat the execution as "infinite" (§2.5) and flag any
+  // monitor that has been continuously hot past the temperature threshold.
+  const std::uint64_t threshold = options_.liveness_temperature_threshold != 0
+                                      ? options_.liveness_temperature_threshold
+                                      : options_.max_steps / 2;
+  for (const auto& monitor : monitors_) {
+    if (monitor->IsHot() && monitor->hot_steps_ >= threshold) {
+      throw BugFound(
+          BugKind::kLiveness,
+          "monitor '" + monitor->DebugName() + "' stayed hot (state '" +
+              monitor->CurrentStateName() + "') for " +
+              std::to_string(monitor->hot_steps_) +
+              " consecutive steps of a bounded-infinite execution");
+    }
+  }
+}
+
+Runtime::Stats Runtime::GetStats() const {
+  Stats stats;
+  stats.machines = machines_.size();
+  stats.monitors = monitors_.size();
+  for (const auto& machine : machines_) {
+    stats.states += machine->states_.size();
+    stats.transitions_taken += machine->transitions_taken_;
+    for (const auto& [name, decl] : machine->states_) {
+      stats.action_handlers += decl.handlers.size();
+      if (decl.entry.Valid()) ++stats.action_handlers;
+      if (decl.exit) ++stats.action_handlers;
+      stats.declared_transitions += decl.gotos.size();
+    }
+  }
+  for (const auto& monitor : monitors_) {
+    stats.states += monitor->states_.size();
+    stats.transitions_taken += monitor->transitions_taken_;
+    for (const auto& [name, decl] : monitor->states_) {
+      stats.action_handlers += decl.handlers.size();
+      if (decl.entry) ++stats.action_handlers;
+    }
+  }
+  return stats;
+}
+
+void Runtime::LogLine(const std::string& line) {
+  log_ += "[" + std::to_string(steps_) + "] " + line + "\n";
+}
+
+}  // namespace systest

@@ -1,0 +1,587 @@
+// SysTest systematic-testing framework.
+//
+// Machine, Monitor and Runtime — the C++ rendering of the P# programming
+// model (§2.1 of the paper): programs are state machines that communicate
+// asynchronously by exchanging events; each machine has an event queue and
+// one or more states; states register actions for incoming events; sends are
+// non-blocking. During testing the runtime *serializes* the system: a single
+// scheduling step picks one enabled machine and runs it until it yields
+// (handler completion, or suspension in a Receive). Every scheduling decision
+// and every controlled nondeterministic choice is recorded in a Trace, which
+// makes executions fully replayable.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/bug.h"
+#include "core/event.h"
+#include "core/strategy.h"
+#include "core/task.h"
+#include "core/trace.h"
+
+namespace systest {
+
+class Machine;
+class Monitor;
+class Runtime;
+
+namespace detail {
+
+/// Type-erased handler: either a synchronous action or a coroutine. The
+/// event pointer is null for entry actions.
+struct Handler {
+  std::function<void(Machine&, const Event*)> sync;
+  std::function<Task(Machine&, const Event*)> coro;
+
+  [[nodiscard]] bool Valid() const noexcept {
+    return static_cast<bool>(sync) || static_cast<bool>(coro);
+  }
+};
+
+/// Declaration of one machine (or monitor) state.
+struct StateDecl {
+  std::string name;
+  Handler entry;
+  std::function<void(Machine&)> exit;
+  std::unordered_map<std::type_index, Handler> handlers;
+  std::unordered_map<std::type_index, std::string> gotos;
+  std::set<std::type_index> defers;
+  std::set<std::type_index> ignores;
+  bool hot = false;   // liveness: progress required while in this state
+  bool cold = false;  // liveness: progress happened
+};
+
+/// Monitor handler: always synchronous.
+struct MonitorStateDecl {
+  std::string name;
+  std::function<void(Monitor&)> entry;
+  std::unordered_map<std::type_index, std::function<void(Monitor&, const Event&)>>
+      handlers;
+  std::set<std::type_index> ignores;
+  bool hot = false;
+  bool cold = false;
+};
+
+}  // namespace detail
+
+/// Fluent builder used in machine constructors to declare a state's behavior.
+class StateBuilder {
+ public:
+  explicit StateBuilder(detail::StateDecl* decl) : decl_(decl) {}
+
+  /// Registers a synchronous action for event E: void M::Fn(const E&).
+  template <typename E, typename M>
+  StateBuilder& On(void (M::*fn)(const E&)) {
+    decl_->handlers[typeid(E)].sync = [fn](Machine& m, const Event* e) {
+      (static_cast<M&>(m).*fn)(static_cast<const E&>(*e));
+    };
+    return *this;
+  }
+
+  /// Registers a synchronous action that ignores the payload: void M::Fn().
+  template <typename E, typename M>
+  StateBuilder& On(void (M::*fn)()) {
+    decl_->handlers[typeid(E)].sync = [fn](Machine& m, const Event*) {
+      (static_cast<M&>(m).*fn)();
+    };
+    return *this;
+  }
+
+  /// Registers a coroutine action for event E: Task M::Fn(const E&). The
+  /// event stays alive until the coroutine completes.
+  template <typename E, typename M>
+  StateBuilder& On(Task (M::*fn)(const E&)) {
+    decl_->handlers[typeid(E)].coro = [fn](Machine& m, const Event* e) {
+      return (static_cast<M&>(m).*fn)(static_cast<const E&>(*e));
+    };
+    return *this;
+  }
+
+  /// Registers a coroutine action ignoring the payload: Task M::Fn().
+  template <typename E, typename M>
+  StateBuilder& On(Task (M::*fn)()) {
+    decl_->handlers[typeid(E)].coro = [fn](Machine& m, const Event*) {
+      return (static_cast<M&>(m).*fn)();
+    };
+    return *this;
+  }
+
+  /// On event E, transition directly to `target` (exit/entry actions run).
+  template <typename E>
+  StateBuilder& OnGoto(std::string target) {
+    decl_->gotos[typeid(E)] = std::move(target);
+    return *this;
+  }
+
+  /// Defer E in this state: it stays queued until a state handles it.
+  template <typename E>
+  StateBuilder& Defer() {
+    decl_->defers.insert(typeid(E));
+    return *this;
+  }
+
+  /// Ignore (drop) E in this state.
+  template <typename E>
+  StateBuilder& Ignore() {
+    decl_->ignores.insert(typeid(E));
+    return *this;
+  }
+
+  /// Entry action, synchronous: void M::Fn().
+  template <typename M>
+  StateBuilder& OnEntry(void (M::*fn)()) {
+    decl_->entry.sync = [fn](Machine& m, const Event*) {
+      (static_cast<M&>(m).*fn)();
+    };
+    return *this;
+  }
+
+  /// Entry action, coroutine: Task M::Fn().
+  template <typename M>
+  StateBuilder& OnEntry(Task (M::*fn)()) {
+    decl_->entry.coro = [fn](Machine& m, const Event*) {
+      return (static_cast<M&>(m).*fn)();
+    };
+    return *this;
+  }
+
+  /// Exit action (always synchronous; P# exit actions cannot block).
+  template <typename M>
+  StateBuilder& OnExit(void (M::*fn)()) {
+    decl_->exit = [fn](Machine& m) { (static_cast<M&>(m).*fn)(); };
+    return *this;
+  }
+
+ private:
+  detail::StateDecl* decl_;
+};
+
+template <typename E>
+class ReceiveAwaiter;
+template <typename... Es>
+class ReceiveAnyAwaiter;
+
+/// Base class for P#-style machines. Subclasses declare their states in the
+/// constructor with State(...)/SetStart(...) and interact with the world
+/// exclusively through the protected runtime API (Send, Raise, Goto, Create,
+/// NondetBool/Int, Receive, Halt, Assert, Notify).
+class Machine {
+ public:
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  virtual ~Machine() = default;
+
+  [[nodiscard]] MachineId Id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& DebugName() const noexcept { return debug_name_; }
+  [[nodiscard]] bool Halted() const noexcept { return halted_; }
+  [[nodiscard]] const std::string& CurrentStateName() const;
+  [[nodiscard]] std::size_t QueueLength() const noexcept { return queue_.size(); }
+
+ protected:
+  Machine() = default;
+
+  // ---- Declaration API (constructor only) ----
+
+  /// Creates or retrieves the state `name` for further declaration.
+  StateBuilder State(std::string name);
+
+  /// Sets the state entered when the machine starts.
+  void SetStart(std::string name) { start_state_ = std::move(name); }
+
+  // ---- Runtime API (handlers only) ----
+
+  /// The runtime this machine is attached to.
+  [[nodiscard]] Runtime& Rt();
+
+  /// Non-blocking send: enqueues `ev` into `target`'s queue.
+  void Send(MachineId target, std::unique_ptr<const Event> ev);
+
+  template <typename E, typename... Args>
+  void Send(MachineId target, Args&&... args) {
+    Send(target, MakeEvent<E>(std::forward<Args>(args)...));
+  }
+
+  /// Raises an event on this machine: handled before any queued event, in
+  /// the (possibly new) current state, as part of the same atomic step.
+  template <typename E, typename... Args>
+  void Raise(Args&&... args) {
+    RaiseEvent(MakeEvent<E>(std::forward<Args>(args)...));
+  }
+  void RaiseEvent(std::unique_ptr<const Event> ev);
+
+  /// Transitions to `state` after the current action completes.
+  void Goto(std::string state);
+
+  /// Halts this machine after the current action completes; all queued and
+  /// future events are silently dropped (P# halt semantics).
+  void Halt() { pending_halt_ = true; }
+
+  /// Controlled nondeterministic choices (PSharp.Nondet()).
+  bool NondetBool();
+  std::uint64_t NondetInt(std::uint64_t bound);
+
+  /// Creates a machine of type M; it starts concurrently.
+  template <typename M, typename... Args>
+  MachineId Create(std::string debug_name, Args&&... args);
+
+  /// Notifies monitor type MonitorT with event E (monitors run synchronously).
+  template <typename MonitorT, typename E, typename... Args>
+  void Notify(Args&&... args);
+
+  /// Fails the execution with a safety violation if `cond` is false.
+  void Assert(bool cond, const std::string& message);
+
+  /// Awaitable: blocks the current coroutine handler until an event of type
+  /// E is available in the queue, then dequeues and returns it. Non-matching
+  /// events stay queued (P# receive semantics).
+  template <typename E>
+  [[nodiscard]] ReceiveAwaiter<E> Receive();
+
+  /// Awaitable: waits for the first event whose type is one of Es...
+  template <typename... Es>
+  [[nodiscard]] ReceiveAnyAwaiter<Es...> ReceiveAny();
+
+ private:
+  friend class Runtime;
+  template <typename E>
+  friend class ReceiveAwaiter;
+  template <typename... Es>
+  friend class ReceiveAnyAwaiter;
+
+  // Receive plumbing (used by the awaiters).
+  void BeginReceive(std::vector<std::type_index> types);
+  bool TryFulfillReceive();
+  void SetResumePoint(std::coroutine_handle<> h) { resume_point_ = h; }
+  std::unique_ptr<const Event> TakeReceived();
+
+  // Step execution (used by the runtime).
+  [[nodiscard]] bool IsEnabled() const;
+  [[nodiscard]] bool IsWaitingInReceive() const noexcept {
+    return !waiting_types_.empty();
+  }
+  void RunStep();
+  void RunCascade();
+  void InvokeHandler(const detail::Handler& handler, const Event* event);
+  void DispatchEvent(std::unique_ptr<const Event> ev, bool raised);
+  void Transition(const std::string& target);
+  void DoHalt();
+  detail::StateDecl& FindState(const std::string& name);
+  [[nodiscard]] bool HasMatchingQueuedEvent() const;
+
+  Runtime* runtime_ = nullptr;
+  MachineId id_{};
+  std::string debug_name_;
+
+  std::map<std::string, detail::StateDecl> states_;
+  std::string start_state_;
+  detail::StateDecl* current_state_ = nullptr;
+
+  std::deque<std::unique_ptr<const Event>> queue_;
+  std::unique_ptr<const Event> current_event_;  // alive while handler runs
+  std::unique_ptr<const Event> received_;       // fulfilled Receive result
+  std::vector<std::type_index> waiting_types_;  // non-empty while in Receive
+  std::coroutine_handle<> resume_point_{};
+  Task root_task_;
+
+  std::unique_ptr<const Event> pending_raise_;
+  std::optional<std::string> pending_goto_;
+  bool pending_halt_ = false;
+  bool started_ = false;
+  bool halted_ = false;
+
+  std::uint64_t transitions_taken_ = 0;
+};
+
+/// Awaitable returned by Machine::Receive<E>().
+template <typename E>
+class [[nodiscard]] ReceiveAwaiter {
+ public:
+  explicit ReceiveAwaiter(Machine* machine) : machine_(machine) {}
+
+  bool await_ready() {
+    machine_->BeginReceive({std::type_index(typeid(E))});
+    return machine_->TryFulfillReceive();
+  }
+  void await_suspend(std::coroutine_handle<> h) { machine_->SetResumePoint(h); }
+  std::unique_ptr<const E> await_resume() {
+    std::unique_ptr<const Event> ev = machine_->TakeReceived();
+    return std::unique_ptr<const E>(static_cast<const E*>(ev.release()));
+  }
+
+ private:
+  Machine* machine_;
+};
+
+/// Awaitable returned by Machine::ReceiveAny<Es...>(). Yields the base Event;
+/// callers discriminate with Event::Type().
+template <typename... Es>
+class [[nodiscard]] ReceiveAnyAwaiter {
+ public:
+  explicit ReceiveAnyAwaiter(Machine* machine) : machine_(machine) {}
+
+  bool await_ready() {
+    machine_->BeginReceive({std::type_index(typeid(Es))...});
+    return machine_->TryFulfillReceive();
+  }
+  void await_suspend(std::coroutine_handle<> h) { machine_->SetResumePoint(h); }
+  std::unique_ptr<const Event> await_resume() { return machine_->TakeReceived(); }
+
+ private:
+  Machine* machine_;
+};
+
+template <typename E>
+ReceiveAwaiter<E> Machine::Receive() {
+  return ReceiveAwaiter<E>(this);
+}
+
+template <typename... Es>
+ReceiveAnyAwaiter<Es...> Machine::ReceiveAny() {
+  return ReceiveAnyAwaiter<Es...>(this);
+}
+
+/// Fluent builder for monitor states (synchronous handlers only; hot/cold
+/// attributes drive liveness checking).
+class MonitorStateBuilder {
+ public:
+  explicit MonitorStateBuilder(detail::MonitorStateDecl* decl) : decl_(decl) {}
+
+  template <typename E, typename M>
+  MonitorStateBuilder& On(void (M::*fn)(const E&)) {
+    decl_->handlers[typeid(E)] = [fn](Monitor& m, const Event& e) {
+      (static_cast<M&>(m).*fn)(static_cast<const E&>(e));
+    };
+    return *this;
+  }
+
+  template <typename E, typename M>
+  MonitorStateBuilder& On(void (M::*fn)()) {
+    decl_->handlers[typeid(E)] = [fn](Monitor& m, const Event&) {
+      (static_cast<M&>(m).*fn)();
+    };
+    return *this;
+  }
+
+  template <typename E>
+  MonitorStateBuilder& Ignore() {
+    decl_->ignores.insert(typeid(E));
+    return *this;
+  }
+
+  template <typename M>
+  MonitorStateBuilder& OnEntry(void (M::*fn)()) {
+    decl_->entry = [fn](Monitor& m) { (static_cast<M&>(m).*fn)(); };
+    return *this;
+  }
+
+  /// Marks this state hot: the system owes progress while the monitor is
+  /// here (§2.5). An execution that stays hot past the liveness temperature
+  /// threshold is reported as a liveness violation.
+  MonitorStateBuilder& Hot() {
+    decl_->hot = true;
+    return *this;
+  }
+
+  /// Marks this state cold: progress has happened.
+  MonitorStateBuilder& Cold() {
+    decl_->cold = true;
+    return *this;
+  }
+
+ private:
+  detail::MonitorStateDecl* decl_;
+};
+
+/// Base class for safety and liveness monitors (§2.4, §2.5): a monitor can
+/// receive notifications but never send; it maintains the history relevant to
+/// the property being specified and flags violations via Assert, or via
+/// staying in a hot state forever (liveness).
+class Monitor {
+ public:
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+  virtual ~Monitor() = default;
+
+  [[nodiscard]] bool IsHot() const;
+  [[nodiscard]] const std::string& CurrentStateName() const;
+  [[nodiscard]] const std::string& DebugName() const noexcept { return debug_name_; }
+  [[nodiscard]] std::uint64_t ConsecutiveHotSteps() const noexcept {
+    return hot_steps_;
+  }
+
+ protected:
+  Monitor() = default;
+
+  MonitorStateBuilder State(std::string name);
+  void SetStart(std::string name) { start_state_ = std::move(name); }
+
+  /// Immediate transition (the paper's `jumpto`): runs the target's entry.
+  void Goto(const std::string& state);
+
+  /// Safety assertion over the monitor's private state.
+  void Assert(bool cond, const std::string& message);
+
+  [[nodiscard]] Runtime& Rt();
+
+ private:
+  friend class Runtime;
+
+  void Start();
+  void HandleNotification(const Event& event);
+  detail::MonitorStateDecl& FindState(const std::string& name);
+
+  Runtime* runtime_ = nullptr;
+  std::string debug_name_;
+  std::map<std::string, detail::MonitorStateDecl> states_;
+  std::string start_state_;
+  detail::MonitorStateDecl* current_state_ = nullptr;
+  std::uint64_t hot_steps_ = 0;
+  std::uint64_t transitions_taken_ = 0;
+};
+
+/// Options controlling one serialized execution.
+struct RuntimeOptions {
+  std::uint64_t max_steps = 10'000;
+  /// Consecutive hot steps after which a bound-terminated execution is
+  /// declared a liveness violation. 0 means max_steps / 2.
+  std::uint64_t liveness_temperature_threshold = 0;
+  bool report_deadlock = true;
+  /// Cap on handler cascade length within one step (guards against a
+  /// raise/goto loop that would otherwise never yield).
+  std::uint64_t max_cascade_actions = 100'000;
+  bool logging = false;
+};
+
+/// One serialized execution of a machine program. The TestingEngine creates a
+/// fresh Runtime per iteration; harnesses populate it with machines and
+/// monitors and the engine then steps it to quiescence or the step bound.
+class Runtime {
+ public:
+  Runtime(SchedulingStrategy& strategy, RuntimeOptions options = {});
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  // ---- Harness API ----
+
+  /// Creates a machine; it becomes enabled and will run its start state's
+  /// entry action when first scheduled.
+  template <typename M, typename... Args>
+  MachineId CreateMachine(std::string debug_name, Args&&... args) {
+    auto machine = std::make_unique<M>(std::forward<Args>(args)...);
+    return Attach(std::move(machine), std::move(debug_name));
+  }
+
+  /// Registers a monitor; its start state is entered immediately.
+  template <typename M, typename... Args>
+  M& RegisterMonitor(std::string debug_name, Args&&... args) {
+    auto monitor = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *monitor;
+    AttachMonitor(std::move(monitor), std::move(debug_name));
+    return ref;
+  }
+
+  /// Sends an event from outside any machine (harness setup).
+  void SendEvent(MachineId target, std::unique_ptr<const Event> ev);
+
+  template <typename E, typename... Args>
+  void SendEvent(MachineId target, Args&&... args) {
+    SendEvent(target, MakeEvent<E>(std::forward<Args>(args)...));
+  }
+
+  /// Looks up the registered monitor of type M (for end-of-test inspection).
+  template <typename M>
+  [[nodiscard]] M* FindMonitor() const {
+    auto it = monitor_by_type_.find(std::type_index(typeid(M)));
+    return it == monitor_by_type_.end() ? nullptr : static_cast<M*>(it->second);
+  }
+
+  [[nodiscard]] const Machine* FindMachine(MachineId id) const;
+  [[nodiscard]] Machine* FindMachine(MachineId id);
+
+  // ---- Engine API ----
+
+  /// Executes one scheduling step. Returns false on quiescence (no machine
+  /// enabled). Throws BugFound on a violation.
+  bool Step();
+
+  /// End-of-execution property checks (§2.5 liveness heuristic): call with
+  /// hit_bound=true when the step bound was reached, false on quiescence.
+  void CheckTermination(bool hit_bound);
+
+  [[nodiscard]] std::uint64_t Steps() const noexcept { return steps_; }
+  [[nodiscard]] const Trace& GetTrace() const noexcept { return trace_; }
+  [[nodiscard]] const RuntimeOptions& Options() const noexcept { return options_; }
+
+  // ---- Introspection ----
+
+  struct Stats {
+    std::size_t machines = 0;
+    std::size_t monitors = 0;
+    std::size_t states = 0;
+    std::size_t action_handlers = 0;
+    std::size_t declared_transitions = 0;  // OnGoto registrations
+    std::uint64_t transitions_taken = 0;
+  };
+  [[nodiscard]] Stats GetStats() const;
+
+  [[nodiscard]] std::size_t MachineCount() const noexcept {
+    return machines_.size();
+  }
+  [[nodiscard]] const std::string& Log() const noexcept { return log_; }
+
+  // ---- Internal API used by Machine / Monitor ----
+
+  void Assert(bool cond, const std::string& message);
+  [[nodiscard]] bool ChooseBool();
+  [[nodiscard]] std::uint64_t ChooseInt(std::uint64_t bound);
+  void DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
+                    const Machine* sender);
+  MachineId Attach(std::unique_ptr<Machine> machine, std::string debug_name);
+  void AttachMonitor(std::unique_ptr<Monitor> monitor, std::string debug_name);
+  void NotifyMonitorByType(std::type_index type, const Event& event);
+  void LogLine(const std::string& line);
+  [[nodiscard]] bool LoggingEnabled() const noexcept { return options_.logging; }
+  void CountCascadeAction();
+
+ private:
+  [[nodiscard]] std::vector<MachineId> EnabledMachines() const;
+  void UpdateMonitorTemperatures();
+
+  SchedulingStrategy& strategy_;
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<Machine>> machines_;  // index = id - 1
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  std::unordered_map<std::type_index, Monitor*> monitor_by_type_;
+  Trace trace_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t cascade_actions_ = 0;
+  std::string log_;
+};
+
+// ---- Machine template members that need Runtime's definition ----
+
+template <typename M, typename... Args>
+MachineId Machine::Create(std::string debug_name, Args&&... args) {
+  return Rt().CreateMachine<M>(std::move(debug_name),
+                               std::forward<Args>(args)...);
+}
+
+template <typename MonitorT, typename E, typename... Args>
+void Machine::Notify(Args&&... args) {
+  const E event(std::forward<Args>(args)...);
+  Rt().NotifyMonitorByType(std::type_index(typeid(MonitorT)), event);
+}
+
+}  // namespace systest

@@ -1,0 +1,192 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+#include "core/bug.h"
+
+namespace systest {
+
+// ---------------------------------------------------------------------------
+// RandomStrategy
+
+void RandomStrategy::PrepareIteration(std::uint64_t iteration,
+                                      std::uint64_t /*max_steps*/) {
+  std::uint64_t state = base_seed_ + iteration;
+  rng_.Reseed(SplitMix64(state));
+}
+
+MachineId RandomStrategy::Next(std::span<const MachineId> enabled,
+                               std::uint64_t /*step*/) {
+  return enabled[rng_.NextBelow(enabled.size())];
+}
+
+// ---------------------------------------------------------------------------
+// PctStrategy
+
+void PctStrategy::PrepareIteration(std::uint64_t iteration,
+                                   std::uint64_t max_steps) {
+  std::uint64_t state = base_seed_ + iteration;
+  rng_.Reseed(SplitMix64(state));
+  priorities_.clear();
+  low_water_ = 1'000'000'000ULL;
+  change_points_.clear();
+  change_points_.reserve(static_cast<std::size_t>(depth_));
+  for (int i = 0; i < depth_; ++i) {
+    change_points_.push_back(rng_.NextBelow(std::max<std::uint64_t>(1, max_steps)));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+std::uint64_t PctStrategy::PriorityOf(MachineId id) {
+  if (priorities_.size() <= id.value) {
+    priorities_.resize(id.value + 1, 0);
+  }
+  if (priorities_[id.value] == 0) {
+    // Random priority strictly above the demotion low-water mark.
+    priorities_[id.value] = low_water_ + 1 + rng_.NextBelow(1'000'000'000ULL);
+  }
+  return priorities_[id.value];
+}
+
+MachineId PctStrategy::Next(std::span<const MachineId> enabled,
+                            std::uint64_t step) {
+  MachineId best = enabled.front();
+  std::uint64_t best_priority = PriorityOf(best);
+  for (const MachineId id : enabled.subspan(1)) {
+    const std::uint64_t p = PriorityOf(id);
+    if (p > best_priority) {
+      best = id;
+      best_priority = p;
+    }
+  }
+  // At each change point, demote the machine that would run now below every
+  // other machine, forcing a different interleaving prefix.
+  if (!change_points_.empty() && step >= change_points_.front()) {
+    change_points_.erase(change_points_.begin());
+    priorities_[best.value] = --low_water_;
+    // Re-select under the new priorities.
+    return Next(enabled, step + 1);  // step+1 avoids re-consuming the point
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// RoundRobinStrategy
+
+void RoundRobinStrategy::PrepareIteration(std::uint64_t iteration,
+                                          std::uint64_t /*max_steps*/) {
+  cursor_ = iteration;  // rotate the starting machine across iterations
+  counter_ = 0;
+}
+
+MachineId RoundRobinStrategy::Next(std::span<const MachineId> enabled,
+                                   std::uint64_t /*step*/) {
+  return enabled[cursor_++ % enabled.size()];
+}
+
+// ---------------------------------------------------------------------------
+// DelayBoundedStrategy
+
+void DelayBoundedStrategy::PrepareIteration(std::uint64_t iteration,
+                                            std::uint64_t max_steps) {
+  std::uint64_t state = base_seed_ + iteration;
+  rng_.Reseed(SplitMix64(state));
+  cursor_ = 0;
+  delay_points_.clear();
+  delay_points_.reserve(static_cast<std::size_t>(delay_budget_));
+  for (int i = 0; i < delay_budget_; ++i) {
+    delay_points_.push_back(rng_.NextBelow(std::max<std::uint64_t>(1, max_steps)));
+  }
+  std::sort(delay_points_.begin(), delay_points_.end());
+}
+
+MachineId DelayBoundedStrategy::Next(std::span<const MachineId> enabled,
+                                     std::uint64_t step) {
+  if (!delay_points_.empty() && step >= delay_points_.front()) {
+    delay_points_.erase(delay_points_.begin());
+    ++cursor_;  // consume one delay: skip the machine that would run
+  }
+  return enabled[cursor_ % enabled.size()];
+}
+
+// ---------------------------------------------------------------------------
+// ReplayStrategy
+
+void ReplayStrategy::PrepareIteration(std::uint64_t /*iteration*/,
+                                      std::uint64_t /*max_steps*/) {
+  cursor_ = 0;
+}
+
+const Decision& ReplayStrategy::Take(Decision::Kind expected) {
+  if (cursor_ >= trace_.Size()) {
+    throw BugFound(BugKind::kReplayDivergence,
+                   "replay: trace exhausted before execution finished");
+  }
+  const Decision& d = trace_.Decisions()[cursor_++];
+  if (d.kind != expected) {
+    throw BugFound(BugKind::kReplayDivergence,
+                   "replay: decision kind mismatch at index " +
+                       std::to_string(cursor_ - 1));
+  }
+  return d;
+}
+
+MachineId ReplayStrategy::Next(std::span<const MachineId> enabled,
+                               std::uint64_t /*step*/) {
+  const Decision& d = Take(Decision::Kind::kSchedule);
+  const MachineId id{d.value};
+  if (!std::binary_search(enabled.begin(), enabled.end(), id)) {
+    throw BugFound(BugKind::kReplayDivergence,
+                   "replay: machine " + std::to_string(d.value) +
+                       " not enabled at replayed scheduling point");
+  }
+  return id;
+}
+
+bool ReplayStrategy::NextBool() {
+  return Take(Decision::Kind::kBool).value != 0;
+}
+
+std::uint64_t ReplayStrategy::NextInt(std::uint64_t bound) {
+  const Decision& d = Take(Decision::Kind::kInt);
+  if (d.bound != bound || d.value >= bound) {
+    throw BugFound(BugKind::kReplayDivergence,
+                   "replay: integer choice bound mismatch");
+  }
+  return d.value;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+
+std::string_view ToString(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return "random";
+    case StrategyKind::kPct:
+      return "pct";
+    case StrategyKind::kRoundRobin:
+      return "round-robin";
+    case StrategyKind::kDelayBounded:
+      return "delay-bounded";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind,
+                                                 std::uint64_t seed,
+                                                 int budget) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomStrategy>(seed);
+    case StrategyKind::kPct:
+      return std::make_unique<PctStrategy>(seed, budget);
+    case StrategyKind::kRoundRobin:
+      return std::make_unique<RoundRobinStrategy>();
+    case StrategyKind::kDelayBounded:
+      return std::make_unique<DelayBoundedStrategy>(seed, budget);
+  }
+  return nullptr;
+}
+
+}  // namespace systest

@@ -1,0 +1,183 @@
+// SysTest systematic-testing framework.
+//
+// Scheduling strategies. The paper evaluates two (§6.2): a random scheduler,
+// and a randomized priority-based scheduler (after Burckhardt et al.'s PCT,
+// their citation [4]) configured with a budget of priority change points per
+// execution. We implement both, plus round-robin (deterministic baseline),
+// delay-bounded scheduling (Emmi et al., the paper's citation [11]) for
+// ablation benches, and a replay strategy that re-executes a recorded trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/trace.h"
+
+namespace systest {
+
+/// Strong identifier for a machine instance. Ids are assigned sequentially
+/// from 1 in creation order within an execution, which makes them stable
+/// across iterations and replayable.
+struct MachineId {
+  std::uint64_t value{0};
+
+  [[nodiscard]] bool Valid() const noexcept { return value != 0; }
+  friend auto operator<=>(const MachineId&, const MachineId&) = default;
+};
+
+/// Interface consulted by the runtime at every scheduling point.
+class SchedulingStrategy {
+ public:
+  virtual ~SchedulingStrategy() = default;
+
+  /// Called before each execution. `iteration` is 0-based; `max_steps` is the
+  /// engine's per-execution step bound (needed by PCT/delay-bounded to place
+  /// change points).
+  virtual void PrepareIteration(std::uint64_t iteration,
+                                std::uint64_t max_steps) = 0;
+
+  /// Picks the machine to run next. `enabled` is non-empty and sorted by id.
+  /// `step` is the 0-based index of this scheduling point.
+  virtual MachineId Next(std::span<const MachineId> enabled,
+                         std::uint64_t step) = 0;
+
+  /// Value for a controlled boolean choice (PSharp.Nondet()).
+  virtual bool NextBool() = 0;
+
+  /// Value in [0, bound) for a controlled integer choice. bound >= 1.
+  virtual std::uint64_t NextInt(std::uint64_t bound) = 0;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+};
+
+/// Uniformly random scheduling and choices.
+class RandomStrategy final : public SchedulingStrategy {
+ public:
+  explicit RandomStrategy(std::uint64_t seed) : base_seed_(seed), rng_(seed) {}
+
+  void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
+  MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
+  bool NextBool() override { return rng_.NextBool(); }
+  std::uint64_t NextInt(std::uint64_t bound) override {
+    return rng_.NextBelow(bound);
+  }
+  [[nodiscard]] std::string Name() const override { return "random"; }
+
+ private:
+  std::uint64_t base_seed_;
+  Xoshiro256 rng_;
+};
+
+/// Randomized priority-based scheduling (PCT-style). Each machine receives a
+/// random priority on first appearance; the highest-priority enabled machine
+/// always runs. At `depth` randomly chosen steps the currently running
+/// highest-priority machine is demoted below all others. The paper used a
+/// budget of 2 priority change points (§6.2).
+class PctStrategy final : public SchedulingStrategy {
+ public:
+  PctStrategy(std::uint64_t seed, int depth)
+      : base_seed_(seed), depth_(depth), rng_(seed) {}
+
+  void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
+  MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
+  bool NextBool() override { return rng_.NextBool(); }
+  std::uint64_t NextInt(std::uint64_t bound) override {
+    return rng_.NextBelow(bound);
+  }
+  [[nodiscard]] std::string Name() const override {
+    return "pct(" + std::to_string(depth_) + ")";
+  }
+
+ private:
+  std::uint64_t PriorityOf(MachineId id);
+
+  std::uint64_t base_seed_;
+  int depth_;
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> change_points_;
+  std::vector<std::uint64_t> priorities_;  // indexed by machine id
+  std::uint64_t low_water_{0};             // decreases on each demotion
+};
+
+/// Deterministic round-robin over enabled machines; boolean choices alternate
+/// and integer choices cycle. Useful as a fully deterministic baseline in
+/// unit tests and ablations.
+class RoundRobinStrategy final : public SchedulingStrategy {
+ public:
+  void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
+  MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
+  bool NextBool() override { return (counter_++ % 2) == 0; }
+  std::uint64_t NextInt(std::uint64_t bound) override {
+    return counter_++ % bound;
+  }
+  [[nodiscard]] std::string Name() const override { return "round-robin"; }
+
+ private:
+  std::uint64_t cursor_{0};
+  std::uint64_t counter_{0};
+};
+
+/// Delay-bounded scheduling: round-robin order, but up to `delay_budget`
+/// randomly placed scheduling points skip the default machine.
+class DelayBoundedStrategy final : public SchedulingStrategy {
+ public:
+  DelayBoundedStrategy(std::uint64_t seed, int delay_budget)
+      : base_seed_(seed), delay_budget_(delay_budget), rng_(seed) {}
+
+  void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
+  MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
+  bool NextBool() override { return rng_.NextBool(); }
+  std::uint64_t NextInt(std::uint64_t bound) override {
+    return rng_.NextBelow(bound);
+  }
+  [[nodiscard]] std::string Name() const override {
+    return "delay-bounded(" + std::to_string(delay_budget_) + ")";
+  }
+
+ private:
+  std::uint64_t base_seed_;
+  int delay_budget_;
+  Xoshiro256 rng_;
+  std::vector<std::uint64_t> delay_points_;
+  std::uint64_t cursor_{0};
+};
+
+/// Replays a recorded trace decision-for-decision. Any divergence (a decision
+/// of the wrong kind, a scheduled machine that is not enabled, or running out
+/// of decisions) throws BugFound{kReplayDivergence}.
+class ReplayStrategy final : public SchedulingStrategy {
+ public:
+  explicit ReplayStrategy(Trace trace) : trace_(std::move(trace)) {}
+
+  void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
+  MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
+  bool NextBool() override;
+  std::uint64_t NextInt(std::uint64_t bound) override;
+  [[nodiscard]] std::string Name() const override { return "replay"; }
+
+  /// True once every recorded decision has been consumed.
+  [[nodiscard]] bool Exhausted() const noexcept {
+    return cursor_ >= trace_.Size();
+  }
+
+ private:
+  const Decision& Take(Decision::Kind expected);
+
+  Trace trace_;
+  std::size_t cursor_{0};
+};
+
+/// Strategy factory used by the engine and the benches.
+enum class StrategyKind { kRandom, kPct, kRoundRobin, kDelayBounded };
+
+std::string_view ToString(StrategyKind kind) noexcept;
+
+std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind,
+                                                 std::uint64_t seed,
+                                                 int budget);
+
+}  // namespace systest

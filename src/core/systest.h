@@ -1,0 +1,19 @@
+// SysTest systematic-testing framework — umbrella header.
+//
+// SysTest is a C++20 reproduction of the methodology of Deligiannis et al.,
+// "Uncovering Bugs in Distributed Storage Systems during Testing (not in
+// Production!)" (FAST 2016): model the nondeterministic environment of a
+// distributed system as state machines, wrap the real component under test,
+// specify safety and liveness properties as monitors, and let a systematic
+// testing engine explore interleavings, failures and timeouts until it finds
+// a replayable violation.
+#pragma once
+
+#include "core/bug.h"       // IWYU pragma: export
+#include "core/engine.h"    // IWYU pragma: export
+#include "core/event.h"     // IWYU pragma: export
+#include "core/rng.h"       // IWYU pragma: export
+#include "core/runtime.h"   // IWYU pragma: export
+#include "core/strategy.h"  // IWYU pragma: export
+#include "core/task.h"      // IWYU pragma: export
+#include "core/trace.h"     // IWYU pragma: export

@@ -1,0 +1,195 @@
+// SysTest systematic-testing framework.
+//
+// Coroutine machinery for machine handlers. A handler may be a plain member
+// function (runs to completion atomically, like a P# action) or a coroutine
+// returning systest::Task / systest::TaskOf<T>. Coroutine handlers may
+// `co_await machine->Receive<E>()` mid-protocol — this is what lets complex
+// multi-round protocols (e.g. a MigratingTable logical operation spanning
+// several backend operations) be written as straight-line code, exactly the
+// role P#'s `receive` plays in the paper's harnesses.
+//
+// Tasks are lazy (initial_suspend = suspend_always): the runtime decides when
+// a handler starts running. Nested awaiting of Tasks is supported through
+// symmetric transfer, so protocol code can be factored into sub-coroutines.
+//
+// COMPILER WORKAROUND (GCC 12.x): a function called directly inside a
+// co_await expression must NOT take non-trivially-copyable parameters by
+// value — GCC 12 bitwise-copies such arguments into the enclosing coroutine
+// frame instead of running their move constructors (strings end up pointing
+// into dead frames; see tests/core_coroutine_test.cc which pins the rule).
+// Therefore every awaited coroutine in this codebase takes parameters either
+// by trivially-copyable value (ints, enums, MachineId) or by const reference;
+// const& is safe because the referent — a caller local or a temporary of the
+// co_await full-expression — lives in the caller's frame for at least as
+// long as the awaited child.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace systest {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this coroutine ends
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing a value of type T (or nothing for
+/// void). Owned by whoever holds the Task object; destroying a suspended Task
+/// destroys the coroutine frame.
+template <typename T>
+class [[nodiscard]] TaskOf {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    TaskOf get_return_object() {
+      return TaskOf(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  TaskOf() = default;
+  explicit TaskOf(Handle h) : handle_(h) {}
+  TaskOf(TaskOf&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  TaskOf& operator=(TaskOf&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  TaskOf(const TaskOf&) = delete;
+  TaskOf& operator=(const TaskOf&) = delete;
+  ~TaskOf() { Destroy(); }
+
+  [[nodiscard]] bool Valid() const noexcept { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool Done() const noexcept { return !handle_ || handle_.done(); }
+  [[nodiscard]] std::coroutine_handle<> RawHandle() const noexcept { return handle_; }
+
+  void RethrowIfFailed() {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Awaiting a TaskOf starts it (symmetric transfer) and resumes the parent
+  /// when it completes, propagating exceptions and the return value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+        return std::move(handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+/// Void specialization: the common handler type.
+template <>
+class [[nodiscard]] TaskOf<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    TaskOf get_return_object() {
+      return TaskOf(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  TaskOf() = default;
+  explicit TaskOf(Handle h) : handle_(h) {}
+  TaskOf(TaskOf&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  TaskOf& operator=(TaskOf&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  TaskOf(const TaskOf&) = delete;
+  TaskOf& operator=(const TaskOf&) = delete;
+  ~TaskOf() { Destroy(); }
+
+  [[nodiscard]] bool Valid() const noexcept { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool Done() const noexcept { return !handle_ || handle_.done(); }
+  [[nodiscard]] std::coroutine_handle<> RawHandle() const noexcept { return handle_; }
+
+  void Start() { handle_.resume(); }
+
+  void RethrowIfFailed() {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      void await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+using Task = TaskOf<void>;
+
+}  // namespace systest

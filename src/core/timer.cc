@@ -1,0 +1,53 @@
+#include "core/timer.h"
+
+namespace systest {
+
+TimerMachine::TimerMachine(MachineId target, std::uint64_t max_rounds,
+                           std::uint64_t tag)
+    : target_(target),
+      rounds_left_(max_rounds),
+      unbounded_(max_rounds == 0),
+      tag_(tag) {
+  State("Running")
+      .OnEntry(&TimerMachine::OnStart)
+      .On<RepeatedEvent>(&TimerMachine::OnRound)
+      .Ignore<TickAck>()  // late ack from a round that was already cancelled
+      .On<CancelTimer>(&TimerMachine::OnCancel);
+  State("WaitingAck")
+      .On<TickAck>(&TimerMachine::OnAck)
+      .Defer<RepeatedEvent>()
+      .On<CancelTimer>(&TimerMachine::OnCancel);
+  SetStart("Running");
+}
+
+void TimerMachine::OnStart() { Send<RepeatedEvent>(Id()); }
+
+void TimerMachine::OnRound() {
+  if (!unbounded_) {
+    if (rounds_left_ == 0) {
+      Halt();
+      return;
+    }
+    --rounds_left_;
+  }
+  // Nondeterministic choice controlled by the testing engine (Fig. 9), with
+  // a fairness cap on consecutive skips (see kMaxConsecutiveSkips).
+  if (NondetBool() || consecutive_skips_ >= kMaxConsecutiveSkips) {
+    consecutive_skips_ = 0;
+    Send<TimerTick>(target_, tag_, Id());
+    // One tick in flight: wait for the target to acknowledge before looping.
+    Goto("WaitingAck");
+  } else {
+    ++consecutive_skips_;
+    Send<RepeatedEvent>(Id());
+  }
+}
+
+void TimerMachine::OnAck() {
+  Send<RepeatedEvent>(Id());
+  Goto("Running");
+}
+
+void TimerMachine::OnCancel() { Halt(); }
+
+}  // namespace systest

@@ -1,0 +1,86 @@
+#include "core/trace.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <string_view>
+
+namespace systest {
+
+std::string Trace::ToString() const {
+  std::string out;
+  out.reserve(decisions_.size() * 4);
+  for (const Decision& d : decisions_) {
+    if (!out.empty()) out.push_back(';');
+    switch (d.kind) {
+      case Decision::Kind::kSchedule:
+        out.push_back('s');
+        out += std::to_string(d.value);
+        break;
+      case Decision::Kind::kBool:
+        out.push_back('b');
+        out += std::to_string(d.value);
+        break;
+      case Decision::Kind::kInt:
+        out.push_back('i');
+        out += std::to_string(d.value);
+        out.push_back('/');
+        out += std::to_string(d.bound);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t ParseNumber(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("Trace::Parse: bad number: " +
+                                std::string(text));
+  }
+  return value;
+}
+
+}  // namespace
+
+Trace Trace::Parse(const std::string& text) {
+  Trace trace;
+  std::string_view rest(text);
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    std::string_view token = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (token.empty()) {
+      throw std::invalid_argument("Trace::Parse: empty token");
+    }
+    const char tag = token.front();
+    token.remove_prefix(1);
+    switch (tag) {
+      case 's':
+        trace.RecordSchedule(ParseNumber(token));
+        break;
+      case 'b':
+        trace.RecordBool(ParseNumber(token) != 0);
+        break;
+      case 'i': {
+        const auto slash = token.find('/');
+        if (slash == std::string_view::npos) {
+          throw std::invalid_argument("Trace::Parse: kInt missing bound");
+        }
+        trace.RecordInt(ParseNumber(token.substr(0, slash)),
+                        ParseNumber(token.substr(slash + 1)));
+        break;
+      }
+      default:
+        throw std::invalid_argument(std::string("Trace::Parse: bad tag: ") +
+                                    tag);
+    }
+  }
+  return trace;
+}
+
+}  // namespace systest

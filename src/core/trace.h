@@ -1,0 +1,67 @@
+// SysTest systematic-testing framework.
+//
+// A Trace is the complete record of the nondeterministic choices made during
+// one serialized execution: which machine was scheduled at each step, and the
+// value of every controlled nondeterministic choice (NondetBool/NondetInt).
+// Replaying a trace with ReplayStrategy reproduces the execution exactly —
+// this is the paper's "a bug is ... witnessed by a full system trace" and the
+// basis of its replay/debug loop (§1, §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace systest {
+
+/// One recorded nondeterministic decision.
+struct Decision {
+  enum class Kind : std::uint8_t {
+    kSchedule,  ///< value = id of the machine chosen to run this step
+    kBool,      ///< value = 0 or 1
+    kInt,       ///< value = chosen integer; bound records the choice range
+  };
+
+  Kind kind{Kind::kSchedule};
+  std::uint64_t value{0};
+  std::uint64_t bound{0};  ///< for kInt: the exclusive upper bound requested
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+/// Append-only record of decisions for a single execution.
+class Trace {
+ public:
+  void Clear() { decisions_.clear(); }
+
+  void RecordSchedule(std::uint64_t machine_id) {
+    decisions_.push_back({Decision::Kind::kSchedule, machine_id, 0});
+  }
+  void RecordBool(bool value) {
+    decisions_.push_back({Decision::Kind::kBool, value ? 1u : 0u, 2});
+  }
+  void RecordInt(std::uint64_t value, std::uint64_t bound) {
+    decisions_.push_back({Decision::Kind::kInt, value, bound});
+  }
+
+  [[nodiscard]] std::size_t Size() const noexcept { return decisions_.size(); }
+  [[nodiscard]] bool Empty() const noexcept { return decisions_.empty(); }
+  [[nodiscard]] const std::vector<Decision>& Decisions() const noexcept {
+    return decisions_;
+  }
+
+  /// Compact single-line text form, e.g. "s3;b1;i2/5;s1". Round-trips with
+  /// Parse; used to persist repro traces alongside bug reports.
+  [[nodiscard]] std::string ToString() const;
+
+  /// Parses the ToString form. Throws std::invalid_argument on malformed
+  /// input.
+  static Trace Parse(const std::string& text);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace systest

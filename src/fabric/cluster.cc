@@ -1,0 +1,160 @@
+#include "fabric/cluster.h"
+
+#include "fabric/replica.h"
+
+namespace fabric {
+
+FabricClusterMachine::FabricClusterMachine(std::size_t replica_count,
+                                           FabricBugs bugs,
+                                           systest::MachineId driver)
+    : replica_count_(replica_count), bugs_(bugs), driver_(driver) {
+  State("Managing")
+      .OnEntry(&FabricClusterMachine::OnStart)
+      .On<ClientOp>(&FabricClusterMachine::OnClientOp)
+      .On<OpApplied>(&FabricClusterMachine::OnOpApplied)
+      .On<InjectPrimaryFailure>(&FabricClusterMachine::OnInjectFailure)
+      .On<CopyDone>(&FabricClusterMachine::OnCopyDone)
+      .On<AuditBarrier>(&FabricClusterMachine::OnAudit);
+  SetStart("Managing");
+}
+
+void FabricClusterMachine::OnStart() {
+  // One primary plus replica_count-1 active secondaries.
+  for (std::size_t i = 0; i < replica_count_; ++i) {
+    const ReplicaRole role =
+        i == 0 ? ReplicaRole::kPrimary : ReplicaRole::kActiveSecondary;
+    const systest::MachineId replica =
+        Create<ReplicaMachine>("Replica", Id(), role);
+    replicas_[replica] = role;
+    if (role == ReplicaRole::kPrimary) {
+      primary_ = replica;
+    }
+  }
+  BroadcastMembership();
+}
+
+void FabricClusterMachine::BroadcastMembership() {
+  std::vector<systest::MachineId> targets;
+  for (const auto& [replica, role] : replicas_) {
+    if (role == ReplicaRole::kActiveSecondary ||
+        role == ReplicaRole::kIdleSecondary) {
+      targets.push_back(replica);
+    }
+  }
+  if (primary_.Valid()) {
+    Send<MembershipEvent>(primary_, std::move(targets));
+  }
+}
+
+void FabricClusterMachine::OnClientOp(const ClientOp& op) {
+  client_ = op.from;
+  outstanding_[op.op] = op.delta;
+  Assert(primary_.Valid(),
+         "no primary (election happens atomically inside failure handling)");
+  Send<ForwardedOp>(primary_, op.op, op.delta);
+}
+
+void FabricClusterMachine::OnOpApplied(const OpApplied& applied) {
+  if (outstanding_.erase(applied.op) > 0) {
+    Send<OpAck>(client_, applied.op);
+  }
+}
+
+void FabricClusterMachine::OnInjectFailure(const InjectPrimaryFailure&) {
+  Assert(primary_.Valid(), "failure injected with no primary");
+  // Kill the primary process (P# halt semantics: its queue is dropped).
+  Send(primary_, systest::MakeEvent<systest::HaltEvent>());
+  replicas_.erase(primary_);
+  pending_builds_.erase(primary_);
+  primary_ = systest::MachineId{};
+
+  // Elect a new primary. The fixed model elects among ACTIVE secondaries
+  // (only they have caught up); the buggy model may also elect an idle
+  // secondary that is still waiting for its state copy (§5: "the secondary
+  // was then elected to be the new primary").
+  std::vector<systest::MachineId> candidates;
+  for (const auto& [replica, role] : replicas_) {
+    const bool eligible =
+        role == ReplicaRole::kActiveSecondary ||
+        (bugs_.promote_during_copy && role == ReplicaRole::kIdleSecondary);
+    if (eligible) {
+      candidates.push_back(replica);
+    }
+  }
+  Assert(!candidates.empty(), "no candidate left to elect as primary");
+  const systest::MachineId elected = candidates[NondetInt(candidates.size())];
+  const bool elected_was_building = pending_builds_.contains(elected);
+  replicas_[elected] = ReplicaRole::kPrimary;
+  primary_ = elected;
+  Send<RoleEvent>(elected, ReplicaRole::kPrimary);
+
+  if (elected_was_building) {
+    // §5, buggy model only: the elected replica "stopped waiting for a copy
+    // of the state", and the build pipeline treats the aborted build as
+    // complete — promoting what is now the PRIMARY to active secondary.
+    pending_builds_.erase(elected);
+    Promote(elected);  // fires the role assertion
+    return;            // (unreachable: Promote asserts)
+  }
+
+  // Launch a replacement idle secondary for the dead primary.
+  const systest::MachineId fresh =
+      Create<ReplicaMachine>("Replica", Id(), ReplicaRole::kIdleSecondary);
+  replicas_[fresh] = ReplicaRole::kIdleSecondary;
+  pending_builds_.insert(fresh);
+  BroadcastMembership();
+  // (Re-)build every in-flight idle secondary from the new primary — the
+  // copy the dead primary may have sent can no longer be trusted to be
+  // followed by its replication stream.
+  for (const systest::MachineId building : pending_builds_) {
+    Send<BuildSecondary>(primary_, building);
+  }
+
+  // Resubmit every unacknowledged operation to the new primary; replicas
+  // deduplicate by op id, so already-applied ops are acked without effect.
+  for (const auto& [op, delta] : outstanding_) {
+    Send<ForwardedOp>(primary_, op, delta);
+  }
+}
+
+void FabricClusterMachine::Promote(systest::MachineId replica) {
+  // The §5 assertion: "only a secondary can be promoted to an active
+  // secondary".
+  Assert(replicas_[replica] == ReplicaRole::kIdleSecondary,
+         "only a secondary can be promoted to an active secondary (replica "
+         "is " +
+             std::string(ToString(replicas_[replica])) + ")");
+  replicas_[replica] = ReplicaRole::kActiveSecondary;
+  Send<RoleEvent>(replica, ReplicaRole::kActiveSecondary);
+  // One repair completion per rebuilt replica (each failure spawns exactly
+  // one replacement build).
+  Send<RepairComplete>(driver_);
+}
+
+void FabricClusterMachine::OnCopyDone(const CopyDone& done) {
+  if (!replicas_.contains(done.replica) ||
+      !pending_builds_.contains(done.replica)) {
+    return;  // failed or already handled
+  }
+  if (!bugs_.promote_during_copy &&
+      replicas_[done.replica] != ReplicaRole::kIdleSecondary) {
+    // FIX for the §5 bug: a stale copy-completion for a replica that has
+    // since changed role must be ignored.
+    return;
+  }
+  pending_builds_.erase(done.replica);
+  Promote(done.replica);
+}
+
+void FabricClusterMachine::OnAudit(const AuditBarrier& audit) {
+  // The barrier travels THROUGH the primary's replication stream: the
+  // primary reports after applying every forwarded/resubmitted operation and
+  // passes the barrier to its targets behind its own replications, so each
+  // secondary reports only after applying everything the primary had.
+  // (Sending the barrier directly to every replica would race multi-hop
+  // replication chains — a bug this harness itself caught.)
+  Assert(primary_.Valid(), "audit with no primary");
+  Send<AuditBarrier>(primary_, audit.report_to);
+}
+
+}  // namespace fabric

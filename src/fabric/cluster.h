@@ -1,0 +1,56 @@
+// SysTest — Azure Service Fabric case study (§5): the Fabric model.
+//
+// The cluster machine models the lowest Fabric API layer the paper targeted:
+// it owns the replica set of one stateful service, routes client operations
+// to the primary (resubmitting unacknowledged ones after a failover), elects
+// a new primary when the primary fails, launches and builds a replacement
+// secondary, and promotes it to active secondary once its state copy is
+// applied — with the §5 assertion "only a secondary can be promoted to an
+// active secondary" guarding the promotion path.
+//
+// FabricBugs::promote_during_copy re-introduces the bug the paper found in
+// its own model: the election may pick the idle secondary that is still
+// waiting for its copy, and the promotion path does not ignore the stale
+// CopyDone — promoting a primary and firing the assertion.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/runtime.h"
+#include "fabric/events.h"
+
+namespace fabric {
+
+class FabricClusterMachine final : public systest::Machine {
+ public:
+  FabricClusterMachine(std::size_t replica_count, FabricBugs bugs,
+                       systest::MachineId driver);
+
+ private:
+  void OnStart();
+  void OnClientOp(const ClientOp& op);
+  void OnOpApplied(const OpApplied& applied);
+  void OnInjectFailure(const InjectPrimaryFailure& failure);
+  void OnCopyDone(const CopyDone& done);
+  void OnAudit(const AuditBarrier& audit);
+
+  void BroadcastMembership();
+  void Promote(systest::MachineId replica);
+
+  std::size_t replica_count_;
+  FabricBugs bugs_;
+  systest::MachineId driver_;
+  systest::MachineId client_;
+
+  std::map<systest::MachineId, ReplicaRole> replicas_;
+  systest::MachineId primary_;
+  /// Idle secondaries whose state copy ("build") is still in flight.
+  std::set<systest::MachineId> pending_builds_;
+  /// Unacknowledged client operations, resubmitted to a new primary after
+  /// failover (deduplication at the replicas makes this exactly-once).
+  std::map<std::uint64_t, std::int64_t> outstanding_;
+};
+
+}  // namespace fabric

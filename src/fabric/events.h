@@ -1,0 +1,202 @@
+// SysTest — Azure Service Fabric case study (§5 of the paper).
+//
+// Events of the P#-style Fabric model: replica roles, client operations,
+// state replication, state copy ("build") of fresh secondaries, promotion,
+// failure injection and the end-of-scenario audit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/event.h"
+#include "core/strategy.h"
+
+namespace fabric {
+
+/// Role of a replica in the replica set. A fresh replica starts as an idle
+/// secondary; it becomes an active secondary only after it has "caught up"
+/// by receiving a copy of the primary's state (§5).
+enum class ReplicaRole : std::uint8_t {
+  kNone,
+  kPrimary,
+  kActiveSecondary,
+  kIdleSecondary,
+};
+
+std::string_view ToString(ReplicaRole role) noexcept;
+
+/// Bugs re-introducible in the Fabric model and its user services.
+struct FabricBugs {
+  /// The §5 model bug: when the primary fails while a new secondary is being
+  /// built, the (stale) copy-completion may arrive after that secondary was
+  /// elected primary; the unguarded promotion path then promotes a PRIMARY
+  /// to active secondary, firing the model's role assertion ("only a
+  /// secondary can be promoted to an active secondary").
+  bool promote_during_copy = false;
+
+  /// CScale-like pipeline bug: the downstream aggregator dereferences its
+  /// routing configuration without checking that it has arrived — the model
+  /// analogue of the NullReferenceException found in CScale (§5).
+  bool unguarded_pipeline_config = false;
+};
+
+/// Replicated state of the counter user service: the map of applied
+/// operations (id -> delta) plus the derived sum. Keeping per-op deltas
+/// makes the state a grow-only set, so state copies can be MERGED instead of
+/// adopted — a stale copy from a "zombie" primary (killed, but still
+/// draining its queue) then cannot clobber newer operations, and the
+/// cluster's post-failover resubmission is exactly-once by construction.
+struct ServiceState {
+  std::int64_t total = 0;
+  std::map<std::uint64_t, std::int64_t> applied;
+
+  friend bool operator==(const ServiceState&, const ServiceState&) = default;
+};
+
+// --- Cluster <-> replica ---
+
+/// Assigns a role to a replica.
+struct RoleEvent final : systest::Event {
+  explicit RoleEvent(ReplicaRole role) : role(role) {}
+  ReplicaRole role;
+};
+
+/// Tells the primary the current set of replication targets (active
+/// secondaries plus any idle secondary being built).
+struct MembershipEvent final : systest::Event {
+  explicit MembershipEvent(std::vector<systest::MachineId> targets)
+      : targets(std::move(targets)) {}
+  std::vector<systest::MachineId> targets;
+};
+
+/// Tells the primary to send a full state copy to a freshly launched idle
+/// secondary (the "build").
+struct BuildSecondary final : systest::Event {
+  explicit BuildSecondary(systest::MachineId target) : target(target) {}
+  systest::MachineId target;
+};
+
+/// Primary -> idle secondary: the full service state.
+struct CopyState final : systest::Event {
+  explicit CopyState(ServiceState state) : state(std::move(state)) {}
+  ServiceState state;
+  [[nodiscard]] std::string Name() const override {
+    return "CopyState(total=" + std::to_string(state.total) + ",ops=" +
+           std::to_string(state.applied.size()) + ")";
+  }
+};
+
+/// Idle secondary -> cluster: the copy was applied; ready for promotion.
+struct CopyDone final : systest::Event {
+  explicit CopyDone(systest::MachineId replica) : replica(replica) {}
+  systest::MachineId replica;
+};
+
+// --- Client path ---
+
+/// Client -> cluster: apply `delta` under operation id `op`.
+struct ClientOp final : systest::Event {
+  ClientOp(systest::MachineId from, std::uint64_t op, std::int64_t delta)
+      : from(from), op(op), delta(delta) {}
+  systest::MachineId from;
+  std::uint64_t op;
+  std::int64_t delta;
+};
+
+/// Cluster -> primary: forwarded client operation.
+struct ForwardedOp final : systest::Event {
+  ForwardedOp(std::uint64_t op, std::int64_t delta) : op(op), delta(delta) {}
+  std::uint64_t op;
+  std::int64_t delta;
+  [[nodiscard]] std::string Name() const override {
+    return "ForwardedOp#" + std::to_string(op) + "(+" + std::to_string(delta) + ")";
+  }
+};
+
+/// Primary -> cluster: the operation was applied (possibly a duplicate that
+/// was deduplicated).
+struct OpApplied final : systest::Event {
+  explicit OpApplied(std::uint64_t op) : op(op) {}
+  std::uint64_t op;
+};
+
+/// Cluster -> client: acknowledgement.
+struct OpAck final : systest::Event {
+  explicit OpAck(std::uint64_t op) : op(op) {}
+  std::uint64_t op;
+};
+
+/// Primary -> secondaries: replicate one operation.
+struct ReplicateOp final : systest::Event {
+  ReplicateOp(std::uint64_t op, std::int64_t delta) : op(op), delta(delta) {}
+  std::uint64_t op;
+  std::int64_t delta;
+  [[nodiscard]] std::string Name() const override {
+    return "ReplicateOp#" + std::to_string(op) + "(+" + std::to_string(delta) + ")";
+  }
+};
+
+// --- Failure and audit ---
+
+/// Driver -> cluster: fail the current primary now.
+struct InjectPrimaryFailure final : systest::Event {};
+
+/// Cluster -> driver: failover finished (new primary elected, replacement
+/// secondary built and promoted).
+struct RepairComplete final : systest::Event {};
+
+/// Client -> driver: all operations acknowledged; `total` is the sum of all
+/// acknowledged deltas.
+struct ClientDone final : systest::Event {
+  explicit ClientDone(std::int64_t total) : total(total) {}
+  std::int64_t total;
+};
+
+/// Driver -> cluster -> primary -> all replicas: audit barrier. Each replica
+/// reports its state to the driver after applying everything before the
+/// barrier.
+struct AuditBarrier final : systest::Event {
+  explicit AuditBarrier(systest::MachineId report_to) : report_to(report_to) {}
+  systest::MachineId report_to;
+};
+
+/// Replica -> driver: audit report.
+struct AuditReport final : systest::Event {
+  AuditReport(systest::MachineId replica, std::int64_t total)
+      : replica(replica), total(total) {}
+  systest::MachineId replica;
+  std::int64_t total;
+  [[nodiscard]] std::string Name() const override {
+    return "AuditReport(replica=" + std::to_string(replica.value) +
+           ",total=" + std::to_string(total) + ")";
+  }
+};
+
+// --- Liveness monitor notifications ---
+
+struct NotifyScenarioDone final : systest::Event {};
+
+// --- CScale-like pipeline (modeled RPC, §5) ---
+
+/// Upstream service -> aggregator: a derived record ("RPC" modeled with
+/// Send, exactly as the paper closed CScale's network communication).
+struct PipelineRecord final : systest::Event {
+  explicit PipelineRecord(std::int64_t value) : value(value) {}
+  std::int64_t value;
+};
+
+/// Deployment -> aggregator: routing configuration (arrives concurrently
+/// with the first records — the race behind the CScale bug).
+struct PipelineConfig final : systest::Event {
+  explicit PipelineConfig(std::int64_t scale) : scale(scale) {}
+  std::int64_t scale;
+};
+
+/// Aggregator -> driver: final aggregate.
+struct PipelineResult final : systest::Event {
+  explicit PipelineResult(std::int64_t value) : value(value) {}
+  std::int64_t value;
+};
+
+}  // namespace fabric

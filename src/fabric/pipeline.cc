@@ -1,0 +1,75 @@
+#include "fabric/pipeline.h"
+
+namespace fabric {
+
+AggregatorMachine::AggregatorMachine(systest::MachineId driver,
+                                     int expected_records, FabricBugs bugs)
+    : driver_(driver), expected_records_(expected_records), bugs_(bugs) {
+  if (bugs_.unguarded_pipeline_config) {
+    // BUG (CScale NullReferenceException analogue): a single state whose
+    // record handler dereferences the configuration unconditionally.
+    State("Running")
+        .On<PipelineConfig>(&AggregatorMachine::OnConfig)
+        .On<PipelineRecord>(&AggregatorMachine::OnRecordUnconfigured);
+    SetStart("Running");
+    return;
+  }
+  // Correct: records are deferred until the configuration has arrived.
+  State("Unconfigured")
+      .Defer<PipelineRecord>()
+      .On<PipelineConfig>(&AggregatorMachine::OnConfig);
+  State("Configured").On<PipelineRecord>(&AggregatorMachine::OnRecord);
+  SetStart("Unconfigured");
+}
+
+void AggregatorMachine::OnConfig(const PipelineConfig& config) {
+  scale_ = config.scale;
+  if (!bugs_.unguarded_pipeline_config) {
+    Goto("Configured");
+  }
+}
+
+void AggregatorMachine::OnRecordUnconfigured(const PipelineRecord& record) {
+  // The unguarded dereference: with no configuration present this is the
+  // modeled null-reference crash.
+  Assert(scale_.has_value(),
+         "null dereference: aggregator consumed a record before its routing "
+         "configuration arrived");
+  Account(record);
+}
+
+void AggregatorMachine::OnRecord(const PipelineRecord& record) {
+  Account(record);
+}
+
+void AggregatorMachine::Account(const PipelineRecord& record) {
+  aggregate_ += record.value * *scale_;
+  ++seen_;
+  MaybeFinish();
+}
+
+void AggregatorMachine::MaybeFinish() {
+  if (seen_ == expected_records_) {
+    Send<PipelineResult>(driver_, aggregate_);
+    Halt();
+  }
+}
+
+PipelineSourceMachine::PipelineSourceMachine(systest::MachineId aggregator,
+                                             int records,
+                                             std::uint64_t value_space)
+    : aggregator_(aggregator), records_(records), value_space_(value_space) {
+  State("Emitting").OnEntry(&PipelineSourceMachine::OnStart);
+  SetStart("Emitting");
+}
+
+void PipelineSourceMachine::OnStart() {
+  for (int i = 0; i < records_; ++i) {
+    // Derived record values are chosen through controlled nondeterminism.
+    Send<PipelineRecord>(aggregator_,
+                         static_cast<std::int64_t>(NondetInt(value_space_)) + 1);
+  }
+  Halt();
+}
+
+}  // namespace fabric

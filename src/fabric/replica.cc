@@ -1,0 +1,111 @@
+#include "fabric/replica.h"
+
+namespace fabric {
+
+std::string_view ToString(ReplicaRole role) noexcept {
+  switch (role) {
+    case ReplicaRole::kNone:
+      return "None";
+    case ReplicaRole::kPrimary:
+      return "Primary";
+    case ReplicaRole::kActiveSecondary:
+      return "ActiveSecondary";
+    case ReplicaRole::kIdleSecondary:
+      return "IdleSecondary";
+  }
+  return "?";
+}
+
+ReplicaMachine::ReplicaMachine(systest::MachineId cluster,
+                               ReplicaRole initial_role)
+    : cluster_(cluster), role_(initial_role) {
+  State("Running")
+      .On<RoleEvent>(&ReplicaMachine::OnRole)
+      .On<MembershipEvent>(&ReplicaMachine::OnMembership)
+      .On<ForwardedOp>(&ReplicaMachine::OnForwardedOp)
+      .On<BuildSecondary>(&ReplicaMachine::OnBuild)
+      .On<CopyState>(&ReplicaMachine::OnCopyState)
+      .On<ReplicateOp>(&ReplicaMachine::OnReplicateOp)
+      .On<AuditBarrier>(&ReplicaMachine::OnAudit);
+  SetStart("Running");
+}
+
+void ReplicaMachine::OnRole(const RoleEvent& role) { role_ = role.role; }
+
+void ReplicaMachine::OnMembership(const MembershipEvent& membership) {
+  replication_targets_ = membership.targets;
+}
+
+void ReplicaMachine::Apply(std::uint64_t op, std::int64_t delta) {
+  if (state_.applied.contains(op)) {
+    return;  // duplicate (resubmitted after failover): exactly-once via dedup
+  }
+  state_.applied.emplace(op, delta);
+  state_.total += delta;
+}
+
+void ReplicaMachine::OnForwardedOp(const ForwardedOp& op) {
+  Assert(role_ == ReplicaRole::kPrimary,
+         "client operation forwarded to a non-primary replica");
+  Apply(op.op, op.delta);
+  for (const systest::MachineId target : replication_targets_) {
+    Send<ReplicateOp>(target, op.op, op.delta);
+  }
+  Send<OpApplied>(cluster_, op.op);
+}
+
+void ReplicaMachine::OnBuild(const BuildSecondary& build) {
+  Assert(role_ == ReplicaRole::kPrimary, "only the primary builds secondaries");
+  // Send the full state, then include the idle secondary in the replication
+  // stream so no operation falls between the copy and the promotion.
+  Send<CopyState>(build.target, state_);
+}
+
+void ReplicaMachine::OnCopyState(const CopyState& copy) {
+  // Duplicate and even STALE copies can legitimately arrive: a killed
+  // primary may still drain its queue and emit a copy snapshotted before
+  // operations this replica has already applied (the "zombie primary"). The
+  // state is a grow-only op map, so merging is always safe — adopting the
+  // snapshot wholesale would lose the newer operations. Only a primary must
+  // never consume a copy.
+  Assert(role_ == ReplicaRole::kIdleSecondary ||
+             role_ == ReplicaRole::kActiveSecondary,
+         "state copy delivered to a " + std::string(ToString(role_)) +
+             " replica");
+  for (const auto& [op, delta] : copy.state.applied) {
+    Apply(op, delta);
+  }
+  Send<CopyDone>(cluster_, Id());
+}
+
+void ReplicaMachine::OnReplicateOp(const ReplicateOp& op) {
+  Assert(role_ == ReplicaRole::kActiveSecondary ||
+             role_ == ReplicaRole::kIdleSecondary ||
+             role_ == ReplicaRole::kPrimary,
+         "replication delivered to a role-less replica");
+  const bool fresh = !state_.applied.contains(op.op);
+  Apply(op.op, op.delta);
+  if (fresh && role_ == ReplicaRole::kPrimary) {
+    // Catch-up forwarding: a replication from a dead ("zombie") primary may
+    // reach the current primary after it built a fresh secondary from a
+    // snapshot that predates the op. Forwarding newly-applied replications
+    // to the current targets closes that gap; deduplication keeps the
+    // forwarding loop-free.
+    for (const systest::MachineId target : replication_targets_) {
+      Send<ReplicateOp>(target, op.op, op.delta);
+    }
+  }
+}
+
+void ReplicaMachine::OnAudit(const AuditBarrier& audit) {
+  Send<AuditReport>(audit.report_to, Id(), state_.total);
+  if (role_ == ReplicaRole::kPrimary) {
+    // Pass the barrier down the replication stream so the secondaries'
+    // reports are ordered behind everything we replicated to them.
+    for (const systest::MachineId target : replication_targets_) {
+      Send<AuditBarrier>(target, audit.report_to);
+    }
+  }
+}
+
+}  // namespace fabric

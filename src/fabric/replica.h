@@ -1,0 +1,41 @@
+// SysTest — Azure Service Fabric case study (§5): replica machine.
+//
+// Hosts one instance of the counter user service. The primary applies
+// forwarded client operations and replicates them; secondaries apply the
+// replication stream; a fresh idle secondary first applies a full state copy
+// ("build") and reports readiness for promotion. Deduplication by operation
+// id makes the cluster's resubmission after failover exactly-once.
+#pragma once
+
+#include "core/runtime.h"
+#include "fabric/events.h"
+
+namespace fabric {
+
+class ReplicaMachine final : public systest::Machine {
+ public:
+  ReplicaMachine(systest::MachineId cluster, ReplicaRole initial_role);
+
+  [[nodiscard]] ReplicaRole Role() const noexcept { return role_; }
+  [[nodiscard]] const ServiceState& CurrentState() const noexcept {
+    return state_;
+  }
+
+ private:
+  void OnRole(const RoleEvent& role);
+  void OnMembership(const MembershipEvent& membership);
+  void OnForwardedOp(const ForwardedOp& op);
+  void OnBuild(const BuildSecondary& build);
+  void OnCopyState(const CopyState& copy);
+  void OnReplicateOp(const ReplicateOp& op);
+  void OnAudit(const AuditBarrier& audit);
+
+  void Apply(std::uint64_t op, std::int64_t delta);
+
+  systest::MachineId cluster_;
+  ReplicaRole role_;
+  ServiceState state_;
+  std::vector<systest::MachineId> replication_targets_;
+};
+
+}  // namespace fabric

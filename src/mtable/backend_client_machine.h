@@ -1,0 +1,41 @@
+// SysTest — Live Table Migration case study (§4).
+//
+// Machine base for harness participants that execute backend operations:
+// implements BackendClient as an event round-trip through the Tables
+// machine (request, suspend in Receive, resume with the response).
+#pragma once
+
+#include "core/runtime.h"
+#include "core/task.h"
+#include "mtable/migrating_table.h"
+#include "mtable/protocol.h"
+
+namespace mtable {
+
+class BackendClientMachine : public systest::Machine, public BackendClient {
+ public:
+  systest::TaskOf<BackendResult> Execute(TableSel table, TableOp op,
+                                         LinFn lin) override {
+    const std::uint64_t id = ++request_counter_;
+    Send<BackendRequest>(tables_, Id(), id, table, std::move(op),
+                         std::move(lin));
+    auto response = co_await Receive<BackendResponse>();
+    Assert(response->request_id == id,
+           "backend response out of order (one outstanding request per "
+           "machine by construction)");
+    co_return response->result;
+  }
+
+  [[nodiscard]] std::uint64_t ClientKey() const override { return Id().value; }
+
+ protected:
+  explicit BackendClientMachine(systest::MachineId tables) : tables_(tables) {}
+
+  [[nodiscard]] systest::MachineId Tables() const noexcept { return tables_; }
+
+ private:
+  systest::MachineId tables_;
+  std::uint64_t request_counter_ = 0;
+};
+
+}  // namespace mtable

@@ -1,0 +1,162 @@
+// SysTest — Live Table Migration case study (§4, Table 2).
+//
+// The eleven re-introducible MigratingTable bugs evaluated in the paper's
+// Table 2 (eight organic bugs found during development plus three notional
+// ones, marked * there). Each flag re-introduces one bug; all flags off is
+// the fixed system, which must survive systematic differential testing.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace mtable {
+
+struct MTableBugs {
+  /// Atomic query applies the user filter to the two backend snapshots
+  /// before merging, so a non-matching new-table row fails to shadow a stale
+  /// matching old-table row.
+  bool query_atomic_filter_shadowing = false;
+
+  /// Streaming query serves the new table from a snapshot taken at stream
+  /// start instead of re-reading under the lock, missing rows the migrator
+  /// moves into the new table mid-stream.
+  bool query_streamed_lock = false;
+
+  /// Streaming query advances a forward-only cursor over the new table and
+  /// never "backs it up", missing rows whose old-table deletion it saw but
+  /// whose (earlier) new-table insertion happened behind the cursor —
+  /// the paper's marquee QueryStreamedBackUpNewStream bug (§6.2).
+  bool query_streamed_backup_new_stream = false;
+
+  /// In the no-tombstones regime (partition switched), delete ignores the
+  /// caller's ETag and deletes unconditionally.
+  bool delete_no_leave_tombstones_etag = false;
+
+  /// Delete builds the backend key from the table's cached "current
+  /// partition" instead of the operation's own partition key.
+  bool delete_primary_key = false;
+
+  /// EnsurePartitionSwitched switches a partition from any state instead of
+  /// only from Populated — deleting old rows that were never copied.
+  bool ensure_partition_switched_from_populated = false;
+
+  /// Insert over a tombstone returns the tombstone's ETag instead of the
+  /// newly written row's.
+  bool tombstone_output_etag = false;
+
+  /// Streaming query pushes the user filter into the backend reads,
+  /// breaking shadowing (streamed sibling of the atomic bug).
+  bool query_streamed_filter_shadowing = false;
+
+  /// Writers skip the prefer-old configuration fence on old-table writes:
+  /// a write that observed the pre-migration state can then commit after the
+  /// migrator's populate snapshot and be deleted, uncopied, at the switch.
+  bool migrate_skip_prefer_old = false;
+
+  /// Migrator marks the partition Switched before deleting the old rows,
+  /// ending the tombstone regime while old rows can still resurface.
+  bool migrate_skip_use_new_with_tombstones = false;
+
+  /// Insert takes a fast path into the old table while the partition is not
+  /// yet switched — rows inserted behind the migrator are lost.
+  bool insert_behind_migrator = false;
+};
+
+/// Identifiers matching the paper's Table 2 rows, for benches and tests.
+enum class MTableBugId {
+  kQueryAtomicFilterShadowing,
+  kQueryStreamedLock,
+  kQueryStreamedBackUpNewStream,
+  kDeleteNoLeaveTombstonesEtag,
+  kDeletePrimaryKey,
+  kEnsurePartitionSwitchedFromPopulated,
+  kTombstoneOutputETag,
+  kQueryStreamedFilterShadowing,
+  kMigrateSkipPreferOld,
+  kMigrateSkipUseNewWithTombstones,
+  kInsertBehindMigrator,
+};
+
+inline constexpr std::array<MTableBugId, 11> kAllMTableBugs = {
+    MTableBugId::kQueryAtomicFilterShadowing,
+    MTableBugId::kQueryStreamedLock,
+    MTableBugId::kQueryStreamedBackUpNewStream,
+    MTableBugId::kDeleteNoLeaveTombstonesEtag,
+    MTableBugId::kDeletePrimaryKey,
+    MTableBugId::kEnsurePartitionSwitchedFromPopulated,
+    MTableBugId::kTombstoneOutputETag,
+    MTableBugId::kQueryStreamedFilterShadowing,
+    MTableBugId::kMigrateSkipPreferOld,
+    MTableBugId::kMigrateSkipUseNewWithTombstones,
+    MTableBugId::kInsertBehindMigrator,
+};
+
+constexpr std::string_view ToString(MTableBugId id) noexcept {
+  switch (id) {
+    case MTableBugId::kQueryAtomicFilterShadowing:
+      return "QueryAtomicFilterShadowing";
+    case MTableBugId::kQueryStreamedLock:
+      return "QueryStreamedLock";
+    case MTableBugId::kQueryStreamedBackUpNewStream:
+      return "QueryStreamedBackUpNewStream";
+    case MTableBugId::kDeleteNoLeaveTombstonesEtag:
+      return "DeleteNoLeaveTombstonesEtag";
+    case MTableBugId::kDeletePrimaryKey:
+      return "DeletePrimaryKey";
+    case MTableBugId::kEnsurePartitionSwitchedFromPopulated:
+      return "EnsurePartitionSwitchedFromPopulated";
+    case MTableBugId::kTombstoneOutputETag:
+      return "TombstoneOutputETag";
+    case MTableBugId::kQueryStreamedFilterShadowing:
+      return "QueryStreamedFilterShadowing";
+    case MTableBugId::kMigrateSkipPreferOld:
+      return "MigrateSkipPreferOld";
+    case MTableBugId::kMigrateSkipUseNewWithTombstones:
+      return "MigrateSkipUseNewWithTombstones";
+    case MTableBugId::kInsertBehindMigrator:
+      return "InsertBehindMigrator";
+  }
+  return "?";
+}
+
+constexpr MTableBugs EnableBug(MTableBugId id) noexcept {
+  MTableBugs bugs;
+  switch (id) {
+    case MTableBugId::kQueryAtomicFilterShadowing:
+      bugs.query_atomic_filter_shadowing = true;
+      break;
+    case MTableBugId::kQueryStreamedLock:
+      bugs.query_streamed_lock = true;
+      break;
+    case MTableBugId::kQueryStreamedBackUpNewStream:
+      bugs.query_streamed_backup_new_stream = true;
+      break;
+    case MTableBugId::kDeleteNoLeaveTombstonesEtag:
+      bugs.delete_no_leave_tombstones_etag = true;
+      break;
+    case MTableBugId::kDeletePrimaryKey:
+      bugs.delete_primary_key = true;
+      break;
+    case MTableBugId::kEnsurePartitionSwitchedFromPopulated:
+      bugs.ensure_partition_switched_from_populated = true;
+      break;
+    case MTableBugId::kTombstoneOutputETag:
+      bugs.tombstone_output_etag = true;
+      break;
+    case MTableBugId::kQueryStreamedFilterShadowing:
+      bugs.query_streamed_filter_shadowing = true;
+      break;
+    case MTableBugId::kMigrateSkipPreferOld:
+      bugs.migrate_skip_prefer_old = true;
+      break;
+    case MTableBugId::kMigrateSkipUseNewWithTombstones:
+      bugs.migrate_skip_use_new_with_tombstones = true;
+      break;
+    case MTableBugId::kInsertBehindMigrator:
+      bugs.insert_behind_migrator = true;
+      break;
+  }
+  return bugs;
+}
+
+}  // namespace mtable

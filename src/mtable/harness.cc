@@ -1,0 +1,98 @@
+#include "mtable/harness.h"
+
+#include "mtable/migrator.h"
+#include "mtable/monitors.h"
+#include "mtable/tables_machine.h"
+
+namespace mtable {
+
+namespace {
+
+/// Waits for every service and the migrator to finish, then asks the Tables
+/// machine to run the final verification.
+class CompletionDriver final : public systest::Machine {
+ public:
+  CompletionDriver(systest::MachineId tables, int num_services)
+      : tables_(tables), services_left_(num_services) {
+    State("Waiting")
+        .On<ServiceDone>(&CompletionDriver::OnServiceDone)
+        .On<MigrationDone>(&CompletionDriver::OnMigrationDone);
+    SetStart("Waiting");
+  }
+
+ private:
+  void OnServiceDone(const ServiceDone&) {
+    --services_left_;
+    MaybeVerify();
+  }
+  void OnMigrationDone(const MigrationDone&) {
+    migration_done_ = true;
+    MaybeVerify();
+  }
+  void MaybeVerify() {
+    if (services_left_ == 0 && migration_done_) {
+      Send<VerifyTables>(tables_);
+      Halt();
+    }
+  }
+
+  systest::MachineId tables_;
+  int services_left_;
+  bool migration_done_ = false;
+};
+
+}  // namespace
+
+systest::Harness MakeMigrationHarness(const MigrationHarnessOptions& options) {
+  return [options](systest::Runtime& rt) {
+    rt.RegisterMonitor<MigrationLivenessMonitor>("MigrationLivenessMonitor");
+
+    std::vector<chaintable::TableRow> initial = options.initial_rows;
+    if (initial.empty()) {
+      for (const std::string& partition : options.partitions) {
+        for (std::size_t i = 0; i < options.row_keys.size() && i < 2; ++i) {
+          chaintable::TableRow row;
+          row.key = {partition, options.row_keys[i]};
+          row.properties = {{"val", "v" + std::to_string(i)}};
+          initial.push_back(std::move(row));
+        }
+      }
+    }
+
+    const systest::MachineId tables =
+        rt.CreateMachine<TablesMachine>("Tables", std::move(initial));
+    const systest::MachineId driver = rt.CreateMachine<CompletionDriver>(
+        "CompletionDriver", tables, options.num_services);
+
+    std::vector<systest::MachineId> services;
+    for (int i = 0; i < options.num_services; ++i) {
+      ServiceOptions service_options;
+      service_options.index = i;
+      service_options.num_ops = options.ops_per_service;
+      service_options.value_space = options.value_space;
+      service_options.partitions = options.partitions;
+      service_options.row_keys = options.row_keys;
+      service_options.bugs = options.bugs;
+      if (static_cast<std::size_t>(i) < options.scripts.size()) {
+        service_options.script = options.scripts[static_cast<std::size_t>(i)];
+      }
+      services.push_back(rt.CreateMachine<ServiceMachine>(
+          "Service" + std::to_string(i), tables, driver,
+          std::move(service_options)));
+    }
+    rt.CreateMachine<MigratorMachine>("Migrator", tables, driver, services,
+                                      options.partitions, options.bugs);
+  };
+}
+
+systest::TestConfig DefaultConfig(systest::StrategyKind strategy) {
+  systest::TestConfig config;
+  config.iterations = 100'000;  // the paper's execution budget
+  config.max_steps = 20'000;    // executions quiesce far earlier
+  config.strategy = strategy;
+  config.strategy_budget = 2;
+  config.seed = 2016;
+  return config;
+}
+
+}  // namespace mtable

@@ -1,0 +1,52 @@
+// SysTest — Live Table Migration case study (§4): the migrator job.
+//
+// "A migrator job moves the data in the background" while applications keep
+// operating through their MigratingTable instances. Per partition it drives
+//
+//   Unpopulated -> Populating -> [settling barrier] -> Populated
+//     -> copy rows (insert-if-absent, recording __orig etags)
+//     -> delete old rows -> Switched
+//
+// and finally, after a last settling barrier, sweeps remaining tombstones
+// from the new table. The settling barrier models waiting out the
+// configuration lease of the real system: the migrator asks every service to
+// acknowledge once its in-flight logical operation has finished, which
+// guarantees old-table writers and new-table writers never overlap.
+//
+// Bug hooks: MigrateSkipPreferOld (no settling barrier),
+// MigrateSkipUseNewWithTombstones (partition marked Switched before the old
+// rows are deleted) and EnsurePartitionSwitchedFromPopulated (the Populated
+// precondition dropped: an Unpopulated partition is switched — i.e. its old
+// rows deleted — without ever being copied).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mtable/backend_client_machine.h"
+#include "mtable/bugs.h"
+
+namespace mtable {
+
+class MigratorMachine final : public BackendClientMachine {
+ public:
+  MigratorMachine(systest::MachineId tables, systest::MachineId driver,
+                  std::vector<systest::MachineId> services,
+                  std::vector<std::string> partitions, MTableBugs bugs);
+
+ private:
+  systest::Task Migrate();
+  systest::Task SetState(const std::string& partition, PartitionState state);
+  systest::TaskOf<PartitionState> ReadState(const std::string& partition);
+  systest::Task SettleAll();
+  systest::Task EnsurePartitionSwitched(const std::string& partition);
+  systest::Task SweepTombstones();
+
+  systest::MachineId driver_;
+  std::vector<systest::MachineId> services_;
+  std::vector<std::string> partitions_;
+  MTableBugs bugs_;
+  std::uint64_t barrier_epoch_ = 0;
+};
+
+}  // namespace mtable

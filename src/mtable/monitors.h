@@ -1,0 +1,25 @@
+// SysTest — Live Table Migration case study (§4): monitors.
+#pragma once
+
+#include "core/runtime.h"
+#include "mtable/protocol.h"
+
+namespace mtable {
+
+/// Liveness monitor: hot from the start of the scenario until the final
+/// verification succeeds. Catches protocols that get stuck — unbounded retry
+/// loops, a migrator waiting on a barrier ack that never comes, a service
+/// blocked on a backend response.
+class MigrationLivenessMonitor final : public systest::Monitor {
+ public:
+  MigrationLivenessMonitor() {
+    State("Running").Hot().On<NotifyVerified>(&MigrationLivenessMonitor::OnDone);
+    State("Done").Cold().Ignore<NotifyVerified>();
+    SetStart("Running");
+  }
+
+ private:
+  void OnDone() { Goto("Done"); }
+};
+
+}  // namespace mtable

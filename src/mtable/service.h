@@ -1,0 +1,78 @@
+// SysTest — Live Table Migration case study (§4): service machines.
+//
+// "Each Service machine issues a random sequence of logical operations to
+// its MT" (Fig. 12). Operation kinds, keys, values and ETag modes are all
+// chosen through the testing engine's controlled nondeterminism ("they used
+// the P# Nondet() method to choose all of the parameters independently
+// within certain limits", §4). A service can instead run a scripted
+// operation sequence — the paper's "custom test case" mechanism for the
+// bugs whose triggering inputs are too rare under the default distribution.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtable/backend_client_machine.h"
+#include "mtable/bugs.h"
+
+namespace mtable {
+
+/// One scripted logical operation (used by custom test cases).
+struct ScriptedOp {
+  enum class Kind {
+    kInsert,
+    kReplace,
+    kUpsert,
+    kDelete,
+    kRetrieve,
+    kQuery,
+    kStreamScan,
+  };
+  Kind kind = Kind::kInsert;
+  int partition = 0;  ///< index into the workload's partition list
+  int row = 0;        ///< index into the workload's row-key list
+  std::string value;  ///< user property "val"
+  int etag_slot = -1;   ///< conditional ops: etag slot, -1 = match-any
+  int out_slot = -1;    ///< writes: slot to store the new etag in
+  bool filter_by_value = false;  ///< queries: add property filter val==value
+};
+
+struct ServiceOptions {
+  int index = 0;
+  int num_ops = 4;
+  std::uint64_t value_space = 3;  ///< distinct values "v0".."v{n-1}"
+  std::vector<std::string> partitions;
+  std::vector<std::string> row_keys;
+  MTableBugs bugs;
+  std::vector<ScriptedOp> script;  ///< empty: generate ops nondeterministically
+};
+
+class ServiceMachine final : public BackendClientMachine {
+ public:
+  ServiceMachine(systest::MachineId tables, systest::MachineId driver,
+                 ServiceOptions options);
+
+ private:
+  static constexpr int kSlots = 4;
+
+  void OnStart();
+  systest::Task OnNextOp(const NextOp& next);
+  void OnBarrier(const SettleBarrier& barrier);
+
+  systest::Task RunOp(const ScriptedOp& op);
+  [[nodiscard]] ScriptedOp GenerateOp();
+
+  systest::MachineId driver_;
+  ServiceOptions options_;
+  MigratingTable mt_;
+  int ops_done_ = 0;
+
+  struct Slot {
+    chaintable::Etag etag = chaintable::kInvalidEtag;
+    bool valid = false;
+  };
+  Slot slots_[kSlots];
+};
+
+}  // namespace mtable

@@ -1,0 +1,121 @@
+// SysTest — Live Table Migration case study (§4): the Tables machine.
+//
+// Owns the two backend tables (old/new) AND the reference table (RT), and
+// serializes all operations on them (paper Fig. 12: "a Tables machine, which
+// contains the BTs and RT, and serializes all operations on these tables").
+// Each backend request may carry a linearization function; the machine runs
+// it atomically with the backend operation and executes the resulting
+// linearization actions:
+//
+//  * LinWrite     — apply the logical write to the RT (resolving symbolic
+//                   etag slots to RT etags) and assert the RT result code
+//                   equals what the MigratingTable returns to the app;
+//  * LinReadCheck — assert the RT's view of a key equals the MT's answer;
+//  * LinQueryCheck— assert the RT's filtered snapshot equals the MT's;
+//  * LinStream*   — streaming-window checks (see below).
+//
+// Streaming-window rules (the IChainTable stream contract: "each row read
+// from a stream may reflect the state of the table at any time between when
+// the stream was started and the row was read", §6.2): the machine keeps a
+// timestamped history of every RT row since the execution began. For a
+// stream with filter F started at time t0:
+//  (a) emitted keys are strictly increasing (order, no duplicates);
+//  (b) an emitted row (k, v) must match F and some historical RT value of k
+//      within [t0, now];
+//  (c) a key the stream skipped must have been absent-or-not-matching-F at
+//      some time within [t0, now] — a row that matched F continuously for
+//      the whole window yet was never emitted is a violation (this is what
+//      catches QueryStreamedBackUpNewStream and QueryStreamedLock).
+//
+// On VerifyTables (sent by the driver once all services and the migrator
+// are done) the machine checks the end-to-end postconditions: the merged
+// backend view equals the RT, the old table is empty and the new table
+// holds no tombstones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "chaintable/memory_table.h"
+#include "core/runtime.h"
+#include "mtable/protocol.h"
+
+namespace mtable {
+
+class TablesMachine final : public systest::Machine {
+ public:
+  /// `initial_rows` are seeded into the old table and the RT before the
+  /// execution starts (the pre-migration data set).
+  explicit TablesMachine(std::vector<chaintable::TableRow> initial_rows);
+
+  [[nodiscard]] const chaintable::InMemoryChainTable& OldTable() const {
+    return old_;
+  }
+  [[nodiscard]] const chaintable::InMemoryChainTable& NewTable() const {
+    return new_;
+  }
+  [[nodiscard]] const chaintable::InMemoryChainTable& ReferenceTable() const {
+    return rt_;
+  }
+  [[nodiscard]] bool Verified() const noexcept { return verified_; }
+
+ private:
+  void OnRequest(const BackendRequest& request);
+  void OnVerify(const VerifyTables& verify);
+
+  BackendResult ExecuteOn(chaintable::IChainTable& table, const TableOp& op);
+  void RunLinActions(const std::vector<LinAction>& actions,
+                     systest::MachineId service);
+
+  void ApplyLinWrite(const LinWrite& action, systest::MachineId service);
+  void CheckRead(const LinReadCheck& action);
+  void CheckQuery(const LinQueryCheck& action);
+  void StreamStarted(const LinStreamStart& action);
+  void StreamEmitted(const LinStreamEmit& action);
+  void StreamEnded(const LinStreamEnd& action);
+
+  /// Records the RT value of `key` after a successful RT mutation.
+  void RecordHistory(const chaintable::TableKey& key);
+
+  /// All values (or absences) key held in [from_seq, now], oldest first.
+  [[nodiscard]] std::vector<std::optional<chaintable::Properties>>
+  HistoryWindow(const chaintable::TableKey& key, std::uint64_t from_seq) const;
+
+  /// Checks stream rule (c) for every key in (from, to) — to empty means
+  /// "to the end of the key space".
+  void CheckSkippedKeys(std::uint64_t stream_id,
+                        const std::optional<chaintable::TableKey>& from,
+                        const std::optional<chaintable::TableKey>& to);
+
+  // Disjoint etag residue classes: virtual etags must be unique across the
+  // two backend tables (see InMemoryChainTable).
+  chaintable::InMemoryChainTable old_{1, 3};
+  chaintable::InMemoryChainTable new_{2, 3};
+  chaintable::InMemoryChainTable rt_{3, 3};
+
+  /// (service machine id, slot) -> RT etag (the checker-side mirror of the
+  /// services' MT-side etag slots).
+  std::map<std::pair<std::uint64_t, int>, chaintable::Etag> rt_slots_;
+
+  /// Logical time: bumped on every RT mutation.
+  std::uint64_t seq_ = 0;
+  struct HistoryEntry {
+    std::uint64_t seq;
+    std::optional<chaintable::Properties> value;  // nullopt: absent
+  };
+  std::map<chaintable::TableKey, std::vector<HistoryEntry>> history_;
+
+  struct StreamInfo {
+    chaintable::Filter filter;
+    std::uint64_t start_seq = 0;
+    std::optional<chaintable::TableKey> last_emitted;
+    bool open = false;
+  };
+  std::map<std::uint64_t, StreamInfo> streams_;
+
+  bool verified_ = false;
+};
+
+}  // namespace mtable

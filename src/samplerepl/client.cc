@@ -1,0 +1,35 @@
+#include "samplerepl/client.h"
+
+#include "core/timer.h"
+
+namespace samplerepl {
+
+ClientMachine::ClientMachine(systest::MachineId server,
+                             std::size_t num_requests,
+                             std::uint64_t value_space,
+                             std::vector<systest::MachineId> timers)
+    : server_(server),
+      num_requests_(num_requests),
+      value_space_(value_space),
+      timers_(std::move(timers)) {
+  State("Driving").OnEntry(&ClientMachine::Drive);
+  SetStart("Driving");
+}
+
+systest::Task ClientMachine::Drive() {
+  for (std::size_t i = 0; i < num_requests_; ++i) {
+    // Nondeterministically generated request payload (§2.3); +1 keeps zero
+    // reserved as the storage nodes' "nothing stored" sentinel.
+    const std::uint64_t value = NondetInt(value_space_) + 1 + i * value_space_;
+    Send<ClientReq>(server_, value);
+    (void)co_await Receive<Ack>();  // wait for ack before the next request
+  }
+  // All requests acknowledged: wind the system down so the execution
+  // quiesces (a liveness-clean terminal state).
+  for (const systest::MachineId timer : timers_) {
+    Send<systest::CancelTimer>(timer);
+  }
+  Halt();
+}
+
+}  // namespace samplerepl

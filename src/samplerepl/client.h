@@ -1,0 +1,36 @@
+// SysTest — §2.2 example system: modeled client (Fig. 1, left).
+//
+// The client drives the system: it repeatedly sends a nondeterministically
+// generated ClientReq and blocks until the matching Ack arrives (Fig. 1's
+// `receive(Ack)`), written as a coroutine handler over Machine::Receive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/task.h"
+#include "samplerepl/events.h"
+
+namespace samplerepl {
+
+class ClientMachine final : public systest::Machine {
+ public:
+  /// `timers` are the modeled sync timers; the client cancels them once all
+  /// requests have been acknowledged so that correct executions quiesce
+  /// (failed executions keep the timers running and hit the step bound, the
+  /// paper's bounded-infinite regime for liveness checking).
+  ClientMachine(systest::MachineId server, std::size_t num_requests,
+                std::uint64_t value_space,
+                std::vector<systest::MachineId> timers);
+
+ private:
+  systest::Task Drive();
+
+  systest::MachineId server_;
+  std::size_t num_requests_;
+  std::uint64_t value_space_;
+  std::vector<systest::MachineId> timers_;
+};
+
+}  // namespace samplerepl

@@ -1,0 +1,58 @@
+// SysTest — §2.2 example distributed storage system (paper Figs. 1-2).
+//
+// Events exchanged between the client, the server and the storage nodes, and
+// the notifications consumed by the safety and liveness monitors.
+#pragma once
+
+#include <cstdint>
+
+#include "core/event.h"
+#include "core/strategy.h"
+
+namespace samplerepl {
+
+/// Client -> Server: replicate `value`.
+struct ClientReq final : systest::Event {
+  explicit ClientReq(std::uint64_t value) : value(value) {}
+  std::uint64_t value;
+};
+
+/// Server -> Client: the data has (allegedly) been replicated 3 times.
+struct Ack final : systest::Event {};
+
+/// Server -> StorageNode: store `value`.
+struct ReplReq final : systest::Event {
+  explicit ReplReq(std::uint64_t value) : value(value) {}
+  std::uint64_t value;
+};
+
+/// StorageNode -> Server: periodic sync carrying the node's storage log
+/// (modeled as the last stored value; kNothingStored if empty).
+struct SyncEvent final : systest::Event {
+  SyncEvent(systest::MachineId node, std::uint64_t log_value, bool empty)
+      : node(node), log_value(log_value), empty(empty) {}
+  systest::MachineId node;
+  std::uint64_t log_value;
+  bool empty;
+};
+
+// --- Monitor notifications (paper §2.4, §2.5) ---
+
+/// Server accepted a new client request with this value.
+struct NotifyClientReq final : systest::Event {
+  explicit NotifyClientReq(std::uint64_t value) : value(value) {}
+  std::uint64_t value;
+};
+
+/// A storage node stored `value`.
+struct NotifyStored final : systest::Event {
+  NotifyStored(systest::MachineId node, std::uint64_t value)
+      : node(node), value(value) {}
+  systest::MachineId node;
+  std::uint64_t value;
+};
+
+/// Server issued an Ack to the client.
+struct NotifyAck final : systest::Event {};
+
+}  // namespace samplerepl

@@ -1,0 +1,39 @@
+#include "samplerepl/harness.h"
+
+#include <vector>
+
+#include "core/timer.h"
+#include "samplerepl/client.h"
+#include "samplerepl/monitors.h"
+#include "samplerepl/storage_node.h"
+
+namespace samplerepl {
+
+systest::Harness MakeHarness(const HarnessOptions& options) {
+  return [options](systest::Runtime& rt) {
+    rt.RegisterMonitor<ReplicaSafetyMonitor>("ReplicaSafetyMonitor",
+                                             options.replica_target);
+    rt.RegisterMonitor<RequestLivenessMonitor>("RequestLivenessMonitor");
+
+    const systest::MachineId server = rt.CreateMachine<ServerMachine>(
+        "Server", options.replica_target, options.bugs);
+
+    std::vector<systest::MachineId> nodes;
+    std::vector<systest::MachineId> timers;
+    nodes.reserve(options.num_nodes);
+    timers.reserve(options.num_nodes);
+    for (std::size_t i = 0; i < options.num_nodes; ++i) {
+      const systest::MachineId node =
+          rt.CreateMachine<StorageNodeMachine>("StorageNode", server);
+      // Each storage node's periodic sync is driven by a modeled timer.
+      timers.push_back(rt.CreateMachine<systest::TimerMachine>(
+          "SyncTimer", node, options.timer_rounds));
+      nodes.push_back(node);
+    }
+    const systest::MachineId client = rt.CreateMachine<ClientMachine>(
+        "Client", server, options.num_requests, options.value_space, timers);
+    rt.SendEvent<ServerMachine::ConfigEvent>(server, client, nodes);
+  };
+}
+
+}  // namespace samplerepl

@@ -1,0 +1,33 @@
+// SysTest — §2.2 example system: the P#-style test harness (Fig. 2).
+//
+// Assembles the server under test with the modeled environment (client,
+// storage nodes, timers) and the two monitors, returning a Harness the
+// TestingEngine can explore.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "samplerepl/server.h"
+
+namespace samplerepl {
+
+struct HarnessOptions {
+  ServerBugs bugs;
+  std::size_t num_nodes = 3;
+  std::size_t replica_target = 3;
+  std::size_t num_requests = 2;    ///< bug 2 needs at least two requests
+  std::uint64_t value_space = 2;   ///< distinct payload values per request
+  /// Sync-timer rounds per node. 0 (the default) models the paper's
+  /// unbounded periodic timers: buggy executions then run to the engine's
+  /// step bound (the "bounded infinite execution" of §2.5) while correct
+  /// executions quiesce because the client cancels the timers after the last
+  /// Ack.
+  std::uint64_t timer_rounds = 0;
+};
+
+/// Builds the Fig. 2 harness. The returned callable populates a fresh
+/// Runtime on every testing iteration.
+systest::Harness MakeHarness(const HarnessOptions& options);
+
+}  // namespace samplerepl

@@ -1,0 +1,51 @@
+#include "samplerepl/monitors.h"
+
+namespace samplerepl {
+
+ReplicaSafetyMonitor::ReplicaSafetyMonitor(std::size_t replica_target)
+    : replica_target_(replica_target) {
+  State("Tracking")
+      .On<NotifyClientReq>(&ReplicaSafetyMonitor::OnClientReq)
+      .On<NotifyStored>(&ReplicaSafetyMonitor::OnStored)
+      .On<NotifyAck>(&ReplicaSafetyMonitor::OnAck);
+  SetStart("Tracking");
+}
+
+void ReplicaSafetyMonitor::OnClientReq(const NotifyClientReq& notification) {
+  latest_value_ = notification.value;
+  have_request_ = true;
+  replicas_.clear();  // a new value invalidates all previous replicas
+}
+
+void ReplicaSafetyMonitor::OnStored(const NotifyStored& notification) {
+  if (have_request_ && notification.value == latest_value_) {
+    replicas_.insert(notification.node);
+  }
+}
+
+void ReplicaSafetyMonitor::OnAck() {
+  Assert(replicas_.size() >= replica_target_,
+         "server acked with only " + std::to_string(replicas_.size()) +
+             " distinct up-to-date replicas (target " +
+             std::to_string(replica_target_) + ")");
+}
+
+RequestLivenessMonitor::RequestLivenessMonitor() {
+  State("Idle")
+      .Cold()
+      .On<NotifyClientReq>(&RequestLivenessMonitor::OnClientReq)
+      .Ignore<NotifyAck>();
+  State("AwaitingAck")
+      .Hot()
+      .On<NotifyAck>(&RequestLivenessMonitor::OnAck)
+      .Ignore<NotifyClientReq>();
+  SetStart("Idle");
+}
+
+void RequestLivenessMonitor::OnClientReq(const NotifyClientReq&) {
+  Goto("AwaitingAck");
+}
+
+void RequestLivenessMonitor::OnAck() { Goto("Idle"); }
+
+}  // namespace samplerepl

@@ -1,0 +1,43 @@
+// SysTest — §2.2 example system: safety and liveness monitors (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "core/runtime.h"
+#include "samplerepl/events.h"
+
+namespace samplerepl {
+
+/// Safety monitor (§2.4): tracks which storage nodes hold the latest value;
+/// when the server issues an Ack, asserts that `replica_target` distinct
+/// nodes actually replicated the data.
+class ReplicaSafetyMonitor final : public systest::Monitor {
+ public:
+  explicit ReplicaSafetyMonitor(std::size_t replica_target);
+
+ private:
+  void OnClientReq(const NotifyClientReq& notification);
+  void OnStored(const NotifyStored& notification);
+  void OnAck();
+
+  std::size_t replica_target_;
+  std::uint64_t latest_value_ = 0;
+  bool have_request_ = false;
+  std::set<systest::MachineId> replicas_;  // nodes holding the latest value
+};
+
+/// Liveness monitor (§2.5): hot from the moment the server accepts a client
+/// request until it issues the corresponding Ack. If it stays hot forever
+/// (quiescence, or past the temperature threshold of a bounded-infinite
+/// execution) the client is blocked and the engine reports a liveness bug.
+class RequestLivenessMonitor final : public systest::Monitor {
+ public:
+  RequestLivenessMonitor();
+
+ private:
+  void OnClientReq(const NotifyClientReq& notification);
+  void OnAck();
+};
+
+}  // namespace samplerepl

@@ -1,0 +1,78 @@
+#include "samplerepl/server.h"
+
+#include "samplerepl/monitors.h"
+
+namespace samplerepl {
+
+ServerMachine::ServerMachine(std::size_t replica_target, ServerBugs bugs)
+    : replica_target_(replica_target), bugs_(bugs) {
+  State("WaitingConfig")
+      .On<ConfigEvent>(&ServerMachine::OnConfig)
+      .Defer<ClientReq>()
+      .Defer<SyncEvent>();
+  State("Serving")
+      .On<ClientReq>(&ServerMachine::OnClientReq)
+      .On<SyncEvent>(&ServerMachine::OnSync);
+  SetStart("WaitingConfig");
+}
+
+void ServerMachine::OnConfig(const ConfigEvent& config) {
+  client_ = config.client;
+  nodes_ = config.nodes;
+  Goto("Serving");
+}
+
+void ServerMachine::OnClientReq(const ClientReq& request) {
+  data_ = request.value;
+  has_data_ = true;
+  Notify<ReplicaSafetyMonitor, NotifyClientReq>(data_);
+  Notify<RequestLivenessMonitor, NotifyClientReq>(data_);
+  // A new value invalidates previous replication progress.
+  num_replicas_ = 0;
+  replica_nodes_.clear();
+  // Replicate the data to all storage nodes (Fig. 1).
+  for (const systest::MachineId node : nodes_) {
+    Send<ReplReq>(node, data_);
+  }
+}
+
+bool ServerMachine::IsUpToDate(const SyncEvent& sync) const {
+  return has_data_ && !sync.empty && sync.log_value == data_;
+}
+
+void ServerMachine::OnSync(const SyncEvent& sync) { DoSync(sync); }
+
+void ServerMachine::DoSync(const SyncEvent& sync) {
+  if (!has_data_) {
+    return;  // nothing outstanding to replicate
+  }
+  if (!IsUpToDate(sync)) {
+    // The node's log is stale: replicate again (Fig. 1's doSync).
+    Send<ReplReq>(sync.node, data_);
+    return;
+  }
+  std::size_t replicas = 0;
+  if (bugs_.non_unique_replica_count) {
+    // BUG 1 (paper §2.2): every up-to-date sync increments the counter, even
+    // if the syncing node is already counted as a replica.
+    replicas = ++num_replicas_;
+  } else {
+    replica_nodes_.insert(sync.node);
+    replicas = replica_nodes_.size();
+  }
+  if (replicas == replica_target_) {
+    Send<Ack>(client_);
+    Notify<ReplicaSafetyMonitor, NotifyAck>();
+    Notify<RequestLivenessMonitor, NotifyAck>();
+    if (!bugs_.no_counter_reset) {
+      num_replicas_ = 0;
+      replica_nodes_.clear();
+      has_data_ = false;
+    }
+    // BUG 2 (paper §2.2): without the reset above, the counter keeps growing
+    // past the target, the `== target` test never fires again, and the next
+    // client request is never acknowledged.
+  }
+}
+
+}  // namespace samplerepl

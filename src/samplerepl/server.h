@@ -1,0 +1,61 @@
+// SysTest — §2.2 example system: the replication server (Fig. 1, middle).
+//
+// This is the "system under test" of the worked example: it carries the two
+// intentional bugs the paper describes in §2.2, both re-introducible via
+// ServerBugs so the test harness can demonstrate detection:
+//   1. the server does not keep track of *unique* replicas — the replica
+//      counter increments on every up-to-date sync, so the same node syncing
+//      repeatedly can drive the count to the target (safety bug);
+//   2. the server does not reset the replica counter after sending Ack, so
+//      the second client request is never acknowledged (liveness bug).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/runtime.h"
+#include "samplerepl/events.h"
+
+namespace samplerepl {
+
+/// Re-introducible bugs (paper methodology §6.2: "we added flags to allow
+/// them to be individually re-introduced, for purposes of evaluation").
+struct ServerBugs {
+  bool non_unique_replica_count = false;  ///< bug 1 (safety)
+  bool no_counter_reset = false;          ///< bug 2 (liveness)
+};
+
+class ServerMachine final : public systest::Machine {
+ public:
+  ServerMachine(std::size_t replica_target, ServerBugs bugs);
+
+  /// Wires up the storage nodes and client (the harness creates them after
+  /// the server, so they are injected via an event).
+  struct ConfigEvent final : systest::Event {
+    ConfigEvent(systest::MachineId client,
+                std::vector<systest::MachineId> nodes)
+        : client(client), nodes(std::move(nodes)) {}
+    systest::MachineId client;
+    std::vector<systest::MachineId> nodes;
+  };
+
+ private:
+  void OnConfig(const ConfigEvent& config);
+  void OnClientReq(const ClientReq& request);
+  void OnSync(const SyncEvent& sync);
+
+  [[nodiscard]] bool IsUpToDate(const SyncEvent& sync) const;
+  void DoSync(const SyncEvent& sync);
+
+  std::size_t replica_target_;
+  ServerBugs bugs_;
+  systest::MachineId client_;
+  std::vector<systest::MachineId> nodes_;
+  std::uint64_t data_ = 0;
+  bool has_data_ = false;
+  std::size_t num_replicas_ = 0;                 // buggy counting path
+  std::set<systest::MachineId> replica_nodes_;   // fixed counting path
+};
+
+}  // namespace samplerepl

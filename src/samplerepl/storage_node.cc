@@ -1,0 +1,27 @@
+#include "samplerepl/storage_node.h"
+
+#include "samplerepl/monitors.h"
+
+namespace samplerepl {
+
+StorageNodeMachine::StorageNodeMachine(systest::MachineId server)
+    : server_(server) {
+  State("Running")
+      .On<ReplReq>(&StorageNodeMachine::OnReplReq)
+      .On<systest::TimerTick>(&StorageNodeMachine::OnTimeout);
+  SetStart("Running");
+}
+
+void StorageNodeMachine::OnReplReq(const ReplReq& request) {
+  log_value_ = request.value;  // `store(message.Val)` of Fig. 1
+  empty_ = false;
+  Notify<ReplicaSafetyMonitor, NotifyStored>(Id(), log_value_);
+}
+
+void StorageNodeMachine::OnTimeout(const systest::TimerTick& tick) {
+  // Send the server the log upon timeout (Fig. 1).
+  Send<SyncEvent>(server_, Id(), log_value_, empty_);
+  Send<systest::TickAck>(tick.timer);
+}
+
+}  // namespace samplerepl

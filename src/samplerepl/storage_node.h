@@ -1,0 +1,30 @@
+// SysTest — §2.2 example system: modeled storage node (Fig. 1, right).
+//
+// The storage nodes are *modeled* components (Fig. 2): they store data in
+// memory rather than on disk, and their periodic sync is driven by a modeled
+// timer so the testing engine controls when syncs happen relative to
+// replication traffic — which is exactly the interleaving both §2.2 bugs need.
+#pragma once
+
+#include <cstdint>
+
+#include "core/runtime.h"
+#include "core/timer.h"
+#include "samplerepl/events.h"
+
+namespace samplerepl {
+
+class StorageNodeMachine final : public systest::Machine {
+ public:
+  explicit StorageNodeMachine(systest::MachineId server);
+
+ private:
+  void OnReplReq(const ReplReq& request);
+  void OnTimeout(const systest::TimerTick& tick);
+
+  systest::MachineId server_;
+  std::uint64_t log_value_ = 0;
+  bool empty_ = true;
+};
+
+}  // namespace samplerepl

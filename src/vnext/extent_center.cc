@@ -1,0 +1,97 @@
+#include "vnext/extent_center.h"
+
+#include <algorithm>
+
+namespace vnext {
+
+void ExtentCenter::ApplySyncReport(NodeId node,
+                                   const std::vector<ExtentRecord>& extents) {
+  // Drop extents previously attributed to this node that the ground-truth
+  // report no longer lists.
+  for (auto it = locations_.begin(); it != locations_.end();) {
+    auto& [extent, nodes] = *it;
+    const bool listed =
+        std::any_of(extents.begin(), extents.end(),
+                    [&](const ExtentRecord& r) { return r.extent == extent; });
+    if (!listed) {
+      nodes.erase(node);
+    }
+    it = nodes.empty() ? locations_.erase(it) : std::next(it);
+  }
+  // (Re-)attribute everything the report lists.
+  for (const ExtentRecord& record : extents) {
+    locations_[record.extent][node] = record;
+  }
+}
+
+void ExtentCenter::RemoveNode(NodeId node) {
+  for (auto it = locations_.begin(); it != locations_.end();) {
+    it->second.erase(node);
+    it = it->second.empty() ? locations_.erase(it) : std::next(it);
+  }
+}
+
+void ExtentCenter::AddOrUpdate(NodeId node, const ExtentRecord& record) {
+  locations_[record.extent][node] = record;
+}
+
+void ExtentCenter::Remove(NodeId node, ExtentId extent) {
+  auto it = locations_.find(extent);
+  if (it == locations_.end()) return;
+  it->second.erase(node);
+  if (it->second.empty()) {
+    locations_.erase(it);
+  }
+}
+
+std::size_t ExtentCenter::ReplicaCount(ExtentId extent) const {
+  auto it = locations_.find(extent);
+  return it == locations_.end() ? 0 : it->second.size();
+}
+
+bool ExtentCenter::HasReplicaAt(ExtentId extent, NodeId node) const {
+  auto it = locations_.find(extent);
+  return it != locations_.end() && it->second.contains(node);
+}
+
+std::vector<NodeId> ExtentCenter::ReplicaLocations(ExtentId extent) const {
+  std::vector<NodeId> nodes;
+  if (auto it = locations_.find(extent); it != locations_.end()) {
+    nodes.reserve(it->second.size());
+    for (const auto& [node, record] : it->second) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+std::vector<ExtentId> ExtentCenter::KnownExtents() const {
+  std::vector<ExtentId> extents;
+  extents.reserve(locations_.size());
+  for (const auto& [extent, nodes] : locations_) {
+    extents.push_back(extent);
+  }
+  return extents;
+}
+
+std::vector<ExtentId> ExtentCenter::ExtentsBelow(std::size_t target) const {
+  std::vector<ExtentId> extents;
+  for (const auto& [extent, nodes] : locations_) {
+    if (nodes.size() < target) {
+      extents.push_back(extent);
+    }
+  }
+  return extents;
+}
+
+std::vector<ExtentRecord> ExtentCenter::RecordsAt(NodeId node) const {
+  std::vector<ExtentRecord> records;
+  for (const auto& [extent, nodes] : locations_) {
+    if (auto it = nodes.find(node); it != nodes.end()) {
+      records.push_back(it->second);
+    }
+  }
+  return records;
+}
+
+}  // namespace vnext

@@ -1,0 +1,58 @@
+// SysTest — Azure Storage vNext case study (§3).
+//
+// ExtentCenter: the Extent Manager's authoritative map from extents to the
+// ENs hosting their replicas (paper Fig. 6), "updated upon SyncReport". The
+// same data structure is reused by the modeled Extent Node for replica
+// bookkeeping, mirroring the paper: "the P# test harness leverages components
+// of the real vNext system whenever it is appropriate. For example,
+// ExtentNode re-uses the ExtentCenter data structure" (§3.2).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "vnext/types.h"
+
+namespace vnext {
+
+class ExtentCenter {
+ public:
+  /// Applies a sync report from `node`: the report lists *all* extents on the
+  /// node, so any extent previously attributed to the node but absent from
+  /// the report is dropped, and every listed extent is (re-)attributed.
+  void ApplySyncReport(NodeId node, const std::vector<ExtentRecord>& extents);
+
+  /// Removes every record attributing an extent to `node` (EN expiration
+  /// path: "delete extents from ExtentCenter", Fig. 6).
+  void RemoveNode(NodeId node);
+
+  /// Adds or updates a single replica record (used by the EN-side
+  /// bookkeeping when a repair copy completes, Fig. 8's AddOrUpdate).
+  void AddOrUpdate(NodeId node, const ExtentRecord& record);
+
+  /// Removes a single replica record.
+  void Remove(NodeId node, ExtentId extent);
+
+  [[nodiscard]] std::size_t ReplicaCount(ExtentId extent) const;
+  [[nodiscard]] bool HasReplicaAt(ExtentId extent, NodeId node) const;
+  [[nodiscard]] std::vector<NodeId> ReplicaLocations(ExtentId extent) const;
+  [[nodiscard]] std::vector<ExtentId> KnownExtents() const;
+
+  /// All extents whose replica count is below `target`.
+  [[nodiscard]] std::vector<ExtentId> ExtentsBelow(std::size_t target) const;
+
+  /// The records hosted on `node` (the EN side uses this to build its own
+  /// sync reports, Fig. 8's GetSyncReport).
+  [[nodiscard]] std::vector<ExtentRecord> RecordsAt(NodeId node) const;
+
+  [[nodiscard]] bool Empty() const noexcept { return locations_.empty(); }
+
+ private:
+  /// extent -> (node -> replica metadata). Ordered maps keep iteration
+  /// deterministic, which systematic testing requires.
+  std::map<ExtentId, std::map<NodeId, ExtentRecord>> locations_;
+};
+
+}  // namespace vnext

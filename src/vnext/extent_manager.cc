@@ -1,0 +1,90 @@
+#include "vnext/extent_manager.h"
+
+#include <cassert>
+
+namespace vnext {
+
+ExtentManager::ExtentManager(ExtentManagerOptions options)
+    : options_(options) {}
+
+void ExtentManager::ProcessMessage(const Message& message) {
+  switch (message.GetType()) {
+    case Message::Type::kHeartbeat:
+      ProcessHeartbeat(static_cast<const HeartbeatMessage&>(message));
+      break;
+    case Message::Type::kSyncReport:
+      ProcessSyncReport(static_cast<const SyncReportMessage&>(message));
+      break;
+    case Message::Type::kRepairRequest:
+      // Repair requests are outbound-only; receiving one is a protocol error.
+      assert(false && "ExtentManager received a RepairRequest");
+      break;
+  }
+}
+
+void ExtentManager::ProcessHeartbeat(const HeartbeatMessage& heartbeat) {
+  // Known or new, the EN is (re-)registered with a fresh heartbeat time;
+  // this is how newly launched ENs join the partition.
+  node_map_[heartbeat.node] = clock_;
+}
+
+void ExtentManager::ProcessSyncReport(const SyncReportMessage& report) {
+  if (options_.fix_stale_sync_report && !node_map_.contains(report.node)) {
+    // FIX for the §3.6 liveness bug: this EN has been expired (or never
+    // registered); applying its report would resurrect ExtentCenter records
+    // for a node the expiration loop will never clean up again.
+    return;
+  }
+  // UNFIXED PATH: the report is applied unconditionally — "the culprit is in
+  // step (iv), where ExtMgr receives a sync report from EN0 after deleting
+  // the EN" (§3.6).
+  center_.ApplySyncReport(report.node, report.extents);
+}
+
+void ExtentManager::ProcessExpirationTick() {
+  ++clock_;
+  for (auto it = node_map_.begin(); it != node_map_.end();) {
+    const auto& [node, last_heartbeat] = *it;
+    if (clock_ - last_heartbeat > options_.heartbeat_expiry_ticks) {
+      // Remove the expired EN from ExtentNodeMap and delete its extents
+      // from ExtentCenter (Fig. 6's EN expiration loop).
+      center_.RemoveNode(node);
+      it = node_map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+NodeId ExtentManager::ChooseRepairDestination(ExtentId extent) const {
+  for (const auto& [node, last_heartbeat] : node_map_) {
+    if (!center_.HasReplicaAt(extent, node)) {
+      return node;
+    }
+  }
+  return kInvalidNode;
+}
+
+void ExtentManager::ProcessRepairTick() {
+  if (network_ == nullptr) {
+    return;  // not wired up yet
+  }
+  // Examine all extents in the ExtentCenter and schedule repair of those
+  // with missing replicas (Fig. 6's extent repair loop).
+  for (const ExtentId extent : center_.ExtentsBelow(options_.replica_target)) {
+    const std::vector<NodeId> sources = center_.ReplicaLocations(extent);
+    if (sources.empty()) {
+      continue;  // no surviving replica to copy from — data loss, not repair
+    }
+    const NodeId destination = ChooseRepairDestination(extent);
+    if (destination == kInvalidNode) {
+      continue;  // no live EN without a replica
+    }
+    ++repairs_scheduled_;
+    network_->SendMessage(destination,
+                          std::make_shared<const RepairRequestMessage>(
+                              destination, extent, sources.front()));
+  }
+}
+
+}  // namespace vnext

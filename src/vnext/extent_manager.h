@@ -1,0 +1,121 @@
+// SysTest — Azure Storage vNext case study (§3).
+//
+// The real Extent Manager (paper Fig. 6): the system under test. It tracks
+// EN liveness via heartbeats (ExtentNodeMap), learns replica placement from
+// periodic EN sync reports (ExtentCenter), expires silent ENs, and schedules
+// repair of extents with missing replicas.
+//
+// Production vNext drives the EN-expiration loop and the extent-repair loop
+// with internal timers; like the paper (footnote 3: "we added the
+// DisableTimer method") this implementation exposes DisableTimer() so a test
+// harness can take control of both loops and drive them through
+// ProcessExpirationTick()/ProcessRepairTick().
+//
+// THE BUG (paper §3.6, ExtentNodeLivenessViolation): when a sync report
+// arrives from an EN that has already been expired and removed from
+// ExtentNodeMap, the unfixed ExtMgr happily applies it to ExtentCenter,
+// resurrecting replica records for a node it no longer tracks. The replica
+// count climbs back to the target, so the repair loop never schedules the
+// repair — while the system truly has one replica fewer. Repeating the
+// process loses all replicas while the ExtMgr "would still think that all
+// replicas are healthy". ExtentManagerOptions::fix_stale_sync_report guards
+// the one-line fix (drop sync reports from unknown ENs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vnext/extent_center.h"
+#include "vnext/types.h"
+
+namespace vnext {
+
+struct ExtentManagerOptions {
+  /// Desired number of replicas per extent (3 in the paper's harness).
+  std::size_t replica_target = 3;
+  /// An EN is expired after this many expiration-loop ticks without a
+  /// heartbeat ("missing heartbeats for an extended period", §3.1). The
+  /// logical clock advances only on expiration ticks, and under the modeled
+  /// timers each tick spans many heartbeat rounds, so one tick already is an
+  /// "extended period". (A dead node whose stale in-flight heartbeat
+  /// re-registers it must re-expire before the repair loop stops choosing it
+  /// as a destination; a larger value makes that self-healing very slow.)
+  std::uint64_t heartbeat_expiry_ticks = 1;
+  /// True enables the fix for the §3.6 liveness bug: sync reports from ENs
+  /// absent from ExtentNodeMap are dropped instead of applied.
+  bool fix_stale_sync_report = false;
+};
+
+/// The vNext Extent Manager. Thread-compatible: external synchronization is
+/// the caller's job (the production system serializes message processing per
+/// partition; the test harness serializes everything by construction).
+class ExtentManager {
+ public:
+  explicit ExtentManager(ExtentManagerOptions options);
+
+  ExtentManager(const ExtentManager&) = delete;
+  ExtentManager& operator=(const ExtentManager&) = delete;
+
+  /// Installs the network engine used for outbound repair traffic. The test
+  /// harness installs an interception model here (paper Fig. 5/7).
+  void SetNetworkEngine(NetworkEngine* engine) { network_ = engine; }
+
+  /// Disables the internal loop timers so an external driver can pump
+  /// ProcessExpirationTick / ProcessRepairTick (paper footnote 3). In this
+  /// reproduction the flag only records intent — there are no real threads —
+  /// but the harness asserts it was called, as the real harness must.
+  void DisableTimer() { internal_timers_disabled_ = true; }
+  [[nodiscard]] bool TimersDisabled() const noexcept {
+    return internal_timers_disabled_;
+  }
+
+  /// Entry point for all inbound EN messages (heartbeats and sync reports).
+  void ProcessMessage(const Message& message);
+
+  /// One round of the EN expiration loop (Fig. 6, left): advances the
+  /// logical clock, removes ENs whose heartbeats are stale, and deletes
+  /// their extents from the ExtentCenter.
+  void ProcessExpirationTick();
+
+  /// One round of the extent repair loop (Fig. 6, right): examines all
+  /// ExtentCenter records, finds extents with missing replicas, and sends
+  /// repair requests to candidate ENs.
+  void ProcessRepairTick();
+
+  // --- Introspection (unit tests and harness assertions) ---
+
+  [[nodiscard]] const ExtentCenter& Center() const noexcept { return center_; }
+  [[nodiscard]] bool KnowsNode(NodeId node) const {
+    return node_map_.contains(node);
+  }
+  [[nodiscard]] std::size_t KnownNodeCount() const noexcept {
+    return node_map_.size();
+  }
+  [[nodiscard]] std::uint64_t LogicalClock() const noexcept { return clock_; }
+  [[nodiscard]] std::uint64_t RepairsScheduled() const noexcept {
+    return repairs_scheduled_;
+  }
+
+ private:
+  void ProcessHeartbeat(const HeartbeatMessage& heartbeat);
+  void ProcessSyncReport(const SyncReportMessage& report);
+
+  /// Picks the destination EN for a repair of `extent`: a live EN that does
+  /// not already host a replica (deterministic: lowest node id).
+  [[nodiscard]] NodeId ChooseRepairDestination(ExtentId extent) const;
+
+  ExtentManagerOptions options_;
+  NetworkEngine* network_ = nullptr;
+  ExtentCenter center_;
+  /// ExtentNodeMap (Fig. 6): EN -> logical time of last heartbeat.
+  std::map<NodeId, std::uint64_t> node_map_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t repairs_scheduled_ = 0;
+  bool internal_timers_disabled_ = false;
+};
+
+}  // namespace vnext

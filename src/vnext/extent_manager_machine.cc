@@ -1,0 +1,49 @@
+#include "vnext/extent_manager_machine.h"
+
+namespace vnext {
+
+ExtentManagerMachine::ExtentManagerMachine(ExtentManagerOptions options)
+    : manager_(std::make_unique<ExtentManager>(options)),
+      network_(std::make_unique<ModelNetworkEngine>(this)) {
+  // Mirror the paper's Init (Fig. 5): install the modeled network engine and
+  // disable the ExtMgr's internal timers so the P#-style timers drive the
+  // expiration and repair loops.
+  manager_->SetNetworkEngine(network_.get());
+  manager_->DisableTimer();
+
+  State("WaitingConfig")
+      .On<MgrConfigEvent>(&ExtentManagerMachine::OnConfig)
+      .Defer<EnToMgrEvent>()
+      .Defer<systest::TimerTick>();
+  State("Serving")
+      .On<EnToMgrEvent>(&ExtentManagerMachine::OnEnMessage)
+      .On<systest::TimerTick>(&ExtentManagerMachine::OnTimerTick);
+  SetStart("WaitingConfig");
+}
+
+void ExtentManagerMachine::OnConfig(const MgrConfigEvent& config) {
+  driver_ = config.driver;
+  Goto("Serving");
+}
+
+void ExtentManagerMachine::OnEnMessage(const EnToMgrEvent& event) {
+  // Relay messages from Extent Nodes into the real ExtMgr (Fig. 5's
+  // DeliverMessage).
+  manager_->ProcessMessage(*event.message);
+}
+
+void ExtentManagerMachine::OnTimerTick(const systest::TimerTick& tick) {
+  switch (tick.tag) {
+    case kExpirationLoopTimer:
+      manager_->ProcessExpirationTick();
+      break;
+    case kRepairLoopTimer:
+      manager_->ProcessRepairTick();
+      break;
+    default:
+      Assert(false, "unexpected timer tag " + std::to_string(tick.tag));
+  }
+  Send<systest::TickAck>(tick.timer);
+}
+
+}  // namespace vnext

@@ -1,0 +1,52 @@
+// SysTest — Azure Storage vNext case study (§3.1).
+//
+// The thin wrapper machine around the *real* ExtentManager (paper Fig. 5),
+// plus the modeled network engine that intercepts all outbound ExtMgr
+// messages and relays them through the testing engine to the TestingDriver
+// (paper Fig. 7). The wrapped ExtMgr is unaware of the harness: it processes
+// messages and loop ticks exactly as in production.
+#pragma once
+
+#include <memory>
+
+#include "core/runtime.h"
+#include "core/timer.h"
+#include "vnext/extent_manager.h"
+#include "vnext/harness_events.h"
+
+namespace vnext {
+
+class ExtentManagerMachine final : public systest::Machine {
+ public:
+  explicit ExtentManagerMachine(ExtentManagerOptions options);
+
+  /// The wrapped real component (exposed for end-of-test assertions).
+  [[nodiscard]] const ExtentManager& Manager() const noexcept { return *manager_; }
+
+ private:
+  /// Modeled vNext network engine (Fig. 7): overrides the production
+  /// implementation to "intercept and relay Extent Manager messages" via the
+  /// testing runtime instead of real sockets.
+  class ModelNetworkEngine final : public NetworkEngine {
+   public:
+    explicit ModelNetworkEngine(ExtentManagerMachine* owner) : owner_(owner) {}
+    void SendMessage(NodeId destination,
+                     std::shared_ptr<const Message> message) override {
+      owner_->Send<MgrOutboundEvent>(owner_->driver_, destination,
+                                     std::move(message));
+    }
+
+   private:
+    ExtentManagerMachine* owner_;
+  };
+
+  void OnConfig(const MgrConfigEvent& config);
+  void OnEnMessage(const EnToMgrEvent& event);
+  void OnTimerTick(const systest::TimerTick& tick);
+
+  std::unique_ptr<ExtentManager> manager_;  // real vNext code
+  std::unique_ptr<ModelNetworkEngine> network_;
+  systest::MachineId driver_;
+};
+
+}  // namespace vnext

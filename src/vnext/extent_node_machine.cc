@@ -1,0 +1,100 @@
+#include "vnext/extent_node_machine.h"
+
+#include "vnext/repair_monitor.h"
+
+namespace vnext {
+
+ExtentNodeMachine::ExtentNodeMachine(NodeId node, systest::MachineId driver,
+                                     systest::MachineId manager,
+                                     std::optional<ExtentRecord> initial)
+    : node_(node), driver_(driver), manager_(manager) {
+  if (initial.has_value()) {
+    extent_center_.AddOrUpdate(node_, *initial);
+  }
+  State("WaitingTimers")
+      .On<NodeTimersEvent>(&ExtentNodeMachine::OnTimers)
+      .Defer<systest::TimerTick>()
+      .Defer<RepairRequestEvent>()
+      .Defer<CopyRequestEvent>()
+      .Defer<CopyResponseEvent>()
+      .Defer<FailureEvent>();
+  State("Running")
+      .On<systest::TimerTick>(&ExtentNodeMachine::OnTimerTick)
+      .On<RepairRequestEvent>(&ExtentNodeMachine::OnRepairRequest)
+      .On<CopyRequestEvent>(&ExtentNodeMachine::OnCopyRequest)
+      .On<CopyResponseEvent>(&ExtentNodeMachine::OnCopyResponse)
+      .On<FailureEvent>(&ExtentNodeMachine::OnFailure);
+  SetStart("WaitingTimers");
+}
+
+void ExtentNodeMachine::OnTimers(const NodeTimersEvent& timers) {
+  heartbeat_timer_ = timers.heartbeat_timer;
+  sync_timer_ = timers.sync_timer;
+  Goto("Running");
+}
+
+void ExtentNodeMachine::OnTimerTick(const systest::TimerTick& tick) {
+  switch (tick.tag) {
+    case kHeartbeatTimer:
+      Send<EnToMgrEvent>(manager_,
+                         std::make_shared<const HeartbeatMessage>(node_));
+      break;
+    case kSyncReportTimer:
+      // Prepare a ground-truth sync report from the local ExtentCenter
+      // (Fig. 8's ProcessExtentNodeSync).
+      Send<EnToMgrEvent>(manager_, std::make_shared<const SyncReportMessage>(
+                                       node_, extent_center_.RecordsAt(node_)));
+      break;
+    default:
+      Assert(false, "unexpected timer tag " + std::to_string(tick.tag));
+  }
+  Send<systest::TickAck>(tick.timer);
+}
+
+void ExtentNodeMachine::OnRepairRequest(const RepairRequestEvent& request) {
+  const RepairRequestMessage& msg = *request.request;
+  Assert(msg.destination == node_, "repair request routed to the wrong EN");
+  if (HasReplica(msg.extent)) {
+    return;  // stale request: the ExtMgr has not seen our sync report yet
+  }
+  // Ask the source EN for a copy of the replica (routed via the driver).
+  Send<CopyRequestEvent>(driver_, node_, msg.source, msg.extent);
+}
+
+void ExtentNodeMachine::OnCopyRequest(const CopyRequestEvent& request) {
+  Assert(request.source == node_, "copy request routed to the wrong EN");
+  const bool found = extent_center_.HasReplicaAt(request.extent, node_);
+  ExtentRecord record;
+  if (found) {
+    for (const ExtentRecord& r : extent_center_.RecordsAt(node_)) {
+      if (r.extent == request.extent) {
+        record = r;
+        break;
+      }
+    }
+  }
+  Send<CopyResponseEvent>(driver_, request.requester, node_, record, found);
+}
+
+void ExtentNodeMachine::OnCopyResponse(const CopyResponseEvent& response) {
+  // Extent copy response from the source replica (Fig. 8's
+  // ProcessCopyResponse).
+  if (!response.success || HasReplica(response.record.extent)) {
+    return;
+  }
+  extent_center_.AddOrUpdate(node_, response.record);
+  Notify<RepairMonitor, ExtentRepairedEvent>(node_);
+  // The ExtMgr learns about the repaired replica lazily, via this EN's next
+  // periodic sync report (§3).
+}
+
+void ExtentNodeMachine::OnFailure(const FailureEvent&) {
+  // Notify the liveness monitor, stop our timers, and terminate (Fig. 8's
+  // ProcessFailure).
+  Notify<RepairMonitor, ENFailedEvent>(node_);
+  if (heartbeat_timer_.Valid()) Send<systest::CancelTimer>(heartbeat_timer_);
+  if (sync_timer_.Valid()) Send<systest::CancelTimer>(sync_timer_);
+  Halt();
+}
+
+}  // namespace vnext

@@ -1,0 +1,47 @@
+// SysTest — Azure Storage vNext case study (§3.2).
+//
+// The modeled Extent Node: "a simplified version of the original EN" that
+// keeps only the logic needed for testing — replica bookkeeping (reusing the
+// real ExtentCenter data structure), extent repair by copying from a source
+// replica, periodic heartbeats and sync reports driven by modeled timers, and
+// failure handling (paper Fig. 8).
+#pragma once
+
+#include "core/runtime.h"
+#include "core/timer.h"
+#include "vnext/extent_center.h"
+#include "vnext/harness_events.h"
+
+namespace vnext {
+
+class ExtentNodeMachine final : public systest::Machine {
+ public:
+  /// `initial` is the replica this EN starts with (std::nullopt for a
+  /// freshly launched, empty EN).
+  ExtentNodeMachine(NodeId node, systest::MachineId driver,
+                    systest::MachineId manager,
+                    std::optional<ExtentRecord> initial);
+
+  [[nodiscard]] NodeId Node() const noexcept { return node_; }
+  [[nodiscard]] bool HasReplica(ExtentId extent) const {
+    return extent_center_.HasReplicaAt(extent, node_);
+  }
+
+ private:
+  void OnTimers(const NodeTimersEvent& timers);
+  void OnTimerTick(const systest::TimerTick& tick);
+  void OnRepairRequest(const RepairRequestEvent& request);
+  void OnCopyRequest(const CopyRequestEvent& request);
+  void OnCopyResponse(const CopyResponseEvent& response);
+  void OnFailure(const FailureEvent& failure);
+
+  NodeId node_;
+  systest::MachineId driver_;
+  systest::MachineId manager_;
+  systest::MachineId heartbeat_timer_;
+  systest::MachineId sync_timer_;
+  /// Real vNext component reused for replica bookkeeping (§3.2).
+  ExtentCenter extent_center_;
+};
+
+}  // namespace vnext

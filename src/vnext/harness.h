@@ -1,0 +1,18 @@
+// SysTest — Azure Storage vNext case study (§3): harness assembly (Fig. 4).
+#pragma once
+
+#include "core/engine.h"
+#include "vnext/testing_driver.h"
+
+namespace vnext {
+
+/// Builds the Fig. 4 harness: RepairMonitor + TestingDriver (which in turn
+/// launches the wrapped ExtentManager, the modeled ENs and all timers).
+systest::Harness MakeExtentRepairHarness(const DriverOptions& options);
+
+/// Engine configuration tuned for this harness: executions always run to the
+/// step bound (the timers are unbounded), so liveness detection uses the
+/// temperature heuristic.
+systest::TestConfig DefaultConfig(systest::StrategyKind strategy);
+
+}  // namespace vnext

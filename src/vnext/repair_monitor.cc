@@ -1,0 +1,47 @@
+#include "vnext/repair_monitor.h"
+
+namespace vnext {
+
+RepairMonitor::RepairMonitor(std::size_t replica_target,
+                             std::set<NodeId> initial_replicas)
+    : replica_target_(replica_target), replicas_(std::move(initial_replicas)) {
+  State("Repaired")
+      .Cold()
+      .On<ENFailedEvent>(&RepairMonitor::OnFailedWhileRepaired)
+      .On<ExtentRepairedEvent>(&RepairMonitor::OnRepairedWhileRepaired);
+  State("Repairing")
+      .Hot()
+      .On<ENFailedEvent>(&RepairMonitor::OnFailedWhileRepairing)
+      .On<ExtentRepairedEvent>(&RepairMonitor::OnRepairedWhileRepairing);
+  // Scenario 1 starts under-replicated (hot from the beginning); scenario 2
+  // starts at the target (cold until a failure). NOTE: read the member, not
+  // the constructor parameter — the parameter was moved from in the
+  // initializer list.
+  SetStart(replicas_.size() < replica_target_ ? "Repairing" : "Repaired");
+}
+
+void RepairMonitor::OnFailedWhileRepaired(const ENFailedEvent& failed) {
+  replicas_.erase(failed.node);
+  if (replicas_.size() < replica_target_) {
+    Goto("Repairing");
+  }
+}
+
+void RepairMonitor::OnRepairedWhileRepaired(
+    const ExtentRepairedEvent& repaired) {
+  replicas_.insert(repaired.node);
+}
+
+void RepairMonitor::OnFailedWhileRepairing(const ENFailedEvent& failed) {
+  replicas_.erase(failed.node);
+}
+
+void RepairMonitor::OnRepairedWhileRepairing(
+    const ExtentRepairedEvent& repaired) {
+  replicas_.insert(repaired.node);
+  if (replicas_.size() == replica_target_) {
+    Goto("Repaired");
+  }
+}
+
+}  // namespace vnext

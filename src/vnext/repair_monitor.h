@@ -1,0 +1,36 @@
+// SysTest — Azure Storage vNext case study (§3.5).
+//
+// RepairMonitor: the liveness monitor of paper Fig. 11. It tracks the set of
+// Extent Nodes truly holding a replica. When the count drops below the
+// target it enters the hot `Repairing` state; when repairs bring the count
+// back to the target it returns to the cold `Repaired` state. An execution
+// stuck hot forever is the ExtentNodeLivenessViolation bug.
+#pragma once
+
+#include <cstddef>
+#include <set>
+
+#include "core/runtime.h"
+#include "vnext/harness_events.h"
+
+namespace vnext {
+
+class RepairMonitor final : public systest::Monitor {
+ public:
+  RepairMonitor(std::size_t replica_target, std::set<NodeId> initial_replicas);
+
+  [[nodiscard]] std::size_t ReplicaCount() const noexcept {
+    return replicas_.size();
+  }
+
+ private:
+  void OnFailedWhileRepaired(const ENFailedEvent& failed);
+  void OnRepairedWhileRepaired(const ExtentRepairedEvent& repaired);
+  void OnFailedWhileRepairing(const ENFailedEvent& failed);
+  void OnRepairedWhileRepairing(const ExtentRepairedEvent& repaired);
+
+  std::size_t replica_target_;
+  std::set<NodeId> replicas_;  // ExtentNodesWithReplica (Fig. 11)
+};
+
+}  // namespace vnext

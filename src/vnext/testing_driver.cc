@@ -1,0 +1,102 @@
+#include "vnext/testing_driver.h"
+
+#include <algorithm>
+
+#include "vnext/extent_manager_machine.h"
+#include "vnext/extent_node_machine.h"
+
+namespace vnext {
+
+TestingDriverMachine::TestingDriverMachine(DriverOptions options)
+    : options_(options) {
+  State("Driving")
+      .OnEntry(&TestingDriverMachine::OnStart)
+      .On<MgrOutboundEvent>(&TestingDriverMachine::OnMgrOutbound)
+      .On<CopyRequestEvent>(&TestingDriverMachine::OnCopyRequest)
+      .On<CopyResponseEvent>(&TestingDriverMachine::OnCopyResponse)
+      .On<systest::TimerTick>(&TestingDriverMachine::OnFailureTick);
+  SetStart("Driving");
+}
+
+NodeId TestingDriverMachine::LaunchNode(bool with_extent) {
+  const NodeId node = next_node_++;
+  std::optional<ExtentRecord> initial;
+  if (with_extent) {
+    initial = ExtentRecord{options_.extent, /*version=*/1};
+  }
+  const systest::MachineId machine = Create<ExtentNodeMachine>(
+      "ExtentNode", node, Id(), manager_machine_, initial);
+  const systest::MachineId heartbeat_timer = Create<systest::TimerMachine>(
+      "HeartbeatTimer", machine, /*max_rounds=*/0, kHeartbeatTimer);
+  const systest::MachineId sync_timer = Create<systest::TimerMachine>(
+      "SyncTimer", machine, /*max_rounds=*/0, kSyncReportTimer);
+  Send<NodeTimersEvent>(machine, heartbeat_timer, sync_timer);
+  node_machines_[node] = machine;
+  live_nodes_.push_back(node);
+  return node;
+}
+
+void TestingDriverMachine::OnStart() {
+  manager_machine_ =
+      Create<ExtentManagerMachine>("ExtentManager", options_.manager);
+  Send<MgrConfigEvent>(manager_machine_, Id());
+  // The Extent Manager's two internal loops are driven by modeled timers
+  // (paper §3.3: all timing nondeterminism is delegated to the engine).
+  Create<systest::TimerMachine>("ExpirationLoopTimer", manager_machine_,
+                                /*max_rounds=*/0, kExpirationLoopTimer);
+  Create<systest::TimerMachine>("RepairLoopTimer", manager_machine_,
+                                /*max_rounds=*/0, kRepairLoopTimer);
+  for (std::size_t i = 0; i < options_.num_nodes; ++i) {
+    LaunchNode(/*with_extent=*/i < options_.initial_replicas);
+  }
+  if (options_.inject_failure) {
+    failure_timer_ = Create<systest::TimerMachine>(
+        "FailureTimer", Id(), /*max_rounds=*/0, kFailureTimer);
+  }
+}
+
+systest::MachineId TestingDriverMachine::MachineOf(NodeId node) {
+  const auto it = node_machines_.find(node);
+  Assert(it != node_machines_.end(),
+         "message routed to unknown EN " + std::to_string(node));
+  return it->second;
+}
+
+void TestingDriverMachine::OnMgrOutbound(const MgrOutboundEvent& outbound) {
+  // Dispatch an intercepted Extent Manager message to the destination EN
+  // machine (paper §3.1).
+  Assert(outbound.message->GetType() == Message::Type::kRepairRequest,
+         "unexpected outbound ExtMgr message: " + outbound.message->Describe());
+  Send<RepairRequestEvent>(
+      MachineOf(outbound.destination),
+      std::static_pointer_cast<const RepairRequestMessage>(outbound.message));
+}
+
+void TestingDriverMachine::OnCopyRequest(const CopyRequestEvent& request) {
+  Send<CopyRequestEvent>(MachineOf(request.source), request.requester,
+                         request.source, request.extent);
+}
+
+void TestingDriverMachine::OnCopyResponse(const CopyResponseEvent& response) {
+  Send<CopyResponseEvent>(MachineOf(response.requester), response.requester,
+                          response.source, response.record, response.success);
+}
+
+void TestingDriverMachine::OnFailureTick(const systest::TimerTick& tick) {
+  Assert(tick.tag == kFailureTimer, "driver received a foreign timer tick");
+  Send<systest::TickAck>(tick.timer);
+  if (failure_injected_) {
+    return;  // a tick may already be queued when the timer is cancelled
+  }
+  failure_injected_ = true;
+  Send<systest::CancelTimer>(failure_timer_);
+  // Nondeterministically choose an EN and fail it (paper Fig. 10), then
+  // launch a fresh replacement EN (scenario 2, §3.4).
+  const std::size_t index = NondetInt(live_nodes_.size());
+  const NodeId victim = live_nodes_[index];
+  live_nodes_.erase(live_nodes_.begin() + static_cast<std::ptrdiff_t>(index));
+  Send<FailureEvent>(MachineOf(victim));
+  LaunchNode(/*with_extent=*/false);
+}
+
+}  // namespace vnext

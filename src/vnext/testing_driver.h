@@ -1,0 +1,55 @@
+// SysTest — Azure Storage vNext case study (§3.4).
+//
+// TestingDriver: drives the testing scenarios, relays messages between
+// machines, and injects failures (paper Fig. 10). Scenario 1 launches one
+// ExtentManager and N ENs with the extent under-replicated and waits for
+// replication; scenario 2 starts fully replicated, fails a nondeterministically
+// chosen EN at a nondeterministic time, launches a replacement, and waits for
+// the extent to be repaired.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/timer.h"
+#include "vnext/extent_manager.h"
+#include "vnext/harness_events.h"
+
+namespace vnext {
+
+struct DriverOptions {
+  ExtentManagerOptions manager;
+  std::size_t num_nodes = 3;         ///< initial Extent Nodes
+  std::size_t initial_replicas = 3;  ///< how many of them hold the extent
+  bool inject_failure = true;        ///< scenario 2 when true, scenario 1 when false
+  ExtentId extent = 1;
+};
+
+class TestingDriverMachine final : public systest::Machine {
+ public:
+  explicit TestingDriverMachine(DriverOptions options);
+
+ private:
+  void OnStart();
+  void OnMgrOutbound(const MgrOutboundEvent& outbound);
+  void OnCopyRequest(const CopyRequestEvent& request);
+  void OnCopyResponse(const CopyResponseEvent& response);
+  void OnFailureTick(const systest::TimerTick& tick);
+
+  /// Launches a modeled EN plus its heartbeat and sync timers; returns its
+  /// node id.
+  NodeId LaunchNode(bool with_extent);
+  [[nodiscard]] systest::MachineId MachineOf(NodeId node);
+
+  DriverOptions options_;
+  NodeId next_node_ = 1;
+  std::map<NodeId, systest::MachineId> node_machines_;
+  std::vector<NodeId> live_nodes_;
+  systest::MachineId manager_machine_;
+  systest::MachineId failure_timer_;
+  bool failure_injected_ = false;
+};
+
+}  // namespace vnext

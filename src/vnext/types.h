@@ -1,0 +1,115 @@
+// SysTest — Azure Storage vNext case study (§3 of the paper).
+//
+// Core identifier and wire-message types of the vNext extent-management
+// substrate. These types belong to the "real system" side of the case study:
+// the ExtentManager and its protocol know nothing about the P#-style test
+// harness (paper §3.1: "the ExtMgr is simply unaware of the P# test harness
+// and behaves as if it is running in a real distributed environment").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vnext {
+
+/// Identifier of an extent (a multi-gigabyte replicated data container).
+using ExtentId = std::uint64_t;
+
+/// Identifier of an Extent Node (EN) — the process storing extent replicas.
+using NodeId = std::uint64_t;
+
+constexpr NodeId kInvalidNode = 0;
+
+/// Metadata record for one extent replica, as carried in EN sync reports.
+struct ExtentRecord {
+  ExtentId extent = 0;
+  /// Monotonically growing version of the replica's contents; a replica is
+  /// usable as a repair source only if its version matches the latest.
+  std::uint64_t version = 0;
+
+  friend bool operator==(const ExtentRecord&, const ExtentRecord&) = default;
+};
+
+/// Base class of all vNext wire messages exchanged between the Extent
+/// Manager and Extent Nodes through a NetworkEngine.
+class Message {
+ public:
+  enum class Type {
+    kHeartbeat,      ///< EN -> ExtMgr, frequent (every 5s in production)
+    kSyncReport,     ///< EN -> ExtMgr, full replica listing (every 5min)
+    kRepairRequest,  ///< ExtMgr -> EN, schedule repair of an extent
+  };
+
+  explicit Message(Type type) : type_(type) {}
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+  virtual ~Message() = default;
+
+  [[nodiscard]] Type GetType() const noexcept { return type_; }
+  [[nodiscard]] virtual std::string Describe() const = 0;
+
+ private:
+  Type type_;
+};
+
+/// Periodic liveness signal from an EN. An ExtMgr learns about new ENs from
+/// their first heartbeat and detects failure by missing heartbeats (§3).
+struct HeartbeatMessage final : Message {
+  explicit HeartbeatMessage(NodeId node)
+      : Message(Type::kHeartbeat), node(node) {}
+  NodeId node;
+
+  [[nodiscard]] std::string Describe() const override {
+    return "Heartbeat(EN" + std::to_string(node) + ")";
+  }
+};
+
+/// Periodic full listing of the extents stored on an EN. "Its purpose is to
+/// update the ExtMgr's possibly out-of-date view of the EN with the ground
+/// truth" (§3.1).
+struct SyncReportMessage final : Message {
+  SyncReportMessage(NodeId node, std::vector<ExtentRecord> extents)
+      : Message(Type::kSyncReport), node(node), extents(std::move(extents)) {}
+  NodeId node;
+  std::vector<ExtentRecord> extents;
+
+  [[nodiscard]] std::string Describe() const override {
+    return "SyncReport(EN" + std::to_string(node) + ", " +
+           std::to_string(extents.size()) + " extents)";
+  }
+};
+
+/// Instruction from the ExtMgr to `destination`: repair `extent` by copying
+/// from the replica held at `source`.
+struct RepairRequestMessage final : Message {
+  RepairRequestMessage(NodeId destination, ExtentId extent, NodeId source)
+      : Message(Type::kRepairRequest),
+        destination(destination),
+        extent(extent),
+        source(source) {}
+  NodeId destination;
+  ExtentId extent;
+  NodeId source;
+
+  [[nodiscard]] std::string Describe() const override {
+    return "RepairRequest(to EN" + std::to_string(destination) + ", extent " +
+           std::to_string(extent) + ", from EN" + std::to_string(source) + ")";
+  }
+};
+
+/// Network interface of vNext components (paper Fig. 7). The production
+/// implementation would write to sockets; the P# test harness overrides it to
+/// intercept and relay all outbound ExtMgr messages through the testing
+/// engine — "a C# language feature widely used for testing" (§2).
+class NetworkEngine {
+ public:
+  virtual ~NetworkEngine() = default;
+
+  /// Asynchronously sends `message` to the component hosting `destination`.
+  virtual void SendMessage(NodeId destination,
+                           std::shared_ptr<const Message> message) = 0;
+};
+
+}  // namespace vnext

@@ -1,0 +1,140 @@
+// Pins the coroutine-parameter rules the codebase relies on, including the
+// GCC 12.x workaround documented in core/task.h: arguments to functions
+// called inside a co_await expression must be named locals (or trivially
+// copyable values); non-trivial temporaries in the co_await full-expression
+// get bitwise-copied by GCC 12 and end up self-referencing dead frames.
+//
+// These tests assert the SAFE patterns work. (The broken patterns are
+// documented in task.h; we do not test them because they crash rather than
+// fail an assertion.)
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "core/systest.h"
+
+namespace {
+
+using systest::Machine;
+using systest::MachineId;
+using systest::Runtime;
+using systest::Task;
+using systest::TaskOf;
+
+struct Payload {
+  std::string a;
+  std::string b;
+};
+using PayloadVariant = std::variant<int, Payload>;
+
+struct Carry final : systest::Event {
+  Carry(MachineId from, PayloadVariant v) : from(from), v(std::move(v)) {}
+  MachineId from;
+  PayloadVariant v;
+};
+struct Reply final : systest::Event {
+  explicit Reply(int x) : x(x) {}
+  int x;
+};
+
+std::string g_observed;
+
+class EchoMachine final : public Machine {
+ public:
+  EchoMachine() {
+    State("S").On<Carry>(&EchoMachine::OnCarry);
+    SetStart("S");
+  }
+
+ private:
+  void OnCarry(const Carry& carry) {
+    if (const auto* payload = std::get_if<Payload>(&carry.v)) {
+      g_observed = payload->a + "/" + payload->b;
+    }
+    Send<Reply>(carry.from, 42);
+  }
+};
+
+class ProtocolMachine final : public Machine {
+ public:
+  explicit ProtocolMachine(MachineId echo) : echo_(echo) {
+    State("S").OnEntry(&ProtocolMachine::Run);
+    SetStart("S");
+  }
+
+ private:
+  // Awaited coroutine following the codebase rule: const& + trivial params.
+  TaskOf<int> RoundTrip(const PayloadVariant& v) {
+    Send<Carry>(echo_, Id(), v);
+    auto reply = co_await Receive<Reply>();
+    co_return reply->x;
+  }
+
+  Task Run() {
+    for (int i = 0; i < 3; ++i) {
+      // Hoist the non-trivial argument into a named local (the GCC 12 safe
+      // pattern), then await.
+      PayloadVariant v = Payload{"partition" + std::to_string(i),
+                                 "row-key-longer-than-sso-buffer-" +
+                                     std::to_string(i)};
+      const int x = co_await RoundTrip(v);
+      Assert(x == 42, "echo reply");
+    }
+    Halt();
+  }
+
+  MachineId echo_;
+};
+
+TEST(CoroutineRules, NamedLocalArgumentsSurviveNestedAwaits) {
+  g_observed.clear();
+  systest::TestConfig config;
+  config.iterations = 50;
+  config.seed = 5;
+  systest::TestingEngine engine(config, [](Runtime& rt) {
+    auto echo = rt.CreateMachine<EchoMachine>("Echo");
+    rt.CreateMachine<ProtocolMachine>("Protocol", echo);
+  });
+  const auto report = engine.Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+  EXPECT_EQ(g_observed, "partition2/row-key-longer-than-sso-buffer-2");
+}
+
+// Deep nesting: values propagate through three levels of TaskOf.
+class DeepMachine final : public Machine {
+ public:
+  DeepMachine() {
+    State("S").OnEntry(&DeepMachine::Run);
+    SetStart("S");
+  }
+
+ private:
+  TaskOf<std::string> Leaf(const std::string& s) {
+    co_return s + "!";
+  }
+  TaskOf<std::string> Middle(const std::string& s) {
+    std::string decorated = "<" + s + ">";
+    std::string leafed = co_await Leaf(decorated);
+    co_return leafed;
+  }
+  Task Run() {
+    std::string input = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out = co_await Middle(input);
+    Assert(out == "<abcdefghijklmnopqrstuvwxyz0123456789>!", "deep value");
+    Halt();
+  }
+};
+
+TEST(CoroutineRules, DeepNestingPropagatesStringsIntact) {
+  systest::TestConfig config;
+  config.iterations = 5;
+  config.seed = 9;
+  systest::TestingEngine engine(config, [](Runtime& rt) {
+    rt.CreateMachine<DeepMachine>("Deep");
+  });
+  const auto report = engine.Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+}
+
+}  // namespace

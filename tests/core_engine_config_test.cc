@@ -1,0 +1,147 @@
+// Engine configuration behaviors: time budgets, continuing past the first
+// bug, readable-trace production, deadlock reporting toggle, and the
+// cascade-loop guard.
+#include <gtest/gtest.h>
+
+#include "core/systest.h"
+
+namespace {
+
+using systest::BugKind;
+using systest::Event;
+using systest::Machine;
+using systest::Runtime;
+using systest::TestConfig;
+using systest::TestingEngine;
+using systest::TestReport;
+
+struct Spark final : Event {};
+
+// Fails on a coin flip: roughly half of all executions hit the bug.
+class CoinFlipper final : public Machine {
+ public:
+  CoinFlipper() {
+    State("Run").OnEntry(&CoinFlipper::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { Assert(!NondetBool(), "flipped heads"); }
+};
+
+systest::Harness CoinHarness() {
+  return [](Runtime& rt) { rt.CreateMachine<CoinFlipper>("CoinFlipper"); };
+}
+
+TEST(EngineConfig, StopOnFirstBugFalseKeepsExploring) {
+  TestConfig config;
+  config.iterations = 100;
+  config.seed = 5;
+  config.stop_on_first_bug = false;
+  const TestReport report = TestingEngine(config, CoinHarness()).Run();
+  EXPECT_TRUE(report.bug_found);
+  EXPECT_EQ(report.executions, 100u)
+      << "with stop_on_first_bug=false the engine runs the whole budget";
+  // The report keeps the FIRST bug it saw.
+  EXPECT_GE(report.bug_iteration, 1u);
+  EXPECT_LE(report.bug_iteration, 10u) << "a fair coin fails early";
+}
+
+TEST(EngineConfig, TimeBudgetStopsEarly) {
+  TestConfig config;
+  config.iterations = 1'000'000'000;  // would run forever without the budget
+  config.seed = 5;
+  config.time_budget_seconds = 0.05;
+  TestingEngine engine(config, [](Runtime& rt) {
+    rt.CreateMachine<CoinFlipper>("CoinFlipper");
+  });
+  // Make the harness unfailing so only the clock can stop it.
+  TestConfig clean = config;
+  class NoOp final : public Machine {
+   public:
+    NoOp() {
+      State("Run");
+      SetStart("Run");
+    }
+  };
+  const TestReport report =
+      TestingEngine(clean, [](Runtime& rt) { rt.CreateMachine<NoOp>("NoOp"); })
+          .Run();
+  EXPECT_FALSE(report.bug_found);
+  EXPECT_LT(report.executions, 1'000'000'000u);
+  EXPECT_LT(report.total_seconds, 5.0);
+}
+
+TEST(EngineConfig, ReadableTraceOnBugIsPopulated) {
+  TestConfig config;
+  config.iterations = 100;
+  config.seed = 5;
+  config.readable_trace_on_bug = true;
+  const TestReport report = TestingEngine(config, CoinHarness()).Run();
+  ASSERT_TRUE(report.bug_found);
+  EXPECT_NE(report.execution_log.find("CoinFlipper"), std::string::npos);
+  EXPECT_NE(report.execution_log.find("start"), std::string::npos);
+}
+
+// A machine that blocks forever in Receive: with deadlock reporting off the
+// execution must end quietly.
+class Blocker final : public Machine {
+ public:
+  Blocker() {
+    State("Run").OnEntry(&Blocker::Protocol);
+    SetStart("Run");
+  }
+
+ private:
+  systest::Task Protocol() { (void)co_await Receive<Spark>(); }
+};
+
+TEST(EngineConfig, DeadlockReportingCanBeDisabled) {
+  TestConfig config;
+  config.iterations = 10;
+  config.seed = 1;
+  config.report_deadlock = false;
+  const TestReport report =
+      TestingEngine(config,
+                    [](Runtime& rt) { rt.CreateMachine<Blocker>("Blocker"); })
+          .Run();
+  EXPECT_FALSE(report.bug_found);
+
+  config.report_deadlock = true;
+  const TestReport strict =
+      TestingEngine(config,
+                    [](Runtime& rt) { rt.CreateMachine<Blocker>("Blocker"); })
+          .Run();
+  ASSERT_TRUE(strict.bug_found);
+  EXPECT_EQ(strict.bug_kind, BugKind::kDeadlock);
+}
+
+// A raise loop that never yields must be caught by the cascade guard instead
+// of hanging the engine.
+struct Loop final : Event {};
+class RaiseLooper final : public Machine {
+ public:
+  RaiseLooper() {
+    State("Run").OnEntry(&RaiseLooper::OnStart).On<Loop>(&RaiseLooper::OnLoop);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { Raise<Loop>(); }
+  void OnLoop(const Loop&) { Raise<Loop>(); }
+};
+
+TEST(EngineConfig, RaiseLoopIsCaughtByCascadeGuard) {
+  TestConfig config;
+  config.iterations = 1;
+  config.seed = 1;
+  const TestReport report =
+      TestingEngine(config, [](Runtime& rt) {
+        rt.CreateMachine<RaiseLooper>("RaiseLooper");
+      }).Run();
+  ASSERT_TRUE(report.bug_found);
+  EXPECT_EQ(report.bug_kind, BugKind::kHarnessError);
+  EXPECT_NE(report.bug_message.find("cascade"), std::string::npos);
+}
+
+}  // namespace

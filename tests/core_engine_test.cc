@@ -1,0 +1,231 @@
+// Unit tests for the TestingEngine, scheduling strategies, trace recording
+// and deterministic replay.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/systest.h"
+
+namespace {
+
+using systest::BugKind;
+using systest::Event;
+using systest::Machine;
+using systest::MachineId;
+using systest::PctStrategy;
+using systest::RandomStrategy;
+using systest::StrategyKind;
+using systest::TestConfig;
+using systest::TestingEngine;
+using systest::TestReport;
+using systest::Trace;
+
+struct Go final : Event {};
+
+// Two racers each send Go to a referee; the referee asserts that racer A
+// arrives first. Under any exploring scheduler, the opposite order must be
+// found quickly — a minimal "ordering bug".
+struct ArrivalEvent final : Event {
+  explicit ArrivalEvent(int who) : who(who) {}
+  int who;
+};
+
+class Referee final : public Machine {
+ public:
+  Referee() {
+    State("Run").On<ArrivalEvent>(&Referee::OnArrival);
+    SetStart("Run");
+  }
+
+ private:
+  void OnArrival(const ArrivalEvent& arrival) {
+    if (first_ == 0) {
+      first_ = arrival.who;
+      Assert(first_ == 1, "racer 2 arrived first");
+    }
+  }
+  int first_ = 0;
+};
+
+class Racer final : public Machine {
+ public:
+  Racer(MachineId referee, int who) : referee_(referee), who_(who) {
+    State("Run").OnEntry(&Racer::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { Send<ArrivalEvent>(referee_, who_); }
+  MachineId referee_;
+  int who_;
+};
+
+systest::Harness RaceHarness() {
+  return [](systest::Runtime& rt) {
+    auto referee = rt.CreateMachine<Referee>("Referee");
+    rt.CreateMachine<Racer>("Racer1", referee, 1);
+    rt.CreateMachine<Racer>("Racer2", referee, 2);
+  };
+}
+
+TEST(TestingEngine, RandomSchedulerFindsOrderingBug) {
+  TestConfig config;
+  config.iterations = 1'000;
+  config.seed = 1;
+  config.strategy = StrategyKind::kRandom;
+  TestingEngine engine(config, RaceHarness());
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+  EXPECT_EQ(report.bug_kind, BugKind::kSafety);
+  EXPECT_GT(report.ndc, 0u);
+  EXPECT_GE(report.bug_iteration, 1u);
+}
+
+TEST(TestingEngine, PctSchedulerFindsOrderingBug) {
+  TestConfig config;
+  config.iterations = 1'000;
+  config.seed = 1;
+  config.strategy = StrategyKind::kPct;
+  config.strategy_budget = 2;
+  TestingEngine engine(config, RaceHarness());
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+  EXPECT_EQ(report.bug_kind, BugKind::kSafety);
+}
+
+TEST(TestingEngine, ReplayReproducesTheSameBug) {
+  TestConfig config;
+  config.iterations = 1'000;
+  config.seed = 7;
+  TestingEngine engine(config, RaceHarness());
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+
+  const TestReport replayed = engine.Replay(report.bug_trace);
+  ASSERT_TRUE(replayed.bug_found);
+  EXPECT_EQ(replayed.bug_kind, report.bug_kind);
+  EXPECT_EQ(replayed.bug_message, report.bug_message);
+  EXPECT_EQ(replayed.ndc, report.ndc);
+  // The replay runs with readable logging; the log must mention the racers.
+  EXPECT_NE(replayed.execution_log.find("Racer2"), std::string::npos);
+}
+
+TEST(TestingEngine, TraceRoundTripsThroughText) {
+  TestConfig config;
+  config.iterations = 1'000;
+  config.seed = 7;
+  TestingEngine engine(config, RaceHarness());
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+
+  const Trace parsed = Trace::Parse(report.bug_trace.ToString());
+  EXPECT_EQ(parsed, report.bug_trace);
+  const TestReport replayed = engine.Replay(parsed);
+  EXPECT_TRUE(replayed.bug_found);
+}
+
+TEST(TestingEngine, SameSeedIsDeterministic) {
+  TestConfig config;
+  config.iterations = 200;
+  config.seed = 42;
+  const TestReport a = TestingEngine(config, RaceHarness()).Run();
+  const TestReport b = TestingEngine(config, RaceHarness()).Run();
+  ASSERT_EQ(a.bug_found, b.bug_found);
+  EXPECT_EQ(a.bug_iteration, b.bug_iteration);
+  EXPECT_EQ(a.bug_trace, b.bug_trace);
+}
+
+TEST(TestingEngine, CleanProgramReportsNoBug) {
+  TestConfig config;
+  config.iterations = 200;
+  config.seed = 3;
+  TestingEngine engine(config, [](systest::Runtime& rt) {
+    auto referee = rt.CreateMachine<Referee>("Referee");
+    rt.CreateMachine<Racer>("Racer1", referee, 1);  // only racer 1: no race
+  });
+  const TestReport report = engine.Run();
+  EXPECT_FALSE(report.bug_found);
+  EXPECT_EQ(report.executions, 200u);
+  EXPECT_GT(report.total_steps, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Nondet choice coverage: the engine must explore both branches of a
+// controlled boolean choice and all values of an integer choice.
+
+struct Mark final : Event {};
+
+std::set<std::uint64_t>* g_seen = nullptr;
+
+class Chooser final : public Machine {
+ public:
+  Chooser() {
+    State("Run").OnEntry(&Chooser::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { g_seen->insert(NondetInt(5)); }
+};
+
+TEST(TestingEngine, NondetIntExploresAllValues) {
+  std::set<std::uint64_t> seen;
+  g_seen = &seen;
+  TestConfig config;
+  config.iterations = 200;
+  config.seed = 11;
+  TestingEngine engine(config, [](systest::Runtime& rt) {
+    rt.CreateMachine<Chooser>("Chooser");
+  });
+  const TestReport report = engine.Run();
+  g_seen = nullptr;
+  EXPECT_FALSE(report.bug_found);
+  EXPECT_EQ(seen.size(), 5u) << "all 5 values of NondetInt(5) explored";
+}
+
+// ---------------------------------------------------------------------------
+// Strategy unit behavior.
+
+TEST(Strategies, RandomIsSeedDeterministic) {
+  RandomStrategy a(99), b(99);
+  a.PrepareIteration(4, 100);
+  b.PrepareIteration(4, 100);
+  const MachineId ids[] = {MachineId{1}, MachineId{2}, MachineId{3}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next(ids, i).value, b.Next(ids, i).value);
+    EXPECT_EQ(a.NextInt(7), b.NextInt(7));
+  }
+}
+
+TEST(Strategies, PctPrefersOneMachineBetweenChangePoints) {
+  PctStrategy strategy(5, 0);  // no change points: pure priority
+  strategy.PrepareIteration(0, 100);
+  const MachineId ids[] = {MachineId{1}, MachineId{2}, MachineId{3}};
+  const MachineId first = strategy.Next(ids, 0);
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_EQ(strategy.Next(ids, i).value, first.value)
+        << "without change points PCT must keep scheduling the highest "
+           "priority machine";
+  }
+}
+
+TEST(Strategies, PctChangePointChangesSchedule) {
+  // With a demotion budget, the preferred machine must change at some step.
+  PctStrategy strategy(5, 3);
+  strategy.PrepareIteration(0, 50);
+  const MachineId ids[] = {MachineId{1}, MachineId{2}, MachineId{3}};
+  std::set<std::uint64_t> scheduled;
+  for (int i = 0; i < 50; ++i) {
+    scheduled.insert(strategy.Next(ids, i).value);
+  }
+  EXPECT_GT(scheduled.size(), 1u);
+}
+
+TEST(Strategies, TraceParseRejectsGarbage) {
+  EXPECT_THROW(Trace::Parse("x1"), std::invalid_argument);
+  EXPECT_THROW(Trace::Parse("i3"), std::invalid_argument);   // missing bound
+  EXPECT_THROW(Trace::Parse("s;b1"), std::invalid_argument); // empty number
+}
+
+}  // namespace

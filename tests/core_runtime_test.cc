@@ -1,0 +1,565 @@
+// Unit tests for the SysTest core runtime: machine semantics (send, raise,
+// goto, defer, ignore, halt, receive), monitor semantics, and end-of-execution
+// property checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/systest.h"
+
+namespace {
+
+using systest::BugFound;
+using systest::BugKind;
+using systest::Event;
+using systest::Harness;
+using systest::Machine;
+using systest::MachineId;
+using systest::Monitor;
+using systest::RoundRobinStrategy;
+using systest::Runtime;
+using systest::RuntimeOptions;
+using systest::Task;
+using systest::TestConfig;
+using systest::TestingEngine;
+using systest::TestReport;
+
+// ---------------------------------------------------------------------------
+// Events shared by the test machines.
+
+struct Ping final : Event {
+  explicit Ping(int n) : n(n) {}
+  int n;
+};
+struct Pong final : Event {
+  explicit Pong(int n) : n(n) {}
+  int n;
+};
+struct Kick final : Event {};
+struct Stop final : Event {};
+struct Probe final : Event {};
+
+// Shared observation channel for assertions. Reset per test.
+struct Observations {
+  std::vector<std::string> log;
+  int counter = 0;
+};
+Observations* g_obs = nullptr;
+
+class ObservationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs_ = std::make_unique<Observations>();
+    g_obs = obs_.get();
+  }
+  void TearDown() override { g_obs = nullptr; }
+  std::unique_ptr<Observations> obs_;
+};
+
+/// Runs one deterministic (round-robin) execution of `harness` until
+/// quiescence or `max_steps`. Returns steps taken.
+std::uint64_t RunDeterministic(const Harness& harness,
+                               std::uint64_t max_steps = 10'000) {
+  RoundRobinStrategy strategy;
+  strategy.PrepareIteration(0, max_steps);
+  RuntimeOptions options;
+  options.max_steps = max_steps;
+  Runtime rt(strategy, options);
+  harness(rt);
+  while (rt.Steps() < max_steps && rt.Step()) {
+  }
+  rt.CheckTermination(rt.Steps() >= max_steps);
+  return rt.Steps();
+}
+
+// ---------------------------------------------------------------------------
+// Ping-pong: basic send/handle across two machines.
+
+class Ponger final : public Machine {
+ public:
+  Ponger() {
+    State("Run").On<Ping>(&Ponger::OnPing);
+    SetStart("Run");
+  }
+
+ private:
+  void OnPing(const Ping& ping) {
+    g_obs->log.push_back("ping" + std::to_string(ping.n));
+    Send<Pong>(pinger_, ping.n);
+  }
+
+ public:
+  MachineId pinger_;
+};
+
+class Pinger final : public Machine {
+ public:
+  explicit Pinger(int rounds) : rounds_(rounds) {
+    State("Run").OnEntry(&Pinger::OnStart).On<Pong>(&Pinger::OnPong);
+    SetStart("Run");
+  }
+  MachineId ponger_;
+
+ private:
+  void OnStart() { Send<Ping>(ponger_, 0); }
+  void OnPong(const Pong& pong) {
+    g_obs->log.push_back("pong" + std::to_string(pong.n));
+    if (pong.n + 1 < rounds_) {
+      Send<Ping>(ponger_, pong.n + 1);
+    }
+  }
+  int rounds_;
+};
+
+TEST_F(ObservationFixture, PingPongDeliversInOrder) {
+  RunDeterministic([](Runtime& rt) {
+    // Two-phase wiring: create both, then fix up ids via direct access.
+    auto ponger_id = rt.CreateMachine<Ponger>("Ponger");
+    auto pinger_id = rt.CreateMachine<Pinger>("Pinger", 3);
+    static_cast<Ponger*>(rt.FindMachine(ponger_id))->pinger_ = pinger_id;
+    static_cast<Pinger*>(rt.FindMachine(pinger_id))->ponger_ = ponger_id;
+  });
+  ASSERT_EQ(g_obs->log.size(), 6u);
+  EXPECT_EQ(g_obs->log[0], "ping0");
+  EXPECT_EQ(g_obs->log[1], "pong0");
+  EXPECT_EQ(g_obs->log[4], "ping2");
+  EXPECT_EQ(g_obs->log[5], "pong2");
+}
+
+// ---------------------------------------------------------------------------
+// Raise: handled before queued events, in the same step.
+
+class Raiser final : public Machine {
+ public:
+  Raiser() {
+    State("Run")
+        .On<Kick>(&Raiser::OnKick)
+        .On<Probe>(&Raiser::OnProbe)
+        .On<Stop>(&Raiser::OnStop);
+    SetStart("Run");
+  }
+
+ private:
+  void OnKick(const Kick&) {
+    Send<Stop>(Id());  // queued
+    Raise<Probe>();    // must run before Stop
+  }
+  void OnProbe(const Probe&) { g_obs->log.push_back("probe"); }
+  void OnStop(const Stop&) { g_obs->log.push_back("stop"); }
+};
+
+TEST_F(ObservationFixture, RaisedEventBeatsQueuedEvent) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Raiser>("Raiser");
+    rt.SendEvent<Kick>(id);
+  });
+  ASSERT_EQ(g_obs->log.size(), 2u);
+  EXPECT_EQ(g_obs->log[0], "probe");
+  EXPECT_EQ(g_obs->log[1], "stop");
+}
+
+// ---------------------------------------------------------------------------
+// Goto: exit and entry actions run in order; OnGoto transitions directly.
+
+class Walker final : public Machine {
+ public:
+  Walker() {
+    State("A")
+        .OnEntry(&Walker::EnterA)
+        .OnExit(&Walker::ExitA)
+        .On<Kick>(&Walker::OnKickA)
+        .OnGoto<Probe>("C");
+    State("B").OnEntry(&Walker::EnterB).On<Stop>(&Walker::OnStopB);
+    State("C").OnEntry(&Walker::EnterC);
+    SetStart("A");
+  }
+
+ private:
+  void EnterA() { g_obs->log.push_back("enterA"); }
+  void ExitA() { g_obs->log.push_back("exitA"); }
+  void OnKickA(const Kick&) { Goto("B"); }
+  void EnterB() { g_obs->log.push_back("enterB"); }
+  void OnStopB(const Stop&) { g_obs->log.push_back("stopB"); }
+  void EnterC() { g_obs->log.push_back("enterC"); }
+};
+
+TEST_F(ObservationFixture, GotoRunsExitThenEntry) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Walker>("Walker");
+    rt.SendEvent<Kick>(id);
+    rt.SendEvent<Stop>(id);
+  });
+  ASSERT_EQ(g_obs->log.size(), 4u);
+  EXPECT_EQ(g_obs->log[0], "enterA");
+  EXPECT_EQ(g_obs->log[1], "exitA");
+  EXPECT_EQ(g_obs->log[2], "enterB");
+  EXPECT_EQ(g_obs->log[3], "stopB");
+}
+
+TEST_F(ObservationFixture, DeclaredGotoTransitionsWithoutHandler) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Walker>("Walker");
+    rt.SendEvent<Probe>(id);  // OnGoto<Probe>("C")
+  });
+  ASSERT_EQ(g_obs->log.size(), 3u);
+  EXPECT_EQ(g_obs->log[1], "exitA");
+  EXPECT_EQ(g_obs->log[2], "enterC");
+}
+
+// ---------------------------------------------------------------------------
+// Defer and Ignore.
+
+class Deferrer final : public Machine {
+ public:
+  Deferrer() {
+    State("First")
+        .Defer<Probe>()
+        .Ignore<Stop>()
+        .On<Kick>(&Deferrer::OnKick);
+    State("Second").OnEntry(&Deferrer::EnterSecond).On<Probe>(&Deferrer::OnProbe);
+    SetStart("First");
+  }
+
+ private:
+  void OnKick(const Kick&) { Goto("Second"); }
+  void EnterSecond() { g_obs->log.push_back("second"); }
+  void OnProbe(const Probe&) { g_obs->log.push_back("probe"); }
+};
+
+TEST_F(ObservationFixture, DeferredEventIsHandledAfterTransition) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Deferrer>("Deferrer");
+    rt.SendEvent<Probe>(id);  // deferred in First
+    rt.SendEvent<Stop>(id);   // ignored in First
+    rt.SendEvent<Kick>(id);   // transitions to Second
+  });
+  ASSERT_EQ(g_obs->log.size(), 2u);
+  EXPECT_EQ(g_obs->log[0], "second");
+  EXPECT_EQ(g_obs->log[1], "probe");
+}
+
+// ---------------------------------------------------------------------------
+// Unhandled events are a bug.
+
+class NoHandler final : public Machine {
+ public:
+  NoHandler() {
+    State("Run");
+    SetStart("Run");
+  }
+};
+
+TEST_F(ObservationFixture, UnhandledEventIsReported) {
+  try {
+    RunDeterministic([](Runtime& rt) {
+      auto id = rt.CreateMachine<NoHandler>("NoHandler");
+      rt.SendEvent<Kick>(id);
+    });
+    FAIL() << "expected BugFound";
+  } catch (const BugFound& bug) {
+    EXPECT_EQ(bug.Kind(), BugKind::kUnhandledEvent);
+    EXPECT_NE(std::string(bug.what()).find("Kick"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Halt: events to halted machines are dropped silently.
+
+class Halter final : public Machine {
+ public:
+  Halter() {
+    State("Run").On<Kick>(&Halter::OnKick).On<Probe>(&Halter::OnProbe);
+    SetStart("Run");
+  }
+
+ private:
+  void OnKick(const Kick&) {
+    g_obs->log.push_back("kick");
+    Halt();
+  }
+  void OnProbe(const Probe&) { g_obs->log.push_back("probe"); }
+};
+
+TEST_F(ObservationFixture, HaltedMachineDropsSubsequentEvents) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Halter>("Halter");
+    rt.SendEvent<Kick>(id);
+    rt.SendEvent<Probe>(id);  // must be dropped, not unhandled
+  });
+  ASSERT_EQ(g_obs->log.size(), 1u);
+  EXPECT_EQ(g_obs->log[0], "kick");
+}
+
+TEST_F(ObservationFixture, HaltEventHaltsMachine) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Halter>("Halter");
+    rt.SendEvent(id, systest::MakeEvent<systest::HaltEvent>());
+    rt.SendEvent<Probe>(id);
+  });
+  EXPECT_TRUE(g_obs->log.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Receive: coroutine handlers block for specific events; others stay queued.
+
+class Receiver final : public Machine {
+ public:
+  Receiver() {
+    State("Run").OnEntry(&Receiver::Protocol).On<Stop>(&Receiver::OnStop);
+    SetStart("Run");
+  }
+
+ private:
+  Task Protocol() {
+    auto ping = co_await Receive<Ping>();
+    g_obs->log.push_back("got-ping" + std::to_string(ping->n));
+    auto pong = co_await Receive<Pong>();
+    g_obs->log.push_back("got-pong" + std::to_string(pong->n));
+  }
+  void OnStop(const Stop&) { g_obs->log.push_back("stop"); }
+};
+
+TEST_F(ObservationFixture, ReceiveDequeuesOnlyMatchingEvents) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<Receiver>("Receiver");
+    // Pong arrives before Ping, but the protocol waits for Ping first: the
+    // Pong must stay queued and be delivered to the second Receive.
+    rt.SendEvent<Pong>(id, 7);
+    rt.SendEvent<Ping>(id, 3);
+    rt.SendEvent<Stop>(id);
+  });
+  ASSERT_EQ(g_obs->log.size(), 3u);
+  EXPECT_EQ(g_obs->log[0], "got-ping3");
+  EXPECT_EQ(g_obs->log[1], "got-pong7");
+  EXPECT_EQ(g_obs->log[2], "stop");  // handled after the coroutine finished
+}
+
+// Nested coroutines: a handler co_awaits a sub-task that itself receives.
+class NestedReceiver final : public Machine {
+ public:
+  NestedReceiver() {
+    State("Run").OnEntry(&NestedReceiver::Protocol);
+    SetStart("Run");
+  }
+
+ private:
+  systest::TaskOf<int> ReceiveTwo() {
+    auto a = co_await Receive<Ping>();
+    auto b = co_await Receive<Ping>();
+    co_return a->n + b->n;
+  }
+  Task Protocol() {
+    const int sum = co_await ReceiveTwo();
+    g_obs->counter = sum;
+  }
+};
+
+TEST_F(ObservationFixture, NestedTasksPropagateValues) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<NestedReceiver>("NestedReceiver");
+    rt.SendEvent<Ping>(id, 20);
+    rt.SendEvent<Ping>(id, 22);
+  });
+  EXPECT_EQ(g_obs->counter, 42);
+}
+
+class AnyReceiver final : public Machine {
+ public:
+  AnyReceiver() {
+    State("Run").OnEntry(&AnyReceiver::Protocol).Ignore<Pong>();
+    SetStart("Run");
+  }
+
+ private:
+  Task Protocol() {
+    auto ev = co_await ReceiveAny<Ping, Stop>();
+    g_obs->log.push_back(ev->Name());
+  }
+};
+
+TEST_F(ObservationFixture, ReceiveAnyTakesFirstMatching) {
+  RunDeterministic([](Runtime& rt) {
+    auto id = rt.CreateMachine<AnyReceiver>("AnyReceiver");
+    rt.SendEvent<Pong>(id, 1);  // not in the wait set — stays queued
+    rt.SendEvent<Stop>(id);
+  });
+  ASSERT_EQ(g_obs->log.size(), 1u);
+  EXPECT_EQ(g_obs->log[0], "Stop");
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock: a machine blocked in Receive at quiescence.
+
+class Starver final : public Machine {
+ public:
+  Starver() {
+    State("Run").OnEntry(&Starver::Protocol);
+    SetStart("Run");
+  }
+
+ private:
+  Task Protocol() {
+    (void)co_await Receive<Ping>();  // never sent
+  }
+};
+
+TEST_F(ObservationFixture, BlockedReceiveAtQuiescenceIsDeadlock) {
+  try {
+    RunDeterministic(
+        [](Runtime& rt) { rt.CreateMachine<Starver>("Starver"); });
+    FAIL() << "expected BugFound";
+  } catch (const BugFound& bug) {
+    EXPECT_EQ(bug.Kind(), BugKind::kDeadlock);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monitors: safety assertion and hot-at-quiescence liveness.
+
+struct Observed final : Event {};
+struct Progress final : Event {};
+
+class CountingMonitor final : public Monitor {
+ public:
+  explicit CountingMonitor(int limit) : limit_(limit) {
+    State("Run").On<Observed>(&CountingMonitor::OnObserved);
+    SetStart("Run");
+  }
+
+ private:
+  void OnObserved() {
+    ++count_;
+    Assert(count_ <= limit_, "observed too many notifications");
+  }
+  int limit_;
+  int count_ = 0;
+};
+
+class Notifier final : public Machine {
+ public:
+  explicit Notifier(int times) : times_(times) {
+    State("Run").OnEntry(&Notifier::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() {
+    for (int i = 0; i < times_; ++i) {
+      Notify<CountingMonitor, Observed>();
+    }
+  }
+  int times_;
+};
+
+TEST_F(ObservationFixture, SafetyMonitorAssertFires) {
+  try {
+    RunDeterministic([](Runtime& rt) {
+      rt.RegisterMonitor<CountingMonitor>("CountingMonitor", 2);
+      rt.CreateMachine<Notifier>("Notifier", 3);
+    });
+    FAIL() << "expected BugFound";
+  } catch (const BugFound& bug) {
+    EXPECT_EQ(bug.Kind(), BugKind::kSafety);
+    EXPECT_NE(std::string(bug.what()).find("too many"), std::string::npos);
+  }
+}
+
+TEST_F(ObservationFixture, SafetyMonitorWithinLimitPasses) {
+  EXPECT_NO_THROW(RunDeterministic([](Runtime& rt) {
+    rt.RegisterMonitor<CountingMonitor>("CountingMonitor", 3);
+    rt.CreateMachine<Notifier>("Notifier", 3);
+  }));
+}
+
+class HotColdMonitor final : public Monitor {
+ public:
+  HotColdMonitor() {
+    State("Cold").Cold().On<Observed>(&HotColdMonitor::ToHot).Ignore<Progress>();
+    State("Hot").Hot().On<Progress>(&HotColdMonitor::ToCold).Ignore<Observed>();
+    SetStart("Cold");
+  }
+
+ private:
+  void ToHot() { Goto("Hot"); }
+  void ToCold() { Goto("Cold"); }
+};
+
+class HotDriver final : public Machine {
+ public:
+  explicit HotDriver(bool make_progress) : make_progress_(make_progress) {
+    State("Run").OnEntry(&HotDriver::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() {
+    Notify<HotColdMonitor, Observed>();
+    if (make_progress_) {
+      Notify<HotColdMonitor, Progress>();
+    }
+  }
+  bool make_progress_;
+};
+
+TEST_F(ObservationFixture, HotMonitorAtQuiescenceIsLivenessBug) {
+  try {
+    RunDeterministic([](Runtime& rt) {
+      rt.RegisterMonitor<HotColdMonitor>("HotColdMonitor");
+      rt.CreateMachine<HotDriver>("HotDriver", false);
+    });
+    FAIL() << "expected BugFound";
+  } catch (const BugFound& bug) {
+    EXPECT_EQ(bug.Kind(), BugKind::kLiveness);
+  }
+}
+
+TEST_F(ObservationFixture, ColdMonitorAtQuiescencePasses) {
+  EXPECT_NO_THROW(RunDeterministic([](Runtime& rt) {
+    rt.RegisterMonitor<HotColdMonitor>("HotColdMonitor");
+    rt.CreateMachine<HotDriver>("HotDriver", true);
+  }));
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level Assert.
+
+class SelfAsserter final : public Machine {
+ public:
+  SelfAsserter() {
+    State("Run").OnEntry(&SelfAsserter::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { Assert(false, "boom"); }
+};
+
+TEST_F(ObservationFixture, MachineAssertIsSafetyBug) {
+  try {
+    RunDeterministic(
+        [](Runtime& rt) { rt.CreateMachine<SelfAsserter>("SelfAsserter"); });
+    FAIL() << "expected BugFound";
+  } catch (const BugFound& bug) {
+    EXPECT_EQ(bug.Kind(), BugKind::kSafety);
+    EXPECT_NE(std::string(bug.what()).find("boom"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime stats (feeds the Table 1 bench).
+
+TEST_F(ObservationFixture, StatsCountStatesAndHandlers) {
+  RoundRobinStrategy strategy;
+  strategy.PrepareIteration(0, 100);
+  Runtime rt(strategy, {});
+  rt.CreateMachine<Walker>("Walker");
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.machines, 1u);
+  EXPECT_EQ(stats.states, 3u);
+  EXPECT_GE(stats.action_handlers, 5u);
+  EXPECT_EQ(stats.declared_transitions, 1u);  // OnGoto<Probe>
+}
+
+}  // namespace

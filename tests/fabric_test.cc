@@ -1,0 +1,112 @@
+// Tests for the Azure Service Fabric case study (§5): the fixed model
+// converges under failover, the promote-during-copy model bug fires the §5
+// role assertion, and the CScale-like pipeline's configuration race is
+// detected.
+#include <gtest/gtest.h>
+
+#include "core/systest.h"
+#include "fabric/harness.h"
+
+namespace {
+
+using fabric::FailoverOptions;
+using fabric::MakeFailoverHarness;
+using fabric::MakePipelineHarness;
+using fabric::PipelineOptions;
+using systest::BugKind;
+using systest::StrategyKind;
+using systest::TestConfig;
+using systest::TestingEngine;
+using systest::TestReport;
+
+TestConfig Config(StrategyKind strategy, std::uint64_t iterations) {
+  TestConfig config = fabric::DefaultConfig(strategy);
+  config.iterations = iterations;
+  return config;
+}
+
+TEST(FabricFailover, FixedModelConvergesUnderDoubleFailover) {
+  FailoverOptions options;  // no bugs
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kRandom, 10'000),
+                    MakeFailoverHarness(options))
+          .Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+}
+
+TEST(FabricFailover, FixedModelConvergesUnderPct) {
+  FailoverOptions options;
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kPct, 10'000),
+                    MakeFailoverHarness(options))
+          .Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+}
+
+TEST(FabricFailover, PromoteDuringCopyFiresRoleAssertion) {
+  FailoverOptions options;
+  options.bugs.promote_during_copy = true;
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kRandom, 100'000),
+                    MakeFailoverHarness(options))
+          .Run();
+  ASSERT_TRUE(report.bug_found) << report.Summary();
+  EXPECT_EQ(report.bug_kind, BugKind::kSafety);
+  EXPECT_NE(report.bug_message.find(
+                "only a secondary can be promoted to an active secondary"),
+            std::string::npos);
+}
+
+TEST(FabricFailover, SingleFailureAlsoConverges) {
+  FailoverOptions options;
+  options.failures = 1;
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kRandom, 5'000),
+                    MakeFailoverHarness(options))
+          .Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+}
+
+TEST(FabricFailover, FiveReplicasConverge) {
+  FailoverOptions options;
+  options.replicas = 5;
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kRandom, 3'000),
+                    MakeFailoverHarness(options))
+          .Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+}
+
+TEST(FabricFailover, BugTraceReplaysDeterministically) {
+  FailoverOptions options;
+  options.bugs.promote_during_copy = true;
+  TestingEngine engine(Config(StrategyKind::kRandom, 100'000),
+                       MakeFailoverHarness(options));
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+  const TestReport replay = engine.Replay(report.bug_trace);
+  ASSERT_TRUE(replay.bug_found);
+  EXPECT_EQ(replay.bug_message, report.bug_message);
+}
+
+TEST(FabricPipeline, FixedAggregatorHandlesConfigRace) {
+  PipelineOptions options;
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kRandom, 5'000),
+                    MakePipelineHarness(options))
+          .Run();
+  EXPECT_FALSE(report.bug_found) << report.Summary();
+}
+
+TEST(FabricPipeline, UnguardedConfigIsNullDereference) {
+  PipelineOptions options;
+  options.bugs.unguarded_pipeline_config = true;
+  const TestReport report =
+      TestingEngine(Config(StrategyKind::kRandom, 100'000),
+                    MakePipelineHarness(options))
+          .Run();
+  ASSERT_TRUE(report.bug_found) << report.Summary();
+  EXPECT_NE(report.bug_message.find("null dereference"), std::string::npos);
+}
+
+}  // namespace
