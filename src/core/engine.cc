@@ -27,22 +27,20 @@ std::string TestReport::Summary() const {
   return out;
 }
 
-TestingEngine::TestingEngine(TestConfig config, Harness harness)
-    : config_(std::move(config)), harness_(std::move(harness)) {}
-
-RuntimeOptions TestingEngine::MakeRuntimeOptions(bool logging) const {
+RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
   RuntimeOptions options;
-  options.max_steps = config_.max_steps;
+  options.max_steps = config.max_steps;
   options.liveness_temperature_threshold =
-      config_.liveness_temperature_threshold;
-  options.report_deadlock = config_.report_deadlock;
+      config.liveness_temperature_threshold;
+  options.report_deadlock = config.report_deadlock;
   options.logging = logging;
   return options;
 }
 
-bool TestingEngine::ExecuteOnce(Runtime& runtime) {
-  harness_(runtime);
-  while (runtime.Steps() < config_.max_steps) {
+bool StepToCompletion(Runtime& runtime, const Harness& harness,
+                      std::uint64_t max_steps) {
+  harness(runtime);
+  while (runtime.Steps() < max_steps) {
     if (!runtime.Step()) {
       runtime.CheckTermination(/*hit_bound=*/false);
       return false;
@@ -51,6 +49,28 @@ bool TestingEngine::ExecuteOnce(Runtime& runtime) {
   runtime.CheckTermination(/*hit_bound=*/true);
   return true;
 }
+
+ExecutionResult RunOneExecution(const TestConfig& config,
+                                const Harness& harness,
+                                SchedulingStrategy& strategy,
+                                std::uint64_t iteration) {
+  ExecutionResult result;
+  strategy.PrepareIteration(iteration, config.max_steps);
+  Runtime runtime(strategy, MakeRuntimeOptions(config, false));
+  try {
+    result.hit_step_bound = StepToCompletion(runtime, harness, config.max_steps);
+  } catch (const BugFound& bug) {
+    result.bug_found = true;
+    result.bug_kind = bug.Kind();
+    result.bug_message = bug.what();
+    result.trace = runtime.GetTrace();
+  }
+  result.steps = runtime.Steps();
+  return result;
+}
+
+TestingEngine::TestingEngine(TestConfig config, Harness harness)
+    : config_(std::move(config)), harness_(std::move(harness)) {}
 
 TestReport TestingEngine::Run() {
   TestReport report;
@@ -65,25 +85,22 @@ TestReport TestingEngine::Run() {
         SecondsSince(start) >= config_.time_budget_seconds) {
       break;
     }
-    strategy->PrepareIteration(iteration, config_.max_steps);
-    Runtime runtime(*strategy, MakeRuntimeOptions(false));
     ++report.executions;
-    try {
-      ExecuteOnce(runtime);
-      report.total_steps += runtime.Steps();
-    } catch (const BugFound& bug) {
-      report.total_steps += runtime.Steps();
+    ExecutionResult result =
+        RunOneExecution(config_, harness_, *strategy, iteration);
+    report.total_steps += result.steps;
+    if (result.bug_found) {
       if (!report.bug_found) {
         // Keep the FIRST violation; with stop_on_first_bug=false later
         // buggy executions only contribute to the execution count.
         report.bug_found = true;
-        report.bug_kind = bug.Kind();
-        report.bug_message = bug.what();
+        report.bug_kind = result.bug_kind;
+        report.bug_message = result.bug_message;
         report.bug_iteration = iteration + 1;
         report.seconds_to_bug = SecondsSince(start);
-        report.ndc = runtime.GetTrace().Size();
-        report.bug_steps = runtime.Steps();
-        report.bug_trace = runtime.GetTrace();
+        report.ndc = result.trace.Size();
+        report.bug_steps = result.steps;
+        report.bug_trace = std::move(result.trace);
         if (config_.readable_trace_on_bug) {
           report.execution_log = Replay(report.bug_trace).execution_log;
         }
@@ -102,11 +119,11 @@ TestReport TestingEngine::Replay(const Trace& trace) {
   ReplayStrategy strategy(trace);
   strategy.PrepareIteration(0, config_.max_steps);
   report.strategy_name = strategy.Name();
-  Runtime runtime(strategy, MakeRuntimeOptions(true));
+  Runtime runtime(strategy, MakeRuntimeOptions(config_, true));
   ++report.executions;
   const auto start = Clock::now();
   try {
-    ExecuteOnce(runtime);
+    StepToCompletion(runtime, harness_, config_.max_steps);
   } catch (const BugFound& bug) {
     report.bug_found = true;
     report.bug_kind = bug.Kind();

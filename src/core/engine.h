@@ -62,6 +62,35 @@ struct TestReport {
   [[nodiscard]] std::string Summary() const;
 };
 
+/// Outcome of one serialized execution. Shared currency between the serial
+/// TestingEngine and the parallel engines in src/explore/.
+struct ExecutionResult {
+  bool bug_found = false;
+  BugKind bug_kind = BugKind::kSafety;
+  std::string bug_message;
+  std::uint64_t steps = 0;        ///< scheduling steps performed
+  bool hit_step_bound = false;    ///< true when max_steps was reached
+  Trace trace;                    ///< replayable witness; filled only on a bug
+};
+
+/// Builds the per-execution RuntimeOptions implied by `config`.
+RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging);
+
+/// Steps `runtime` (already populated via `harness`) to quiescence or the
+/// step bound, running the end-of-execution property checks. Returns true if
+/// the step bound was hit. Throws BugFound on a violation.
+bool StepToCompletion(Runtime& runtime, const Harness& harness,
+                      std::uint64_t max_steps);
+
+/// Runs exactly one execution of `harness` for the given 0-based `iteration`:
+/// prepares `strategy`, builds a fresh Runtime, steps it to completion and
+/// converts any BugFound into the returned result. This is the unit of work
+/// that both TestingEngine::Run and ParallelTestingEngine workers schedule.
+ExecutionResult RunOneExecution(const TestConfig& config,
+                                const Harness& harness,
+                                SchedulingStrategy& strategy,
+                                std::uint64_t iteration);
+
 /// Systematic testing engine. Thread-compatible; one engine per thread.
 class TestingEngine {
  public:
@@ -79,10 +108,6 @@ class TestingEngine {
   [[nodiscard]] const TestConfig& Config() const noexcept { return config_; }
 
  private:
-  RuntimeOptions MakeRuntimeOptions(bool logging) const;
-  /// Runs one execution on `runtime`; returns true if it hit the step bound.
-  bool ExecuteOnce(Runtime& runtime);
-
   TestConfig config_;
   Harness harness_;
 };

@@ -50,24 +50,29 @@ std::uint64_t PctStrategy::PriorityOf(MachineId id) {
 
 MachineId PctStrategy::Next(std::span<const MachineId> enabled,
                             std::uint64_t step) {
-  MachineId best = enabled.front();
-  std::uint64_t best_priority = PriorityOf(best);
-  for (const MachineId id : enabled.subspan(1)) {
-    const std::uint64_t p = PriorityOf(id);
-    if (p > best_priority) {
-      best = id;
-      best_priority = p;
+  while (true) {
+    MachineId best = enabled.front();
+    std::uint64_t best_priority = PriorityOf(best);
+    for (const MachineId id : enabled.subspan(1)) {
+      const std::uint64_t p = PriorityOf(id);
+      if (p > best_priority) {
+        best = id;
+        best_priority = p;
+      }
     }
+    // At each change point, demote the machine that would run now below
+    // every other machine, forcing a different interleaving prefix. Only
+    // points due at this step are consumed: re-selection happens at the SAME
+    // step, so a change point placed at step+1 still fires on the next call.
+    // (Duplicate sampled points at this step each demote the re-selected
+    // leader in turn.)
+    if (!change_points_.empty() && step >= change_points_.front()) {
+      change_points_.erase(change_points_.begin());
+      priorities_[best.value] = --low_water_;
+      continue;
+    }
+    return best;
   }
-  // At each change point, demote the machine that would run now below every
-  // other machine, forcing a different interleaving prefix.
-  if (!change_points_.empty() && step >= change_points_.front()) {
-    change_points_.erase(change_points_.begin());
-    priorities_[best.value] = --low_water_;
-    // Re-select under the new priorities.
-    return Next(enabled, step + 1);  // step+1 avoids re-consuming the point
-  }
-  return best;
 }
 
 // ---------------------------------------------------------------------------
@@ -75,7 +80,7 @@ MachineId PctStrategy::Next(std::span<const MachineId> enabled,
 
 void RoundRobinStrategy::PrepareIteration(std::uint64_t iteration,
                                           std::uint64_t /*max_steps*/) {
-  cursor_ = iteration;  // rotate the starting machine across iterations
+  cursor_ = base_ + iteration;  // rotate the starting machine across iterations
   counter_ = 0;
 }
 
@@ -102,7 +107,10 @@ void DelayBoundedStrategy::PrepareIteration(std::uint64_t iteration,
 
 MachineId DelayBoundedStrategy::Next(std::span<const MachineId> enabled,
                                      std::uint64_t step) {
-  if (!delay_points_.empty() && step >= delay_points_.front()) {
+  // Drain ALL delay points due at or before this step: with a small
+  // max_steps the sampled points can collide, and consuming only one per
+  // call would silently burn the rest of the budget on the same step.
+  while (!delay_points_.empty() && step >= delay_points_.front()) {
     delay_points_.erase(delay_points_.begin());
     ++cursor_;  // consume one delay: skip the machine that would run
   }
@@ -182,7 +190,7 @@ std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind,
     case StrategyKind::kPct:
       return std::make_unique<PctStrategy>(seed, budget);
     case StrategyKind::kRoundRobin:
-      return std::make_unique<RoundRobinStrategy>();
+      return std::make_unique<RoundRobinStrategy>(seed);
     case StrategyKind::kDelayBounded:
       return std::make_unique<DelayBoundedStrategy>(seed, budget);
   }

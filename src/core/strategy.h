@@ -92,6 +92,12 @@ class PctStrategy final : public SchedulingStrategy {
     return "pct(" + std::to_string(depth_) + ")";
   }
 
+  /// Remaining (sorted) demotion steps for the current iteration. Exposed so
+  /// tests can pin down where demotions fire for a given seed.
+  [[nodiscard]] std::span<const std::uint64_t> ChangePoints() const noexcept {
+    return change_points_;
+  }
+
  private:
   std::uint64_t PriorityOf(MachineId id);
 
@@ -108,6 +114,11 @@ class PctStrategy final : public SchedulingStrategy {
 /// unit tests and ablations.
 class RoundRobinStrategy final : public SchedulingStrategy {
  public:
+  /// `seed` offsets the rotation start (cursor = seed + iteration), so
+  /// sharded workers holding disjoint seed ranges cover exactly the rotation
+  /// positions the serial engine would with the same total budget.
+  explicit RoundRobinStrategy(std::uint64_t seed = 0) : base_(seed) {}
+
   void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
   MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
   bool NextBool() override { return (counter_++ % 2) == 0; }
@@ -117,6 +128,7 @@ class RoundRobinStrategy final : public SchedulingStrategy {
   [[nodiscard]] std::string Name() const override { return "round-robin"; }
 
  private:
+  std::uint64_t base_{0};
   std::uint64_t cursor_{0};
   std::uint64_t counter_{0};
 };

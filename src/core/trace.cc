@@ -1,6 +1,8 @@
 #include "core/trace.h"
 
 #include <charconv>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 
@@ -81,6 +83,68 @@ Trace Trace::Parse(const std::string& text) {
     }
   }
   return trace;
+}
+
+namespace {
+constexpr std::string_view kTraceMagic = "systest-trace";
+constexpr std::string_view kTraceVersion = "v1";
+}  // namespace
+
+std::string Trace::Serialize() const {
+  std::string out;
+  out += kTraceMagic;
+  out += ' ';
+  out += kTraceVersion;
+  out += ' ';
+  out += std::to_string(decisions_.size());
+  out += '\n';
+  out += ToString();
+  out += '\n';
+  return out;
+}
+
+Trace Trace::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, version, count_text;
+  if (!(in >> magic >> version >> count_text) || magic != kTraceMagic) {
+    throw std::invalid_argument("Trace::Deserialize: missing header");
+  }
+  if (version != kTraceVersion) {
+    throw std::invalid_argument("Trace::Deserialize: unsupported version " +
+                                version);
+  }
+  const std::uint64_t count = ParseNumber(count_text);
+  std::string line;
+  std::getline(in, line);  // consume the rest of the header line
+  std::getline(in, line);  // the decision line (empty for an empty trace)
+  Trace trace = Parse(line);
+  if (trace.Size() != count) {
+    throw std::invalid_argument(
+        "Trace::Deserialize: decision count mismatch (header says " +
+        count_text + ", parsed " + std::to_string(trace.Size()) + ")");
+  }
+  return trace;
+}
+
+void Trace::SaveFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("Trace::SaveFile: cannot open " + path);
+  }
+  out << Serialize();
+  if (!out.flush()) {
+    throw std::runtime_error("Trace::SaveFile: write failed for " + path);
+  }
+}
+
+Trace Trace::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("Trace::LoadFile: cannot open " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return Deserialize(contents.str());
 }
 
 }  // namespace systest

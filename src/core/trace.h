@@ -58,6 +58,21 @@ class Trace {
   /// input.
   static Trace Parse(const std::string& text);
 
+  /// Durable serialization: a versioned header line ("systest-trace v1 <n>")
+  /// followed by the compact ToString decision line. Round-trips with
+  /// Deserialize; this is the on-disk format written by
+  /// `systest_run --trace-out` and consumed by `--replay`.
+  [[nodiscard]] std::string Serialize() const;
+
+  /// Parses the Serialize form, validating version and decision count.
+  /// Throws std::invalid_argument on malformed input.
+  static Trace Deserialize(const std::string& text);
+
+  /// File wrappers over Serialize/Deserialize. Throw std::runtime_error on
+  /// I/O failure (and std::invalid_argument on a malformed file).
+  void SaveFile(const std::string& path) const;
+  static Trace LoadFile(const std::string& path);
+
   friend bool operator==(const Trace&, const Trace&) = default;
 
  private:

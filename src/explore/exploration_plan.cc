@@ -1,0 +1,88 @@
+#include "explore/exploration_plan.h"
+
+#include <algorithm>
+
+namespace systest::explore {
+
+namespace {
+
+/// The strategy rotation raced in portfolio mode. Worker w runs entry
+/// w % size; worker 0 therefore always keeps the paper's random baseline.
+struct PortfolioEntry {
+  StrategyKind strategy;
+  int budget;
+};
+
+constexpr PortfolioEntry kPortfolio[] = {
+    {StrategyKind::kRandom, 0},       {StrategyKind::kPct, 2},
+    {StrategyKind::kDelayBounded, 2}, {StrategyKind::kPct, 5},
+    {StrategyKind::kDelayBounded, 5}, {StrategyKind::kPct, 10},
+};
+
+/// Evenly partitions config.iterations into `workers` contiguous slices of
+/// the derived-seed line starting at config.seed.
+std::vector<WorkerAssignment> PartitionBudget(const TestConfig& config,
+                                              int workers) {
+  workers = std::max(1, workers);
+  const std::uint64_t total = config.iterations;
+  const std::uint64_t base = total / static_cast<std::uint64_t>(workers);
+  const std::uint64_t remainder = total % static_cast<std::uint64_t>(workers);
+
+  std::vector<WorkerAssignment> assignments;
+  assignments.reserve(static_cast<std::size_t>(workers));
+  std::uint64_t offset = 0;
+  for (int w = 0; w < workers; ++w) {
+    WorkerAssignment a;
+    a.worker = w;
+    a.strategy = config.strategy;
+    a.strategy_budget = config.strategy_budget;
+    a.seed = config.seed + offset;
+    a.iterations = base + (static_cast<std::uint64_t>(w) < remainder ? 1 : 0);
+    offset += a.iterations;
+    assignments.push_back(a);
+  }
+  return assignments;
+}
+
+}  // namespace
+
+std::string WorkerAssignment::Describe() const {
+  // Use the strategy's own display name so plan descriptions can never
+  // drift from the names workers report.
+  return "w" + std::to_string(worker) + " " +
+         MakeStrategy(strategy, seed, strategy_budget)->Name() + " seeds=[" +
+         std::to_string(seed) + "," + std::to_string(seed + iterations) + ")";
+}
+
+ExplorationPlan ExplorationPlan::Shard(const TestConfig& config, int workers) {
+  ExplorationPlan plan;
+  plan.workers_ = PartitionBudget(config, workers);
+  return plan;
+}
+
+ExplorationPlan ExplorationPlan::Portfolio(const TestConfig& config,
+                                           int workers) {
+  ExplorationPlan plan;
+  plan.workers_ = PartitionBudget(config, workers);
+  constexpr std::size_t rotation = std::size(kPortfolio);
+  for (WorkerAssignment& a : plan.workers_) {
+    const PortfolioEntry& entry =
+        kPortfolio[static_cast<std::size_t>(a.worker) % rotation];
+    a.strategy = entry.strategy;
+    // Budget 0 means "keep the configured budget" only for strategies that
+    // use one; random ignores it either way.
+    a.strategy_budget = entry.budget > 0 ? entry.budget : config.strategy_budget;
+  }
+  return plan;
+}
+
+std::string ExplorationPlan::Describe() const {
+  std::string out;
+  for (const WorkerAssignment& a : workers_) {
+    out += a.Describe();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace systest::explore

@@ -1,0 +1,168 @@
+#include "explore/parallel_engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace systest::explore {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Winning bug payload. Each slot is written only by the worker that claimed
+/// the first-bug-wins race, and read only after the workers joined.
+struct WorkerBug {
+  ExecutionResult result;
+  std::uint64_t iteration = 0;  ///< worker-local, 0-based
+  double seconds = 0.0;         ///< from the run's start
+};
+
+}  // namespace
+
+std::string ParallelTestReport::BreakdownTable() const {
+  std::string out =
+      "  worker  strategy            seeds                 executions      "
+      "steps  bug\n";
+  char line[160];
+  for (const WorkerReport& w : workers) {
+    const std::string seeds =
+        "[" + std::to_string(w.assignment.seed) + "," +
+        std::to_string(w.assignment.seed + w.assignment.iterations) + ")";
+    std::snprintf(line, sizeof(line),
+                  "  w%-5d  %-18s  %-20s  %10llu  %9llu  %s\n",
+                  w.assignment.worker, w.strategy_name.c_str(), seeds.c_str(),
+                  static_cast<unsigned long long>(w.executions),
+                  static_cast<unsigned long long>(w.steps),
+                  w.won ? "WINNER" : (w.bug_found ? "yes" : "-"));
+    out += line;
+  }
+  return out;
+}
+
+ParallelTestingEngine::ParallelTestingEngine(TestConfig config,
+                                             Harness harness,
+                                             ParallelOptions options)
+    : config_(std::move(config)),
+      harness_(std::move(harness)),
+      options_(options),
+      threads_(ResolveThreads(options.threads)),
+      plan_(options.portfolio ? ExplorationPlan::Portfolio(config_, threads_)
+                              : ExplorationPlan::Shard(config_, threads_)) {}
+
+ParallelTestReport ParallelTestingEngine::Run() {
+  ParallelTestReport report;
+  const std::vector<WorkerAssignment>& assignments = plan_.Workers();
+  const int n = static_cast<int>(assignments.size());
+  report.workers.resize(static_cast<std::size_t>(n));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> executions{0};  // lock-free progress counters
+  std::atomic<std::uint64_t> steps{0};
+  std::atomic<int> winner{-1};
+  std::vector<WorkerBug> bugs(static_cast<std::size_t>(n));
+
+  const auto start = Clock::now();
+
+  auto worker_fn = [&](int w) {
+    const WorkerAssignment& assignment = assignments[static_cast<std::size_t>(w)];
+    WorkerReport& wr = report.workers[static_cast<std::size_t>(w)];
+    wr.assignment = assignment;
+
+    // Each worker owns a private strategy seeded from its assignment, and
+    // every Runtime it builds is thread-local: workers share nothing but the
+    // atomics above. RunOneExecution only consumes the execution bounds from
+    // the config; all seeding flows through the strategy.
+    const auto strategy = MakeStrategy(assignment.strategy, assignment.seed,
+                                       assignment.strategy_budget);
+    wr.strategy_name = strategy->Name();
+
+    const auto worker_start = Clock::now();
+    for (std::uint64_t i = 0; i < assignment.iterations; ++i) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      if (config_.time_budget_seconds > 0 &&
+          SecondsSince(start) >= config_.time_budget_seconds) {
+        break;
+      }
+      ExecutionResult result = RunOneExecution(config_, harness_, *strategy, i);
+      ++wr.executions;
+      wr.steps += result.steps;
+      executions.fetch_add(1, std::memory_order_relaxed);
+      steps.fetch_add(result.steps, std::memory_order_relaxed);
+      if (result.bug_found) {
+        wr.bug_found = true;
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, w,
+                                           std::memory_order_acq_rel)) {
+          wr.won = true;
+          WorkerBug& slot = bugs[static_cast<std::size_t>(w)];
+          slot.result = std::move(result);
+          slot.iteration = i;
+          slot.seconds = SecondsSince(start);
+          if (config_.stop_on_first_bug) {
+            stop.store(true, std::memory_order_release);
+          }
+        }
+        if (config_.stop_on_first_bug) break;
+      }
+    }
+    wr.seconds = SecondsSince(worker_start);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+
+  TestReport& agg = report.aggregate;
+  agg.executions = executions.load(std::memory_order_relaxed);
+  agg.total_steps = steps.load(std::memory_order_relaxed);
+  agg.total_seconds = SecondsSince(start);
+  agg.strategy_name =
+      (options_.portfolio ? std::string("portfolio")
+                          : std::string(ToString(config_.strategy))) +
+      " x" + std::to_string(n);
+
+  const int won = winner.load(std::memory_order_acquire);
+  report.winning_worker = won;
+  if (won >= 0) {
+    WorkerBug& bug = bugs[static_cast<std::size_t>(won)];
+    agg.bug_found = true;
+    agg.bug_kind = bug.result.bug_kind;
+    agg.bug_message = bug.result.bug_message;
+    agg.bug_iteration = bug.iteration + 1;  // winner-local numbering
+    agg.seconds_to_bug = bug.seconds;
+    agg.ndc = bug.result.trace.Size();
+    agg.bug_steps = bug.result.steps;
+    agg.bug_trace = std::move(bug.result.trace);
+    agg.strategy_name =
+        report.workers[static_cast<std::size_t>(won)].strategy_name;
+
+    if (options_.verify_replay) {
+      // The trace must witness the bug anywhere, not just inside the worker
+      // that recorded it: replay it on THIS thread through the plain serial
+      // engine before handing it to the caller.
+      TestingEngine replayer(config_, harness_);
+      const TestReport replayed = replayer.Replay(agg.bug_trace);
+      report.replay_verified =
+          replayed.bug_found && replayed.bug_kind == agg.bug_kind;
+      if (config_.readable_trace_on_bug) {
+        agg.execution_log = replayed.execution_log;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace systest::explore

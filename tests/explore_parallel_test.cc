@@ -1,0 +1,296 @@
+// Tests for the exploration subsystem: budget sharding with disjoint seed
+// ranges, portfolio assignment, per-strategy determinism (same seed ==
+// identical trace), the parallel first-bug-wins engine whose winning trace
+// replays on the calling thread, and trace serialize/deserialize/replay
+// round-trips (in memory and through a file).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "core/systest.h"
+#include "explore/parallel_engine.h"
+
+namespace {
+
+using systest::BugKind;
+using systest::Event;
+using systest::Harness;
+using systest::Machine;
+using systest::MachineId;
+using systest::MakeStrategy;
+using systest::Runtime;
+using systest::StrategyKind;
+using systest::TestConfig;
+using systest::TestingEngine;
+using systest::TestReport;
+using systest::Trace;
+using systest::explore::ExplorationPlan;
+using systest::explore::ParallelOptions;
+using systest::explore::ParallelTestingEngine;
+using systest::explore::ParallelTestReport;
+using systest::explore::WorkerAssignment;
+
+// ---------------------------------------------------------------------------
+// Shared micro harness: two racers, a referee asserting arrival order.
+
+struct ArrivalEvent final : Event {
+  explicit ArrivalEvent(int who) : who(who) {}
+  int who;
+};
+
+class Referee final : public Machine {
+ public:
+  Referee() {
+    State("Run").On<ArrivalEvent>(&Referee::OnArrival);
+    SetStart("Run");
+  }
+
+ private:
+  void OnArrival(const ArrivalEvent& arrival) {
+    if (first_ == 0) {
+      first_ = arrival.who;
+      Assert(first_ == 1, "racer 2 arrived first");
+    }
+  }
+  int first_ = 0;
+};
+
+class Racer final : public Machine {
+ public:
+  Racer(MachineId referee, int who) : referee_(referee), who_(who) {
+    State("Run").OnEntry(&Racer::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { Send<ArrivalEvent>(referee_, who_); }
+  MachineId referee_;
+  int who_;
+};
+
+Harness RaceHarness() {
+  return [](Runtime& rt) {
+    auto referee = rt.CreateMachine<Referee>("Referee");
+    rt.CreateMachine<Racer>("Racer1", referee, 1);
+    rt.CreateMachine<Racer>("Racer2", referee, 2);
+  };
+}
+
+TestConfig RaceConfig() {
+  TestConfig config;
+  config.iterations = 4'000;
+  config.max_steps = 100;
+  config.seed = 1;
+  config.strategy = StrategyKind::kRandom;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// ExplorationPlan.
+
+TEST(ExplorationPlan, ShardPartitionsBudgetIntoDisjointSeedRanges) {
+  TestConfig config = RaceConfig();
+  config.iterations = 10;  // uneven split across 4 workers
+  config.seed = 100;
+  const ExplorationPlan plan = ExplorationPlan::Shard(config, 4);
+  ASSERT_EQ(plan.WorkerCount(), 4u);
+
+  std::uint64_t total = 0;
+  std::uint64_t expected_next = config.seed;
+  for (const WorkerAssignment& a : plan.Workers()) {
+    EXPECT_EQ(a.seed, expected_next) << "ranges must be contiguous/disjoint";
+    EXPECT_EQ(a.strategy, config.strategy);
+    expected_next = a.seed + a.iterations;
+    total += a.iterations;
+  }
+  EXPECT_EQ(total, config.iterations);
+  // 10 = 3 + 3 + 2 + 2: remainder spread over the first workers.
+  EXPECT_EQ(plan.Workers()[0].iterations, 3u);
+  EXPECT_EQ(plan.Workers()[3].iterations, 2u);
+}
+
+TEST(ExplorationPlan, ShardIsDeterministic) {
+  const TestConfig config = RaceConfig();
+  const ExplorationPlan a = ExplorationPlan::Shard(config, 8);
+  const ExplorationPlan b = ExplorationPlan::Shard(config, 8);
+  ASSERT_EQ(a.WorkerCount(), b.WorkerCount());
+  for (std::size_t i = 0; i < a.WorkerCount(); ++i) {
+    EXPECT_EQ(a.Workers()[i].seed, b.Workers()[i].seed);
+    EXPECT_EQ(a.Workers()[i].iterations, b.Workers()[i].iterations);
+  }
+}
+
+TEST(ExplorationPlan, PortfolioRacesComplementaryStrategies) {
+  const ExplorationPlan plan = ExplorationPlan::Portfolio(RaceConfig(), 6);
+  ASSERT_EQ(plan.WorkerCount(), 6u);
+  // Worker 0 keeps the random baseline; the rotation must include PCT and
+  // delay-bounded at more than one budget.
+  EXPECT_EQ(plan.Workers()[0].strategy, StrategyKind::kRandom);
+  std::set<std::pair<StrategyKind, int>> combos;
+  for (const WorkerAssignment& a : plan.Workers()) {
+    combos.insert({a.strategy, a.strategy_budget});
+  }
+  EXPECT_GE(combos.size(), 5u);
+  EXPECT_TRUE(combos.contains({StrategyKind::kPct, 2}));
+  EXPECT_TRUE(combos.contains({StrategyKind::kDelayBounded, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same seed => identical trace, for every strategy kind.
+
+TEST(Determinism, SameSeedYieldsIdenticalTracePerStrategy) {
+  const TestConfig config = RaceConfig();
+  for (const StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kPct, StrategyKind::kRoundRobin,
+        StrategyKind::kDelayBounded}) {
+    for (const std::uint64_t iteration : {0ULL, 1ULL, 17ULL}) {
+      Trace traces[2];
+      for (int run = 0; run < 2; ++run) {
+        const auto strategy = MakeStrategy(kind, /*seed=*/42, /*budget=*/2);
+        strategy->PrepareIteration(iteration, config.max_steps);
+        Runtime runtime(*strategy,
+                        systest::MakeRuntimeOptions(config, false));
+        try {
+          systest::StepToCompletion(runtime, RaceHarness(), config.max_steps);
+        } catch (const systest::BugFound&) {
+          // The racers' bug may fire; the recorded prefix must still match.
+        }
+        traces[run] = runtime.GetTrace();
+      }
+      EXPECT_EQ(traces[0], traces[1])
+          << "strategy " << ToString(kind) << " iteration " << iteration;
+      EXPECT_FALSE(traces[0].Empty());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelTestingEngine.
+
+TEST(ParallelEngine, FindsBugAndWinningTraceReplaysOnMainThread) {
+  ParallelOptions options;
+  options.threads = 4;
+  ParallelTestingEngine engine(RaceConfig(), RaceHarness(), options);
+  const ParallelTestReport report = engine.Run();
+
+  ASSERT_TRUE(report.aggregate.bug_found);
+  EXPECT_EQ(report.aggregate.bug_kind, BugKind::kSafety);
+  ASSERT_GE(report.winning_worker, 0);
+  EXPECT_TRUE(report.workers[static_cast<std::size_t>(report.winning_worker)]
+                  .won);
+  EXPECT_TRUE(report.replay_verified);
+
+  // Independently replay the winning trace through the serial engine.
+  TestingEngine serial(RaceConfig(), RaceHarness());
+  const TestReport replayed = serial.Replay(report.aggregate.bug_trace);
+  ASSERT_TRUE(replayed.bug_found);
+  EXPECT_EQ(replayed.bug_kind, report.aggregate.bug_kind);
+  EXPECT_EQ(replayed.bug_message, report.aggregate.bug_message);
+}
+
+TEST(ParallelEngine, SingleWorkerMatchesSerialEngine) {
+  // One worker gets the whole budget at the original base seed, so the
+  // parallel engine must find exactly the bug the serial engine finds.
+  ParallelOptions options;
+  options.threads = 1;
+  ParallelTestingEngine parallel(RaceConfig(), RaceHarness(), options);
+  const ParallelTestReport preport = parallel.Run();
+
+  TestingEngine serial(RaceConfig(), RaceHarness());
+  const TestReport sreport = serial.Run();
+
+  ASSERT_TRUE(preport.aggregate.bug_found);
+  ASSERT_TRUE(sreport.bug_found);
+  EXPECT_EQ(preport.aggregate.bug_trace, sreport.bug_trace);
+  EXPECT_EQ(preport.aggregate.bug_iteration, sreport.bug_iteration);
+}
+
+TEST(ParallelEngine, PortfolioModeFindsBug) {
+  ParallelOptions options;
+  options.threads = 6;
+  options.portfolio = true;
+  ParallelTestingEngine engine(RaceConfig(), RaceHarness(), options);
+  const ParallelTestReport report = engine.Run();
+  ASSERT_TRUE(report.aggregate.bug_found);
+  EXPECT_TRUE(report.replay_verified);
+  ASSERT_EQ(report.workers.size(), 6u);
+  EXPECT_FALSE(report.BreakdownTable().empty());
+}
+
+TEST(ParallelEngine, CleanHarnessExhaustsWholeBudget) {
+  TestConfig config = RaceConfig();
+  config.iterations = 500;
+  ParallelOptions options;
+  options.threads = 3;
+  // Only racer 1: no ordering bug to find.
+  ParallelTestingEngine engine(
+      config,
+      [](Runtime& rt) {
+        auto referee = rt.CreateMachine<Referee>("Referee");
+        rt.CreateMachine<Racer>("Racer1", referee, 1);
+      },
+      options);
+  const ParallelTestReport report = engine.Run();
+  EXPECT_FALSE(report.aggregate.bug_found);
+  EXPECT_EQ(report.winning_worker, -1);
+  EXPECT_EQ(report.aggregate.executions, 500u);
+  std::uint64_t per_worker = 0;
+  for (const auto& w : report.workers) per_worker += w.executions;
+  EXPECT_EQ(per_worker, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace serialization.
+
+TEST(TraceSerialization, SerializeDeserializeReplayRoundTrips) {
+  TestingEngine engine(RaceConfig(), RaceHarness());
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+
+  const std::string text = report.bug_trace.Serialize();
+  EXPECT_EQ(text.rfind("systest-trace v1 ", 0), 0u) << text;
+  const Trace restored = Trace::Deserialize(text);
+  EXPECT_EQ(restored, report.bug_trace);
+
+  const TestReport replayed = engine.Replay(restored);
+  ASSERT_TRUE(replayed.bug_found);
+  EXPECT_EQ(replayed.bug_message, report.bug_message);
+}
+
+TEST(TraceSerialization, FileRoundTripReplays) {
+  TestingEngine engine(RaceConfig(), RaceHarness());
+  const TestReport report = engine.Run();
+  ASSERT_TRUE(report.bug_found);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "systest_roundtrip.trace")
+          .string();
+  report.bug_trace.SaveFile(path);
+  const Trace loaded = Trace::LoadFile(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded, report.bug_trace);
+  EXPECT_TRUE(engine.Replay(loaded).bug_found);
+}
+
+TEST(TraceSerialization, EmptyTraceRoundTrips) {
+  const Trace empty;
+  const Trace restored = Trace::Deserialize(empty.Serialize());
+  EXPECT_TRUE(restored.Empty());
+}
+
+TEST(TraceSerialization, DeserializeRejectsMalformedInput) {
+  EXPECT_THROW(Trace::Deserialize(""), std::invalid_argument);
+  EXPECT_THROW(Trace::Deserialize("not-a-trace v1 0\n\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Trace::Deserialize("systest-trace v9 0\n\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Trace::Deserialize("systest-trace v1 3\ns1;s2\n"),
+               std::invalid_argument);  // count mismatch
+  EXPECT_THROW(Trace::LoadFile("/nonexistent/path/x.trace"),
+               std::runtime_error);
+}
+
+}  // namespace
