@@ -6,15 +6,18 @@
 // bound (no false positives).
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "core/systest.h"
 #include "vnext/harness.h"
 
 namespace {
 
 void Sweep(bool fixed) {
-  std::printf("%s Extent Manager:\n", fixed ? "fixed" : "buggy");
-  std::printf("  %10s  %10s  %7s  %12s  %10s\n", "max_steps", "threshold",
-              "found", "iterations", "time(s)");
+  if (!bench::JsonMode()) {
+    std::printf("%s Extent Manager:\n", fixed ? "fixed" : "buggy");
+    std::printf("  %10s  %10s  %7s  %12s  %10s\n", "max_steps", "threshold",
+                "found", "iterations", "time(s)");
+  }
   for (const std::uint64_t max_steps :
        {200ull, 500ull, 1000ull, 2000ull, 3000ull, 5000ull}) {
     vnext::DriverOptions options;
@@ -28,6 +31,18 @@ void Sweep(bool fixed) {
     const systest::TestReport report =
         systest::TestingEngine(config, vnext::MakeExtentRepairHarness(options))
             .Run();
+    if (bench::JsonMode()) {
+      bench::EmitJson(
+          std::string("ablation_liveness_bound/") +
+              (fixed ? "fixed" : "buggy"),
+          report.total_seconds > 0 ? report.executions / report.total_seconds
+                                   : 0.0,
+          report.total_seconds > 0 ? report.total_steps / report.total_seconds
+                                   : 0.0,
+          "max_steps=" + std::to_string(max_steps) +
+              " bug_found=" + (report.bug_found ? "1" : "0"));
+      continue;
+    }
     std::printf("  %10llu  %10llu  %7s  %12llu  %10.3f\n",
                 static_cast<unsigned long long>(max_steps),
                 static_cast<unsigned long long>(
@@ -44,16 +59,25 @@ void Sweep(bool fixed) {
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation B — liveness bound sensitivity "
-              "(vNext ExtentNodeLivenessViolation)\n\n");
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  if (!bench::JsonMode()) {
+    std::printf("Ablation B — liveness bound sensitivity "
+                "(vNext ExtentNodeLivenessViolation)\n\n");
+  }
   Sweep(/*fixed=*/false);
-  std::printf("\n");
+  if (!bench::JsonMode()) {
+    std::printf("\n");
+  }
   Sweep(/*fixed=*/true);
-  std::printf(
-      "\nExpected shape: with very small bounds the failure/repair pattern\n"
-      "does not fit before the bound, hurting detection or soundness; from\n"
-      "a moderate bound upward the bug is found quickly and the fixed\n"
-      "system reports no false positives.\n");
+  if (!bench::JsonMode()) {
+    std::printf(
+        "\nExpected shape: with very small bounds the failure/repair "
+        "pattern\n"
+        "does not fit before the bound, hurting detection or soundness; "
+        "from\n"
+        "a moderate bound upward the bug is found quickly and the fixed\n"
+        "system reports no false positives.\n");
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/systest.h"
 #include "fabric/harness.h"
 #include "mtable/harness.h"
@@ -35,9 +36,14 @@ constexpr std::uint64_t kSeeds[] = {1, 7, 42, 1234, 2016};
 /// Median executions-to-bug over the seeds; 0 = not found within budget.
 void Sweep(const char* bug_label, systest::TestConfig base,
            const systest::Harness& harness) {
-  std::printf("  %-36s", bug_label);
+  if (!bench::JsonMode()) {
+    std::printf("  %-36s", bug_label);
+  }
   for (const Strategy& strategy : kStrategies) {
     std::vector<std::uint64_t> counts;
+    std::uint64_t executions = 0;
+    std::uint64_t steps = 0;
+    double seconds = 0.0;
     for (const std::uint64_t seed : kSeeds) {
       systest::TestConfig config = base;
       config.strategy = strategy.kind;
@@ -46,29 +52,43 @@ void Sweep(const char* bug_label, systest::TestConfig base,
       const systest::TestReport report =
           systest::TestingEngine(config, harness).Run();
       counts.push_back(report.bug_found ? report.bug_iteration : 0);
+      executions += report.executions;
+      steps += report.total_steps;
+      seconds += report.total_seconds;
     }
     std::sort(counts.begin(), counts.end());
     const std::uint64_t median = counts[counts.size() / 2];
-    if (median == 0) {
+    if (bench::JsonMode()) {
+      bench::EmitJson(std::string("ablation_schedulers/") + bug_label,
+                      seconds > 0 ? executions / seconds : 0.0,
+                      seconds > 0 ? steps / seconds : 0.0,
+                      std::string(strategy.label) + " median_execs_to_bug=" +
+                          (median == 0 ? ">budget" : std::to_string(median)));
+    } else if (median == 0) {
       std::printf("  %9s", ">budget");
     } else {
       std::printf("  %9llu", static_cast<unsigned long long>(median));
     }
   }
-  std::printf("\n");
+  if (!bench::JsonMode()) {
+    std::printf("\n");
+  }
   std::fflush(stdout);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation A — median executions-to-bug over %zu seeds\n",
-              std::size(kSeeds));
-  std::printf("  %-36s", "bug");
-  for (const Strategy& strategy : kStrategies) {
-    std::printf("  %9s", strategy.label);
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  if (!bench::JsonMode()) {
+    std::printf("Ablation A — median executions-to-bug over %zu seeds\n",
+                std::size(kSeeds));
+    std::printf("  %-36s", "bug");
+    for (const Strategy& strategy : kStrategies) {
+      std::printf("  %9s", strategy.label);
+    }
+    std::printf("\n");
   }
-  std::printf("\n");
 
   {
     samplerepl::HarnessOptions options;

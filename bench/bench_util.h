@@ -2,10 +2,17 @@
 // with the paper's 100,000-execution budget and prints Table 2-style rows
 // (BF?, time-to-bug in seconds, #NDC — the number of nondeterministic
 // choices in the first execution that found the bug).
+//
+// Every non-gbench bench accepts a `--json` flag (see ParseArgs): instead of
+// the human-readable table it then emits one JSON object per row of the form
+//   {"bench":..., "executions_per_sec":..., "steps_per_sec":..., "config":...}
+// which is the line format collected in BENCH_baseline.json and by the CI
+// perf-smoke job.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "core/systest.h"
 
@@ -16,9 +23,46 @@ struct RowResult {
   double seconds = 0.0;
   std::uint64_t ndc = 0;
   std::uint64_t executions = 0;
+  double executions_per_sec = 0.0;
+  double steps_per_sec = 0.0;
 };
 
-/// Runs `harness` under `config` and prints one Table 2-style row.
+/// Global output mode toggled by --json on any bench command line.
+inline bool& JsonMode() {
+  static bool json = false;
+  return json;
+}
+
+/// Scans argv for --json; leaves positional arguments alone so existing
+/// benches keep their ad-hoc argument parsing.
+inline void ParseArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      JsonMode() = true;
+    }
+  }
+}
+
+/// Emits one machine-readable result line (see header comment).
+inline void EmitJson(const std::string& name, double executions_per_sec,
+                     double steps_per_sec, const std::string& config) {
+  std::printf(
+      "{\"bench\":\"%s\",\"executions_per_sec\":%.1f,"
+      "\"steps_per_sec\":%.1f,\"config\":\"%s\"}\n",
+      name.c_str(), executions_per_sec, steps_per_sec, config.c_str());
+  std::fflush(stdout);
+}
+
+/// One-line description of the engine configuration for the JSON output.
+inline std::string DescribeConfig(const systest::TestConfig& config) {
+  return std::string(ToString(config.strategy)) +
+         " iters=" + std::to_string(config.iterations) +
+         " max_steps=" + std::to_string(config.max_steps) +
+         " seed=" + std::to_string(config.seed);
+}
+
+/// Runs `harness` under `config` and prints one Table 2-style row (or one
+/// JSON line in --json mode).
 inline RowResult RunRow(const std::string& label,
                         const systest::TestConfig& config,
                         const systest::Harness& harness) {
@@ -29,6 +73,18 @@ inline RowResult RunRow(const std::string& label,
   row.seconds = report.seconds_to_bug;
   row.ndc = report.ndc;
   row.executions = report.executions;
+  if (report.total_seconds > 0) {
+    row.executions_per_sec =
+        static_cast<double>(report.executions) / report.total_seconds;
+    row.steps_per_sec =
+        static_cast<double>(report.total_steps) / report.total_seconds;
+  }
+  if (JsonMode()) {
+    EmitJson(label, row.executions_per_sec, row.steps_per_sec,
+             DescribeConfig(config) +
+                 (report.bug_found ? " bug_found=1" : " bug_found=0"));
+    return row;
+  }
   if (report.bug_found) {
     std::printf("  %-42s  %-3s  %10.3f  %8llu   (iteration %llu)\n",
                 label.c_str(), "yes", report.seconds_to_bug,
@@ -44,6 +100,9 @@ inline RowResult RunRow(const std::string& label,
 }
 
 inline void PrintHeader(const std::string& title) {
+  if (JsonMode()) {
+    return;
+  }
   std::printf("\n%s\n", title.c_str());
   std::printf("  %-42s  %-3s  %10s  %8s\n", "Bug Identifier", "BF?",
               "TimeToBug(s)", "#NDC");

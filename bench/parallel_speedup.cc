@@ -12,9 +12,11 @@
 // Usage: parallel_speedup [iterations-per-worker-count] (default 4000)
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/systest.h"
 #include "explore/parallel_engine.h"
 
@@ -79,17 +81,25 @@ systest::Harness PingPongHarness() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t iterations =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4'000;
+  bench::ParseArgs(argc, argv);
+  std::uint64_t iterations = 4'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") continue;
+    iterations = std::strtoull(argv[i], nullptr, 10);
+    break;
+  }
 
-  std::printf("parallel exploration speedup — random strategy, ping-pong "
-              "micro harness\n");
-  std::printf("budget: %llu executions per row; hardware threads: %u\n\n",
-              static_cast<unsigned long long>(iterations),
-              std::thread::hardware_concurrency());
-  std::printf("  %-8s  %12s  %12s  %10s  %8s\n", "workers", "executions",
-              "exec/sec", "wall(s)", "speedup");
-  std::printf("  --------  ------------  ------------  ----------  --------\n");
+  if (!bench::JsonMode()) {
+    std::printf("parallel exploration speedup — random strategy, ping-pong "
+                "micro harness\n");
+    std::printf("budget: %llu executions per row; hardware threads: %u\n\n",
+                static_cast<unsigned long long>(iterations),
+                std::thread::hardware_concurrency());
+    std::printf("  %-8s  %12s  %12s  %10s  %8s\n", "workers", "executions",
+                "exec/sec", "wall(s)", "speedup");
+    std::printf(
+        "  --------  ------------  ------------  ----------  --------\n");
+  }
 
   double base_rate = 0.0;
   for (const int workers : {1, 2, 4, 8}) {
@@ -112,18 +122,33 @@ int main(int argc, char** argv) {
                   report.aggregate.total_seconds
             : 0.0;
     if (workers == 1) base_rate = rate;
-    std::printf("  %-8d  %12llu  %12.0f  %10.3f  %7.2fx\n", workers,
-                static_cast<unsigned long long>(report.aggregate.executions),
-                rate, report.aggregate.total_seconds,
-                base_rate > 0 ? rate / base_rate : 0.0);
+    if (bench::JsonMode()) {
+      const double steps_rate =
+          report.aggregate.total_seconds > 0
+              ? static_cast<double>(report.aggregate.total_steps) /
+                    report.aggregate.total_seconds
+              : 0.0;
+      bench::EmitJson("parallel_speedup/workers=" + std::to_string(workers),
+                      rate, steps_rate,
+                      "random iters=" + std::to_string(iterations) +
+                          " max_steps=1000 seed=99");
+    } else {
+      std::printf("  %-8d  %12llu  %12.0f  %10.3f  %7.2fx\n", workers,
+                  static_cast<unsigned long long>(report.aggregate.executions),
+                  rate, report.aggregate.total_seconds,
+                  base_rate > 0 ? rate / base_rate : 0.0);
+    }
     if (report.aggregate.bug_found) {
-      std::printf("  unexpected bug: %s\n",
-                  report.aggregate.bug_message.c_str());
+      // stderr: keeps the stdout JSON-lines stream parseable in --json mode.
+      std::fprintf(stderr, "unexpected bug: %s\n",
+                   report.aggregate.bug_message.c_str());
       return 1;
     }
   }
-  std::printf("\n(speedup tracks min(workers, hardware threads); the "
-              "schedule spaces explored by each row are identical unions of "
-              "disjoint per-worker seed ranges)\n");
+  if (!bench::JsonMode()) {
+    std::printf("\n(speedup tracks min(workers, hardware threads); the "
+                "schedule spaces explored by each row are identical unions of "
+                "disjoint per-worker seed ranges)\n");
+  }
   return 0;
 }

@@ -4,8 +4,11 @@
 #include "bench/bench_util.h"
 #include "fabric/harness.h"
 
-int main() {
-  std::printf("Table 2 (extension) — Azure Service Fabric model (§5)\n");
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  if (!bench::JsonMode()) {
+    std::printf("Table 2 (extension) — Azure Service Fabric model (§5)\n");
+  }
   for (const auto strategy :
        {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
     bench::PrintHeader(std::string("scheduler: ") +

@@ -32,10 +32,13 @@ std::vector<std::vector<mtable::ScriptedOp>> DeletePrimaryKeyScript() {
 
 }  // namespace
 
-int main() {
-  std::printf("Table 2 — MigratingTable (case study 2)\n");
-  std::printf("100,000-execution budget (60s wall-clock cap per row); "
-              "PCT budget: 2 priority change points\n");
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  if (!bench::JsonMode()) {
+    std::printf("Table 2 — MigratingTable (case study 2)\n");
+    std::printf("100,000-execution budget (60s wall-clock cap per row); "
+                "PCT budget: 2 priority change points\n");
+  }
 
   for (const auto strategy :
        {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {

@@ -19,8 +19,11 @@ systest::TestConfig Config(systest::StrategyKind strategy) {
 
 }  // namespace
 
-int main() {
-  std::printf("Table 2 (extension) — §2.2 example replication system\n");
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  if (!bench::JsonMode()) {
+    std::printf("Table 2 (extension) — §2.2 example replication system\n");
+  }
   for (const auto strategy :
        {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
     bench::PrintHeader(std::string("scheduler: ") +

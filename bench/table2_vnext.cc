@@ -7,10 +7,13 @@
 #include "bench/bench_util.h"
 #include "vnext/harness.h"
 
-int main() {
-  std::printf("Table 2 — Azure Storage vNext (case study 1)\n");
-  std::printf("100,000-execution budget (120s wall-clock cap per row); "
-              "PCT budget: 2 priority change points\n");
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  if (!bench::JsonMode()) {
+    std::printf("Table 2 — Azure Storage vNext (case study 1)\n");
+    std::printf("100,000-execution budget (120s wall-clock cap per row); "
+                "PCT budget: 2 priority change points\n");
+  }
 
   for (const auto strategy :
        {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {

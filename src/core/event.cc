@@ -8,6 +8,128 @@
 
 namespace systest {
 
+namespace detail {
+
+EventTypeId TypeInternTable::GetOrRegister(std::type_index type) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      ids_.try_emplace(type, static_cast<EventTypeId>(ids_.size() + 1));
+  return it->second;
+}
+
+std::size_t TypeInternTable::Count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ids_.size();
+}
+
+TypeInternTable& EventTypeTable() {
+  static TypeInternTable table;
+  return table;
+}
+
+TypeInternTable& MonitorTypeTable() {
+  static TypeInternTable table;
+  return table;
+}
+
+}  // namespace detail
+
+namespace {
+
+// Event free-list pool: bins of 16 bytes up to 512, bounded per bin so a
+// pathological burst cannot pin unbounded memory. Everything is
+// thread-local; the destructor returns retained blocks to the system when a
+// (worker) thread exits.
+constexpr std::size_t kBinStep = 16;
+constexpr std::size_t kMaxPooledSize = 512;
+constexpr std::size_t kNumBins = kMaxPooledSize / kBinStep;
+constexpr std::size_t kMaxPerBin = 1024;
+
+struct EventPool {
+  struct FreeList {
+    void* head = nullptr;
+    std::size_t count = 0;
+  };
+  FreeList bins[kNumBins];
+
+  ~EventPool() {
+    for (FreeList& bin : bins) {
+      while (bin.head != nullptr) {
+        void* next = *static_cast<void**>(bin.head);
+        ::operator delete(bin.head);
+        bin.head = next;
+      }
+    }
+  }
+};
+
+// Split TLS scheme: the raw pointer is trivially-destructible, so reads
+// compile to one fs-relative load instead of the per-access init-guard
+// wrapper call a thread_local with a destructor would cost. The owning
+// object (and its thread-exit cleanup) lives behind the cold init path; its
+// destructor clears the pointer so late frees during thread teardown fall
+// back to the global allocator instead of touching freed bins.
+struct EventPoolOwner {
+  EventPool pool;
+  ~EventPoolOwner();
+};
+
+thread_local EventPool* g_event_pool = nullptr;
+
+EventPoolOwner::~EventPoolOwner() { g_event_pool = nullptr; }
+
+EventPool* InitEventPool() {
+  thread_local EventPoolOwner owner;
+  g_event_pool = &owner.pool;
+  return &owner.pool;
+}
+
+}  // namespace
+
+void* Event::operator new(std::size_t size) {
+  if (size <= kMaxPooledSize) {
+    EventPool* pool = g_event_pool;
+    if (pool == nullptr) [[unlikely]] {
+      pool = InitEventPool();
+    }
+    const std::size_t bin = (size + kBinStep - 1) / kBinStep - 1;
+    EventPool::FreeList& list = pool->bins[bin];
+    if (list.head != nullptr) {
+      void* ptr = list.head;
+      list.head = *static_cast<void**>(ptr);
+      --list.count;
+      return ptr;
+    }
+    return ::operator new((bin + 1) * kBinStep);
+  }
+  return ::operator new(size);
+}
+
+void Event::operator delete(void* ptr, std::size_t size) noexcept {
+  if (ptr == nullptr) {
+    return;
+  }
+  EventPool* pool = g_event_pool;
+  if (pool != nullptr && size <= kMaxPooledSize) {
+    const std::size_t bin = (size + kBinStep - 1) / kBinStep - 1;
+    EventPool::FreeList& list = pool->bins[bin];
+    if (list.count < kMaxPerBin) {
+      *static_cast<void**>(ptr) = list.head;
+      list.head = ptr;
+      ++list.count;
+      return;
+    }
+  }
+  ::operator delete(ptr);
+}
+
+EventTypeId Event::InternTypeId() const {
+  const EventTypeId id =
+      detail::EventTypeTable().GetOrRegister(std::type_index(typeid(*this)));
+  cached_type_id_ = id;
+  return id;
+}
+
 std::string DemangleTypeName(const char* mangled) {
 #if defined(__GNUG__)
   int status = 0;

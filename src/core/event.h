@@ -3,17 +3,74 @@
 // Events are the only way machines communicate (the paper's P# events model
 // messages, failures and timeouts, §2.1). An event is an immutable value;
 // ownership is transferred into the target machine's queue as a
-// std::unique_ptr<const Event>. Dispatch is by std::type_index, so user
-// events are ordinary structs deriving from systest::Event — no codegen, no
-// registration step.
+// std::unique_ptr<const Event>. Dispatch is by a process-wide interned
+// EventTypeId — a dense integer assigned to each event type on first use —
+// so the per-dispatch handler/goto/defer/ignore lookups in the runtime are
+// flat array indexing instead of type_index hashing. User events remain
+// ordinary structs deriving from systest::Event — no codegen, no manual
+// registration step (MakeEvent stamps the id; anything else is interned
+// lazily on first dispatch).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <typeindex>
 #include <typeinfo>
+#include <unordered_map>
 
 namespace systest {
+
+/// Dense process-wide id of an event type (or, via MonitorTypeIdOf, of a
+/// monitor type). 0 is the "not yet interned" sentinel; real ids start at 1.
+using EventTypeId = std::uint32_t;
+
+inline constexpr EventTypeId kInvalidEventTypeId = 0;
+
+namespace detail {
+
+/// Thread-safe type_index -> dense id intern table. Ids are assigned in
+/// first-come order, so their VALUES are process-run specific — they must
+/// never be serialized; everything semantic (traces, replay) is id-value
+/// independent.
+class TypeInternTable {
+ public:
+  EventTypeId GetOrRegister(std::type_index type);
+  [[nodiscard]] std::size_t Count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::type_index, EventTypeId> ids_;
+};
+
+/// The process-wide event-type intern table.
+TypeInternTable& EventTypeTable();
+
+/// Separate id space for monitor types (used by Runtime's dense monitor
+/// lookup).
+TypeInternTable& MonitorTypeTable();
+
+struct EventTypeStamp;
+
+}  // namespace detail
+
+/// Interned id of event type E. First call registers E; later calls are a
+/// guarded static read.
+template <typename E>
+EventTypeId EventTypeIdOf() {
+  static const EventTypeId id =
+      detail::EventTypeTable().GetOrRegister(std::type_index(typeid(E)));
+  return id;
+}
+
+/// Interned id of monitor type M (its own id space, see MonitorTypeTable).
+template <typename M>
+EventTypeId MonitorTypeIdOf() {
+  static const EventTypeId id =
+      detail::MonitorTypeTable().GetOrRegister(std::type_index(typeid(M)));
+  return id;
+}
 
 /// Base class for all events exchanged between machines (and notifications
 /// delivered to monitors).
@@ -26,8 +83,23 @@ class Event {
   Event& operator=(Event&&) = delete;
   virtual ~Event() = default;
 
-  /// Dynamic type of the most-derived event, used for handler dispatch.
-  [[nodiscard]] std::type_index Type() const { return std::type_index(typeid(*this)); }
+  /// Dynamic type of the most-derived event (kept for diagnostics and any
+  /// code that wants the type_index; dispatch uses TypeId()).
+  [[nodiscard]] std::type_index Type() const {
+    return std::type_index(typeid(*this));
+  }
+
+  /// Interned dense id of the most-derived event type. Events built through
+  /// MakeEvent / Machine::Send are pre-stamped, making this a plain field
+  /// read on the dispatch hot path; events constructed by hand fall back to
+  /// one interning lookup, cached on the instance.
+  [[nodiscard]] EventTypeId TypeId() const {
+    const EventTypeId id = cached_type_id_;
+    if (id != kInvalidEventTypeId) {
+      return id;
+    }
+    return InternTypeId();
+  }
 
   /// Demangled name of the most-derived event type (for traces and errors).
   /// Virtual so events can enrich the readable trace with payload details —
@@ -35,7 +107,37 @@ class Event {
   /// and event-level information, but it is easy to add application-specific
   /// information, and we did so in all of our case studies" (§6.2).
   [[nodiscard]] virtual std::string Name() const;
+
+  /// Pooled allocation: every scheduling step allocates and frees at least
+  /// one event, so events recycle through a thread-local, size-binned free
+  /// list — steady-state send/dispatch does no malloc. Thread-local means no
+  /// synchronization and no cross-thread sharing (each parallel-exploration
+  /// worker owns its pool; it is released at thread exit). Over-aligned
+  /// event types fall through to the aligned global operator new
+  /// automatically, since only these two forms are overridden.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* ptr, std::size_t size) noexcept;
+
+ private:
+  friend struct detail::EventTypeStamp;
+
+  EventTypeId InternTypeId() const;
+
+  /// Lazily interned; mutable because stamping happens on const instances
+  /// (events are only ever touched by one runtime thread at a time).
+  mutable EventTypeId cached_type_id_ = kInvalidEventTypeId;
 };
+
+namespace detail {
+
+/// Grants MakeEvent/Notify access to pre-stamp the interned id.
+struct EventTypeStamp {
+  static void Set(const Event& event, EventTypeId id) noexcept {
+    event.cached_type_id_ = id;
+  }
+};
+
+}  // namespace detail
 
 /// Demangles a typeid name on GCC/Clang; returns the raw name elsewhere.
 std::string DemangleTypeName(const char* mangled);
@@ -47,10 +149,13 @@ std::string ShortTypeName(const std::type_info& info);
 /// machine stops processing and silently drops all further events).
 struct HaltEvent final : Event {};
 
-/// Convenience factory: make a unique_ptr<const Event> from an event type.
+/// Convenience factory: make a unique_ptr<const Event> from an event type,
+/// pre-stamped with its interned type id.
 template <typename E, typename... Args>
 std::unique_ptr<const Event> MakeEvent(Args&&... args) {
-  return std::make_unique<const E>(std::forward<Args>(args)...);
+  std::unique_ptr<E> event = std::make_unique<E>(std::forward<Args>(args)...);
+  detail::EventTypeStamp::Set(*event, EventTypeIdOf<E>());
+  return event;
 }
 
 }  // namespace systest

@@ -1,0 +1,78 @@
+// SysTest systematic-testing framework.
+//
+// EventQueue: FIFO of owned events on one contiguous buffer. Machine inboxes
+// are short (usually 0–4 events) and cycle push/pop once per scheduling
+// step, which makes std::deque's block bookkeeping pure overhead; a vector
+// with a head cursor keeps the hot path at two pointer ops and compacts the
+// consumed prefix amortized-O(1).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/event.h"
+
+namespace systest::detail {
+
+class EventQueue {
+ public:
+  [[nodiscard]] bool Empty() const noexcept { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t Size() const noexcept {
+    return buf_.size() - head_;
+  }
+
+  void PushBack(std::unique_ptr<const Event> ev) {
+    buf_.push_back(std::move(ev));
+  }
+
+  std::unique_ptr<const Event> PopFront() {
+    std::unique_ptr<const Event> ev = std::move(buf_[head_]);
+    ++head_;
+    MaybeCompact();
+    return ev;
+  }
+
+  /// Removes and returns the element at `index` (0 = front), preserving the
+  /// order of the rest.
+  std::unique_ptr<const Event> RemoveAt(std::size_t index) {
+    if (index == 0) {
+      return PopFront();
+    }
+    const auto it = buf_.begin() + static_cast<std::ptrdiff_t>(head_ + index);
+    std::unique_ptr<const Event> ev = std::move(*it);
+    buf_.erase(it);
+    return ev;
+  }
+
+  void Clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  // Iteration over the live events, front to back.
+  [[nodiscard]] const std::unique_ptr<const Event>* begin() const noexcept {
+    return buf_.data() + head_;
+  }
+  [[nodiscard]] const std::unique_ptr<const Event>* end() const noexcept {
+    return buf_.data() + buf_.size();
+  }
+
+ private:
+  void MaybeCompact() {
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= buf_.size()) {
+      // The consumed prefix dominates the buffer: drop it so a steady
+      // producer/consumer pattern cannot grow the buffer without bound.
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<std::unique_ptr<const Event>> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace systest::detail

@@ -9,6 +9,9 @@ namespace systest {
 
 namespace {
 const std::string kNoState = "<no-state>";
+// Interned once at static init so the per-dispatch halt check is a plain
+// integer compare with no static-local guard.
+const EventTypeId kHaltTypeId = EventTypeIdOf<HaltEvent>();
 }  // namespace
 
 const std::string& Machine::CurrentStateName() const {
@@ -16,25 +19,23 @@ const std::string& Machine::CurrentStateName() const {
 }
 
 StateBuilder Machine::State(std::string name) {
-  auto [it, inserted] = states_.try_emplace(name);
+  if (detail::SkipDeclBuild()) {
+    // This machine type's declarations are already compiled and shared; the
+    // constructor's fluent declaration chain becomes a no-op.
+    return StateBuilder(nullptr);
+  }
+  auto [it, inserted] = builder_states_.try_emplace(name);
   if (inserted) {
     it->second.name = std::move(name);
   }
   return StateBuilder(&it->second);
 }
 
-Runtime& Machine::Rt() {
-  if (runtime_ == nullptr) {
-    throw BugFound(BugKind::kHarnessError,
-                   "machine '" + debug_name_ +
-                       "' used the runtime API before being attached "
-                       "(Create/Send belong in entry actions, not constructors)");
-  }
-  return *runtime_;
-}
-
-void Machine::Send(MachineId target, std::unique_ptr<const Event> ev) {
-  Rt().DeliverEvent(target, std::move(ev), this);
+void Machine::ThrowUnattached() const {
+  throw BugFound(BugKind::kHarnessError,
+                 "machine '" + debug_name_ +
+                     "' used the runtime API before being attached "
+                     "(Create/Send belong in entry actions, not constructors)");
 }
 
 void Machine::RaiseEvent(std::unique_ptr<const Event> ev) {
@@ -59,33 +60,34 @@ std::uint64_t Machine::NondetInt(std::uint64_t bound) {
   return Rt().ChooseInt(bound);
 }
 
-void Machine::Assert(bool cond, const std::string& message) {
-  Rt().Assert(cond, "machine '" + debug_name_ + "': " + message);
+void Machine::FailAssert(const std::string& message) {
+  Rt().FailAssert("machine '" + debug_name_ + "': " + message);
 }
 
-detail::StateDecl& Machine::FindState(const std::string& name) {
-  auto it = states_.find(name);
-  if (it == states_.end()) {
+const detail::CompiledState& Machine::FindState(const std::string& name) const {
+  const detail::CompiledState* state = decl_->FindState(name);
+  if (state == nullptr) {
     throw BugFound(BugKind::kHarnessError,
                    "machine '" + debug_name_ + "' has no state '" + name + "'");
   }
-  return it->second;
+  return *state;
 }
 
-void Machine::BeginReceive(std::vector<std::type_index> types) {
-  waiting_types_ = std::move(types);
+void Machine::BeginReceive(std::initializer_list<EventTypeId> types) {
+  waiting_types_.assign(types);
 }
 
 bool Machine::TryFulfillReceive() {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    const std::type_index type = (*it)->Type();
+  std::size_t index = 0;
+  for (const auto& ev : queue_) {
+    const EventTypeId type = ev->TypeId();
     if (std::find(waiting_types_.begin(), waiting_types_.end(), type) !=
         waiting_types_.end()) {
-      received_ = std::move(*it);
-      queue_.erase(it);
+      received_ = queue_.RemoveAt(index);
       waiting_types_.clear();
       return true;
     }
+    ++index;
   }
   return false;
 }
@@ -97,7 +99,7 @@ std::unique_ptr<const Event> Machine::TakeReceived() {
 
 bool Machine::HasMatchingQueuedEvent() const {
   for (const auto& ev : queue_) {
-    const std::type_index type = ev->Type();
+    const EventTypeId type = ev->TypeId();
     if (std::find(waiting_types_.begin(), waiting_types_.end(), type) !=
         waiting_types_.end()) {
       return true;
@@ -106,19 +108,16 @@ bool Machine::HasMatchingQueuedEvent() const {
   return false;
 }
 
-bool Machine::IsEnabled() const {
-  if (halted_) return false;
-  if (!started_) return true;
+bool Machine::IsEnabledSlow() const {
   if (root_task_.Valid()) {
     // Suspended in Receive: enabled iff a matching event is queued.
     return HasMatchingQueuedEvent();
   }
-  // Idle: enabled iff some queued event is processable in the current state
-  // (handler, goto, ignore-drop, halt or unhandled — everything except a
-  // deferred event constitutes a step).
+  // Deferrable state: enabled iff some queued event is processable (handler,
+  // goto, ignore-drop, halt or unhandled — everything except a deferred
+  // event constitutes a step).
   for (const auto& ev : queue_) {
-    if (current_state_ != nullptr &&
-        current_state_->defers.contains(ev->Type())) {
+    if (current_state_->defers.Contains(ev->TypeId())) {
       continue;
     }
     return true;
@@ -129,8 +128,8 @@ bool Machine::IsEnabled() const {
 void Machine::RunStep() {
   if (!started_) {
     started_ = true;
-    if (runtime_->LoggingEnabled()) {
-      runtime_->LogLine("start   " + debug_name_ + " -> " + start_state_);
+    if (logging_) [[unlikely]] {
+      runtime_->LogLine("start   ", debug_name_, " -> ", start_state_);
     }
     Transition(start_state_);
     RunCascade();
@@ -139,28 +138,37 @@ void Machine::RunStep() {
   if (root_task_.Valid()) {
     // Resume the coroutine blocked in Receive with the matching event.
     const bool fulfilled = TryFulfillReceive();
-    runtime_->Assert(fulfilled, "internal: scheduled non-fulfillable receive");
-    if (runtime_->LoggingEnabled()) {
-      runtime_->LogLine("resume  " + debug_name_ + " <- " + received_->Name());
+    if (!fulfilled) {
+      runtime_->FailAssert("internal: scheduled non-fulfillable receive");
+    }
+    if (logging_) [[unlikely]] {
+      runtime_->LogLine("resume  ", debug_name_, " <- ", received_->Name());
     }
     resume_point_.resume();
     RunCascade();
     return;
   }
   // Dequeue the first processable event.
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    while (it != queue_.end() && current_state_ != nullptr &&
-           current_state_->defers.contains((*it)->Type())) {
-      ++it;
+  while (!queue_.Empty()) {
+    std::unique_ptr<const Event> ev;
+    if (current_state_ == nullptr || current_state_->defers.Empty()) {
+      // No deferrable events in this state: take the front directly.
+      ev = queue_.PopFront();
+    } else {
+      std::size_t index = 0;
+      const std::size_t size = queue_.Size();
+      const auto* events = queue_.begin();
+      while (index < size &&
+             current_state_->defers.Contains(events[index]->TypeId())) {
+        ++index;
+      }
+      if (index == size) return;  // only deferred events remain
+      ev = queue_.RemoveAt(index);
     }
-    if (it == queue_.end()) return;  // only deferred events remain
-    std::unique_ptr<const Event> ev = std::move(*it);
-    queue_.erase(it);
     if (current_state_ != nullptr &&
-        current_state_->ignores.contains(ev->Type())) {
-      if (runtime_->LoggingEnabled()) {
-        runtime_->LogLine("ignore  " + debug_name_ + " x " + ev->Name());
+        current_state_->ignores.Contains(ev->TypeId())) {
+      if (logging_) [[unlikely]] {
+        runtime_->LogLine("ignore  ", debug_name_, " x ", ev->Name());
       }
       continue;  // dropped; look for another processable event in this step
     }
@@ -172,7 +180,8 @@ void Machine::RunStep() {
 
 void Machine::DispatchEvent(std::unique_ptr<const Event> ev, bool raised) {
   runtime_->CountCascadeAction();
-  if (ev->Type() == std::type_index(typeid(HaltEvent))) {
+  const EventTypeId type_id = ev->TypeId();
+  if (type_id == kHaltTypeId) {
     DoHalt();
     return;
   }
@@ -180,29 +189,38 @@ void Machine::DispatchEvent(std::unique_ptr<const Event> ev, bool raised) {
     throw BugFound(BugKind::kHarnessError,
                    "machine '" + debug_name_ + "' dispatching without a state");
   }
-  if (auto git = current_state_->gotos.find(ev->Type());
-      git != current_state_->gotos.end()) {
-    if (runtime_->LoggingEnabled()) {
-      runtime_->LogLine("goto    " + debug_name_ + " -- " + ev->Name() +
-                        " --> " + git->second);
+  const std::int32_t action = current_state_->DispatchOf(type_id);
+  if (action >= 0) {
+    if (logging_) [[unlikely]] {
+      runtime_->LogLine("handle  ", debug_name_, " <- ", ev->Name(), " [",
+                        current_state_->name, "]");
     }
     current_event_ = std::move(ev);
-    Transition(git->second);
+    InvokeHandler(current_state_->handlers[static_cast<std::size_t>(action)],
+                  current_event_.get());
     return;
   }
-  auto hit = current_state_->handlers.find(ev->Type());
-  if (hit == current_state_->handlers.end()) {
+  if (action == detail::kNoEntry) {
     throw BugFound(BugKind::kUnhandledEvent,
                    "machine '" + debug_name_ + "' in state '" +
                        current_state_->name + "' cannot handle " +
                        (raised ? "raised " : "") + "event " + ev->Name());
   }
-  if (runtime_->LoggingEnabled()) {
-    runtime_->LogLine("handle  " + debug_name_ + " <- " + ev->Name() + " [" +
-                      current_state_->name + "]");
+  // Declared OnGoto (possibly to a state that was never declared).
+  const std::string& target_name =
+      action == detail::kDanglingGoto
+          ? current_state_->goto_names.at(type_id)
+          : decl_->states[detail::DecodeGoto(action)].name;
+  if (logging_) [[unlikely]] {
+    runtime_->LogLine("goto    ", debug_name_, " -- ", ev->Name(), " --> ",
+                      target_name);
   }
   current_event_ = std::move(ev);
-  InvokeHandler(hit->second, current_event_.get());
+  if (action == detail::kDanglingGoto) {
+    Transition(target_name);  // throws the has-no-state harness error
+  } else {
+    TransitionToState(decl_->states[detail::DecodeGoto(action)]);
+  }
 }
 
 void Machine::InvokeHandler(const detail::Handler& handler, const Event* event) {
@@ -216,10 +234,23 @@ void Machine::InvokeHandler(const detail::Handler& handler, const Event* event) 
 }
 
 void Machine::Transition(const std::string& target) {
+  // The exit action runs before the target name is even resolved, so a Goto
+  // to an undeclared state still performs the exit's side effects before the
+  // harness error — the order string-based transitions have always had.
   if (current_state_ != nullptr && current_state_->exit) {
     current_state_->exit(*this);
   }
-  detail::StateDecl& next = FindState(target);
+  EnterState(FindState(target));
+}
+
+void Machine::TransitionToState(const detail::CompiledState& next) {
+  if (current_state_ != nullptr && current_state_->exit) {
+    current_state_->exit(*this);
+  }
+  EnterState(next);
+}
+
+void Machine::EnterState(const detail::CompiledState& next) {
   current_state_ = &next;
   ++transitions_taken_;
   if (next.entry.Valid()) {
@@ -232,10 +263,11 @@ void Machine::RunCascade() {
     if (root_task_.Valid() && !root_task_.Done()) {
       // Suspended in Receive: yield back to the scheduler. The machine must
       // actually be waiting; any other suspension is a framework-misuse bug.
-      runtime_->Assert(IsWaitingInReceive(),
-                       "machine '" + debug_name_ +
-                           "' suspended outside Receive (co_await of a "
-                           "foreign awaitable?)");
+      if (!IsWaitingInReceive()) {
+        runtime_->FailAssert("machine '" + debug_name_ +
+                             "' suspended outside Receive (co_await of a "
+                             "foreign awaitable?)");
+      }
       return;
     }
     if (root_task_.Valid()) {
@@ -254,8 +286,8 @@ void Machine::RunCascade() {
     }
     if (pending_raise_) {
       std::unique_ptr<const Event> ev = std::move(pending_raise_);
-      if (runtime_->LoggingEnabled()) {
-        runtime_->LogLine("raise   " + debug_name_ + " ^ " + ev->Name());
+      if (logging_) [[unlikely]] {
+        runtime_->LogLine("raise   ", debug_name_, " ^ ", ev->Name());
       }
       DispatchEvent(std::move(ev), /*raised=*/true);
       continue;
@@ -263,8 +295,8 @@ void Machine::RunCascade() {
     if (pending_goto_) {
       std::string target = std::move(*pending_goto_);
       pending_goto_.reset();
-      if (runtime_->LoggingEnabled()) {
-        runtime_->LogLine("goto    " + debug_name_ + " --> " + target);
+      if (logging_) [[unlikely]] {
+        runtime_->LogLine("goto    ", debug_name_, " --> ", target);
       }
       runtime_->CountCascadeAction();
       Transition(target);
@@ -280,13 +312,13 @@ void Machine::DoHalt() {
   pending_halt_ = false;
   pending_raise_.reset();
   pending_goto_.reset();
-  queue_.clear();
+  queue_.Clear();
   waiting_types_.clear();
   root_task_ = Task();
   resume_point_ = {};
   current_event_.reset();
-  if (runtime_->LoggingEnabled()) {
-    runtime_->LogLine("halt    " + debug_name_);
+  if (logging_) [[unlikely]] {
+    runtime_->LogLine("halt    ", debug_name_);
   }
 }
 
@@ -302,7 +334,10 @@ const std::string& Monitor::CurrentStateName() const {
 }
 
 MonitorStateBuilder Monitor::State(std::string name) {
-  auto [it, inserted] = states_.try_emplace(name);
+  if (detail::SkipDeclBuild()) {
+    return MonitorStateBuilder(nullptr);
+  }
+  auto [it, inserted] = builder_states_.try_emplace(name);
   if (inserted) {
     it->second.name = std::move(name);
   }
@@ -317,30 +352,31 @@ Runtime& Monitor::Rt() {
   return *runtime_;
 }
 
-detail::MonitorStateDecl& Monitor::FindState(const std::string& name) {
-  auto it = states_.find(name);
-  if (it == states_.end()) {
+const detail::CompiledMonitorState& Monitor::FindState(
+    const std::string& name) const {
+  const detail::CompiledMonitorState* state = decl_->FindState(name);
+  if (state == nullptr) {
     throw BugFound(BugKind::kHarnessError,
                    "monitor '" + debug_name_ + "' has no state '" + name + "'");
   }
-  return it->second;
+  return *state;
 }
 
 void Monitor::Goto(const std::string& state) {
-  detail::MonitorStateDecl& next = FindState(state);
+  const detail::CompiledMonitorState& next = FindState(state);
   current_state_ = &next;
   ++transitions_taken_;
   if (runtime_ != nullptr && runtime_->LoggingEnabled()) {
-    runtime_->LogLine("monitor " + debug_name_ + " --> " + state +
-                      (next.hot ? " [hot]" : next.cold ? " [cold]" : ""));
+    runtime_->LogLine("monitor ", debug_name_, " --> ", state,
+                      next.hot ? " [hot]" : next.cold ? " [cold]" : "");
   }
   if (next.entry) {
     next.entry(*this);
   }
 }
 
-void Monitor::Assert(bool cond, const std::string& message) {
-  Rt().Assert(cond, "monitor '" + debug_name_ + "': " + message);
+void Monitor::FailAssert(const std::string& message) {
+  Rt().FailAssert("monitor '" + debug_name_ + "': " + message);
 }
 
 void Monitor::Start() { Goto(start_state_); }
@@ -350,48 +386,75 @@ void Monitor::HandleNotification(const Event& event) {
     throw BugFound(BugKind::kHarnessError,
                    "monitor '" + debug_name_ + "' notified before start");
   }
-  if (current_state_->ignores.contains(event.Type())) {
+  const EventTypeId type_id = event.TypeId();
+  if (current_state_->ignores.Contains(type_id)) {
     return;
   }
-  auto it = current_state_->handlers.find(event.Type());
-  if (it == current_state_->handlers.end()) {
+  const std::int32_t handler = current_state_->HandlerIndexOf(type_id);
+  if (handler == detail::kNoEntry) {
     throw BugFound(BugKind::kHarnessError,
                    "monitor '" + debug_name_ + "' in state '" +
                        current_state_->name + "' cannot handle notification " +
                        event.Name());
   }
-  it->second(*this, event);
+  current_state_->handlers[static_cast<std::size_t>(handler)](*this, event);
 }
 
 // ===========================================================================
 // Runtime
 
 Runtime::Runtime(SchedulingStrategy& strategy, RuntimeOptions options)
-    : strategy_(strategy), options_(options) {}
+    : strategy_(strategy), options_(options) {
+  // One up-front allocation instead of log2(steps) regrows per execution;
+  // capped so huge step bounds don't preallocate tens of megabytes.
+  trace_.Reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(options_.max_steps, 4096)));
+  enabled_scratch_.reserve(16);
+}
 
 Runtime::~Runtime() = default;
 
 MachineId Runtime::Attach(std::unique_ptr<Machine> machine,
                           std::string debug_name) {
   machine->runtime_ = this;
+  machine->logging_ = options_.logging;
   machine->id_ = MachineId{machines_.size() + 1};
-  machine->debug_name_ =
-      debug_name + "(" + std::to_string(machine->id_.value) + ")";
+  machine->debug_name_ = std::move(debug_name);
+  machine->debug_name_ += '(';
+  machine->debug_name_ += std::to_string(machine->id_.value);
+  machine->debug_name_ += ')';
   if (machine->start_state_.empty()) {
     throw BugFound(BugKind::kHarnessError,
                    "machine '" + machine->debug_name_ +
                        "' declared no start state (call SetStart)");
   }
+  if (machine->decl_ == nullptr) {
+    if (machine->share_decls_) {
+      // First instance of this machine type anywhere in the process: compile
+      // and publish its declarations. Later instances skip declaration
+      // building entirely (see CreateMachine).
+      machine->decl_ = detail::DeclRegistry::GetOrCompileMachineDecl(
+          std::type_index(typeid(*machine)),
+          std::move(machine->builder_states_));
+    } else {
+      machine->owned_decl_ = detail::CompileMachineDeclUnshared(
+          std::type_index(typeid(*machine)),
+          std::move(machine->builder_states_));
+      machine->decl_ = machine->owned_decl_.get();
+    }
+    machine->builder_states_.clear();
+  }
   machines_.push_back(std::move(machine));
   const MachineId id = machines_.back()->id_;
   if (LoggingEnabled()) {
-    LogLine("create  " + machines_.back()->debug_name_);
+    LogLine("create  ", machines_.back()->debug_name_);
   }
   return id;
 }
 
 void Runtime::AttachMonitor(std::unique_ptr<Monitor> monitor,
-                            std::string debug_name) {
+                            std::string debug_name,
+                            EventTypeId monitor_type_id) {
   monitor->runtime_ = this;
   monitor->debug_name_ = std::move(debug_name);
   if (monitor->start_state_.empty()) {
@@ -399,9 +462,29 @@ void Runtime::AttachMonitor(std::unique_ptr<Monitor> monitor,
                    "monitor '" + monitor->debug_name_ +
                        "' declared no start state (call SetStart)");
   }
+  if (monitor->decl_ == nullptr) {
+    if (monitor->share_decls_) {
+      monitor->decl_ = detail::DeclRegistry::GetOrCompileMonitorDecl(
+          std::type_index(typeid(*monitor)),
+          std::move(monitor->builder_states_));
+    } else {
+      monitor->owned_decl_ = detail::CompileMonitorDeclUnshared(
+          std::type_index(typeid(*monitor)),
+          std::move(monitor->builder_states_));
+      monitor->decl_ = monitor->owned_decl_.get();
+    }
+    monitor->builder_states_.clear();
+  }
   Monitor* raw = monitor.get();
   monitors_.push_back(std::move(monitor));
-  monitor_by_type_.emplace(std::type_index(typeid(*raw)), raw);
+  if (monitors_by_id_.size() <= monitor_type_id) {
+    monitors_by_id_.resize(monitor_type_id + 1, nullptr);
+  }
+  if (monitors_by_id_[monitor_type_id] == nullptr) {
+    // First registration of the type wins, matching the map-emplace
+    // semantics notifications and FindMonitor have always had.
+    monitors_by_id_[monitor_type_id] = raw;
+  }
   raw->Start();
 }
 
@@ -428,31 +511,33 @@ void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
     return;  // events to halted machines are silently dropped (P# semantics)
   }
   if (LoggingEnabled()) {
-    LogLine("send    " + (sender ? sender->DebugName() : "<harness>") +
-            " -> " + machine->DebugName() + " : " + ev->Name());
+    LogLine("send    ", sender ? sender->DebugName() : "<harness>", " -> ",
+            machine->DebugName(), " : ", ev->Name());
   }
-  machine->queue_.push_back(std::move(ev));
+  machine->queue_.PushBack(std::move(ev));
+  machine->MarkEnabledDirty();
 }
 
 void Runtime::SendEvent(MachineId target, std::unique_ptr<const Event> ev) {
   DeliverEvent(target, std::move(ev), nullptr);
 }
 
-void Runtime::NotifyMonitorByType(std::type_index type, const Event& event) {
-  auto it = monitor_by_type_.find(type);
-  if (it == monitor_by_type_.end()) {
+void Runtime::NotifyMonitorById(EventTypeId monitor_type_id,
+                                const Event& event) {
+  Monitor* monitor = monitor_type_id < monitors_by_id_.size()
+                         ? monitors_by_id_[monitor_type_id]
+                         : nullptr;
+  if (monitor == nullptr) {
     return;  // monitor not registered in this harness: notification is a no-op
   }
   if (LoggingEnabled()) {
-    LogLine("notify  " + it->second->DebugName() + " <- " + event.Name());
+    LogLine("notify  ", monitor->DebugName(), " <- ", event.Name());
   }
-  it->second->HandleNotification(event);
+  monitor->HandleNotification(event);
 }
 
-void Runtime::Assert(bool cond, const std::string& message) {
-  if (!cond) {
-    throw BugFound(BugKind::kSafety, message);
-  }
+void Runtime::FailAssert(const std::string& message) {
+  throw BugFound(BugKind::kSafety, message);
 }
 
 bool Runtime::ChooseBool() {
@@ -470,29 +555,28 @@ std::uint64_t Runtime::ChooseInt(std::uint64_t bound) {
   return value;
 }
 
-std::vector<MachineId> Runtime::EnabledMachines() const {
-  std::vector<MachineId> enabled;
-  enabled.reserve(machines_.size());
+bool Runtime::Step() {
+  enabled_scratch_.clear();
   for (const auto& machine : machines_) {
-    if (machine->IsEnabled()) {
-      enabled.push_back(machine->id_);
+    if (machine->CachedEnabled()) {
+      enabled_scratch_.push_back(machine->id_);  // id order == sorted
     }
   }
-  return enabled;  // sorted: machines_ is in id order
-}
-
-bool Runtime::Step() {
-  const std::vector<MachineId> enabled = EnabledMachines();
-  if (enabled.empty()) {
+  if (enabled_scratch_.empty()) {
     return false;
   }
-  const MachineId chosen = strategy_.Next(enabled, steps_);
+  const MachineId chosen = strategy_.Next(enabled_scratch_, steps_);
   trace_.RecordSchedule(chosen.value);
   ++steps_;
   cascade_actions_ = 0;
   Machine* machine = FindMachine(chosen);
   machine->RunStep();
-  UpdateMonitorTemperatures();
+  // Everything about the stepped machine may have changed (queue, state,
+  // receive status, halt); senders were marked dirty by DeliverEvent.
+  machine->MarkEnabledDirty();
+  if (!monitors_.empty()) {
+    UpdateMonitorTemperatures();
+  }
   return true;
 }
 
@@ -506,13 +590,11 @@ void Runtime::UpdateMonitorTemperatures() {
   }
 }
 
-void Runtime::CountCascadeAction() {
-  if (++cascade_actions_ > options_.max_cascade_actions) {
-    throw BugFound(BugKind::kHarnessError,
-                   "handler cascade exceeded " +
-                       std::to_string(options_.max_cascade_actions) +
-                       " actions in one step (raise/goto loop?)");
-  }
+void Runtime::ThrowCascadeOverflow() const {
+  throw BugFound(BugKind::kHarnessError,
+                 "handler cascade exceeded " +
+                     std::to_string(options_.max_cascade_actions) +
+                     " actions in one step (raise/goto loop?)");
 }
 
 void Runtime::CheckTermination(bool hit_bound) {
@@ -560,28 +642,24 @@ Runtime::Stats Runtime::GetStats() const {
   stats.machines = machines_.size();
   stats.monitors = monitors_.size();
   for (const auto& machine : machines_) {
-    stats.states += machine->states_.size();
+    stats.states += machine->decl_->states.size();
     stats.transitions_taken += machine->transitions_taken_;
-    for (const auto& [name, decl] : machine->states_) {
-      stats.action_handlers += decl.handlers.size();
-      if (decl.entry.Valid()) ++stats.action_handlers;
-      if (decl.exit) ++stats.action_handlers;
-      stats.declared_transitions += decl.gotos.size();
+    for (const detail::CompiledState& state : machine->decl_->states) {
+      stats.action_handlers += state.handlers.size();
+      if (state.entry.Valid()) ++stats.action_handlers;
+      if (state.exit) ++stats.action_handlers;
+      stats.declared_transitions += state.goto_names.size();
     }
   }
   for (const auto& monitor : monitors_) {
-    stats.states += monitor->states_.size();
+    stats.states += monitor->decl_->states.size();
     stats.transitions_taken += monitor->transitions_taken_;
-    for (const auto& [name, decl] : monitor->states_) {
-      stats.action_handlers += decl.handlers.size();
-      if (decl.entry) ++stats.action_handlers;
+    for (const detail::CompiledMonitorState& state : monitor->decl_->states) {
+      stats.action_handlers += state.handlers.size();
+      if (state.entry) ++stats.action_handlers;
     }
   }
   return stats;
-}
-
-void Runtime::LogLine(const std::string& line) {
-  log_ += "[" + std::to_string(steps_) + "] " + line + "\n";
 }
 
 }  // namespace systest

@@ -9,23 +9,37 @@
 // (handler completion, or suspension in a Receive). Every scheduling decision
 // and every controlled nondeterministic choice is recorded in a Trace, which
 // makes executions fully replayable.
+//
+// Hot-path architecture (this is the inner loop of every 100k-execution
+// testing budget):
+//  * State declarations are compiled once per machine TYPE into an immutable
+//    shared MachineDecl (core/decl.h); instances after the first skip
+//    declaration building entirely. Event dispatch is flat-vector indexing
+//    on interned EventTypeIds, not hashing on type_index.
+//  * Each machine caches its enabled-flag; Runtime::Step re-examines only
+//    machines whose queue or control state changed since the last step, and
+//    reuses one scratch buffer for the enabled set.
+//  * Assertion messages are built only on failure, and the execution log
+//    appends into a single buffer (and only when logging is on).
 #pragma once
 
 #include <cassert>
-#include <deque>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <typeindex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/bug.h"
+#include "core/decl.h"
 #include "core/event.h"
+#include "core/event_queue.h"
 #include "core/strategy.h"
 #include "core/task.h"
 #include "core/trace.h"
@@ -36,46 +50,9 @@ class Machine;
 class Monitor;
 class Runtime;
 
-namespace detail {
-
-/// Type-erased handler: either a synchronous action or a coroutine. The
-/// event pointer is null for entry actions.
-struct Handler {
-  std::function<void(Machine&, const Event*)> sync;
-  std::function<Task(Machine&, const Event*)> coro;
-
-  [[nodiscard]] bool Valid() const noexcept {
-    return static_cast<bool>(sync) || static_cast<bool>(coro);
-  }
-};
-
-/// Declaration of one machine (or monitor) state.
-struct StateDecl {
-  std::string name;
-  Handler entry;
-  std::function<void(Machine&)> exit;
-  std::unordered_map<std::type_index, Handler> handlers;
-  std::unordered_map<std::type_index, std::string> gotos;
-  std::set<std::type_index> defers;
-  std::set<std::type_index> ignores;
-  bool hot = false;   // liveness: progress required while in this state
-  bool cold = false;  // liveness: progress happened
-};
-
-/// Monitor handler: always synchronous.
-struct MonitorStateDecl {
-  std::string name;
-  std::function<void(Monitor&)> entry;
-  std::unordered_map<std::type_index, std::function<void(Monitor&, const Event&)>>
-      handlers;
-  std::set<std::type_index> ignores;
-  bool hot = false;
-  bool cold = false;
-};
-
-}  // namespace detail
-
 /// Fluent builder used in machine constructors to declare a state's behavior.
+/// Inert (decl_ == nullptr) when the machine type's declarations are already
+/// compiled — see core/decl.h.
 class StateBuilder {
  public:
   explicit StateBuilder(detail::StateDecl* decl) : decl_(decl) {}
@@ -83,7 +60,9 @@ class StateBuilder {
   /// Registers a synchronous action for event E: void M::Fn(const E&).
   template <typename E, typename M>
   StateBuilder& On(void (M::*fn)(const E&)) {
-    decl_->handlers[typeid(E)].sync = [fn](Machine& m, const Event* e) {
+    if (decl_ == nullptr) return *this;
+    decl_->handlers[EventTypeIdOf<E>()].sync = [fn](Machine& m,
+                                                    const Event* e) {
       (static_cast<M&>(m).*fn)(static_cast<const E&>(*e));
     };
     return *this;
@@ -92,7 +71,8 @@ class StateBuilder {
   /// Registers a synchronous action that ignores the payload: void M::Fn().
   template <typename E, typename M>
   StateBuilder& On(void (M::*fn)()) {
-    decl_->handlers[typeid(E)].sync = [fn](Machine& m, const Event*) {
+    if (decl_ == nullptr) return *this;
+    decl_->handlers[EventTypeIdOf<E>()].sync = [fn](Machine& m, const Event*) {
       (static_cast<M&>(m).*fn)();
     };
     return *this;
@@ -102,7 +82,9 @@ class StateBuilder {
   /// event stays alive until the coroutine completes.
   template <typename E, typename M>
   StateBuilder& On(Task (M::*fn)(const E&)) {
-    decl_->handlers[typeid(E)].coro = [fn](Machine& m, const Event* e) {
+    if (decl_ == nullptr) return *this;
+    decl_->handlers[EventTypeIdOf<E>()].coro = [fn](Machine& m,
+                                                    const Event* e) {
       return (static_cast<M&>(m).*fn)(static_cast<const E&>(*e));
     };
     return *this;
@@ -111,7 +93,8 @@ class StateBuilder {
   /// Registers a coroutine action ignoring the payload: Task M::Fn().
   template <typename E, typename M>
   StateBuilder& On(Task (M::*fn)()) {
-    decl_->handlers[typeid(E)].coro = [fn](Machine& m, const Event*) {
+    if (decl_ == nullptr) return *this;
+    decl_->handlers[EventTypeIdOf<E>()].coro = [fn](Machine& m, const Event*) {
       return (static_cast<M&>(m).*fn)();
     };
     return *this;
@@ -120,27 +103,31 @@ class StateBuilder {
   /// On event E, transition directly to `target` (exit/entry actions run).
   template <typename E>
   StateBuilder& OnGoto(std::string target) {
-    decl_->gotos[typeid(E)] = std::move(target);
+    if (decl_ == nullptr) return *this;
+    decl_->gotos[EventTypeIdOf<E>()] = std::move(target);
     return *this;
   }
 
   /// Defer E in this state: it stays queued until a state handles it.
   template <typename E>
   StateBuilder& Defer() {
-    decl_->defers.insert(typeid(E));
+    if (decl_ == nullptr) return *this;
+    decl_->defers.insert(EventTypeIdOf<E>());
     return *this;
   }
 
   /// Ignore (drop) E in this state.
   template <typename E>
   StateBuilder& Ignore() {
-    decl_->ignores.insert(typeid(E));
+    if (decl_ == nullptr) return *this;
+    decl_->ignores.insert(EventTypeIdOf<E>());
     return *this;
   }
 
   /// Entry action, synchronous: void M::Fn().
   template <typename M>
   StateBuilder& OnEntry(void (M::*fn)()) {
+    if (decl_ == nullptr) return *this;
     decl_->entry.sync = [fn](Machine& m, const Event*) {
       (static_cast<M&>(m).*fn)();
     };
@@ -150,6 +137,7 @@ class StateBuilder {
   /// Entry action, coroutine: Task M::Fn().
   template <typename M>
   StateBuilder& OnEntry(Task (M::*fn)()) {
+    if (decl_ == nullptr) return *this;
     decl_->entry.coro = [fn](Machine& m, const Event*) {
       return (static_cast<M&>(m).*fn)();
     };
@@ -159,6 +147,7 @@ class StateBuilder {
   /// Exit action (always synchronous; P# exit actions cannot block).
   template <typename M>
   StateBuilder& OnExit(void (M::*fn)()) {
+    if (decl_ == nullptr) return *this;
     decl_->exit = [fn](Machine& m) { (static_cast<M&>(m).*fn)(); };
     return *this;
   }
@@ -172,10 +161,19 @@ class ReceiveAwaiter;
 template <typename... Es>
 class ReceiveAnyAwaiter;
 
+namespace detail {
+template <typename F>
+concept AssertMessageFn = std::is_invocable_r_v<std::string, F&>;
+}  // namespace detail
+
 /// Base class for P#-style machines. Subclasses declare their states in the
 /// constructor with State(...)/SetStart(...) and interact with the world
 /// exclusively through the protected runtime API (Send, Raise, Goto, Create,
 /// NondetBool/Int, Receive, Halt, Assert, Notify).
+///
+/// Declarations are per-TYPE (compiled and shared on first use): a
+/// constructor must declare the same states for every instance of the class.
+/// Per-instance variation belongs in member data or SetStart.
 class Machine {
  public:
   Machine(const Machine&) = delete;
@@ -186,7 +184,12 @@ class Machine {
   [[nodiscard]] const std::string& DebugName() const noexcept { return debug_name_; }
   [[nodiscard]] bool Halted() const noexcept { return halted_; }
   [[nodiscard]] const std::string& CurrentStateName() const;
-  [[nodiscard]] std::size_t QueueLength() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t QueueLength() const noexcept { return queue_.Size(); }
+  /// Compiled state declarations this instance runs on (shared per type
+  /// unless the type opts out — test/introspection use).
+  [[nodiscard]] const detail::MachineDecl* StateDecls() const noexcept {
+    return decl_;
+  }
 
  protected:
   Machine() = default;
@@ -196,15 +199,23 @@ class Machine {
   /// Creates or retrieves the state `name` for further declaration.
   StateBuilder State(std::string name);
 
-  /// Sets the state entered when the machine starts.
+  /// Sets the state entered when the machine starts. Per-instance (unlike
+  /// the state declarations themselves), so a constructor may pick the start
+  /// state from its arguments.
   void SetStart(std::string name) { start_state_ = std::move(name); }
 
   // ---- Runtime API (handlers only) ----
 
   /// The runtime this machine is attached to.
-  [[nodiscard]] Runtime& Rt();
+  [[nodiscard]] Runtime& Rt() {
+    if (runtime_ == nullptr) [[unlikely]] {
+      ThrowUnattached();
+    }
+    return *runtime_;
+  }
 
-  /// Non-blocking send: enqueues `ev` into `target`'s queue.
+  /// Non-blocking send: enqueues `ev` into `target`'s queue. (Defined after
+  /// Runtime, inline: one hop straight into DeliverEvent.)
   void Send(MachineId target, std::unique_ptr<const Event> ev);
 
   template <typename E, typename... Args>
@@ -239,8 +250,18 @@ class Machine {
   template <typename MonitorT, typename E, typename... Args>
   void Notify(Args&&... args);
 
-  /// Fails the execution with a safety violation if `cond` is false.
-  void Assert(bool cond, const std::string& message);
+  /// Fails the execution with a safety violation if `cond` is false. No
+  /// message string is assembled when the condition holds.
+  void Assert(bool cond, const std::string& message) {
+    if (!cond) FailAssert(message);
+  }
+
+  /// Lazy-message form for call sites whose message is built from runtime
+  /// values: Assert(ok, [&] { return "expected " + std::to_string(x); });
+  template <detail::AssertMessageFn F>
+  void Assert(bool cond, F&& message_fn) {
+    if (!cond) FailAssert(message_fn());
+  }
 
   /// Awaitable: blocks the current coroutine handler until an event of type
   /// E is available in the queue, then dequeues and returns it. Non-matching
@@ -259,14 +280,38 @@ class Machine {
   template <typename... Es>
   friend class ReceiveAnyAwaiter;
 
+  [[noreturn]] void FailAssert(const std::string& message);
+  [[noreturn]] void ThrowUnattached() const;
+
   // Receive plumbing (used by the awaiters).
-  void BeginReceive(std::vector<std::type_index> types);
+  void BeginReceive(std::initializer_list<EventTypeId> types);
   bool TryFulfillReceive();
   void SetResumePoint(std::coroutine_handle<> h) { resume_point_ = h; }
   std::unique_ptr<const Event> TakeReceived();
 
   // Step execution (used by the runtime).
-  [[nodiscard]] bool IsEnabled() const;
+  [[nodiscard]] bool IsEnabled() const {
+    if (halted_) return false;
+    if (!started_) return true;
+    if (!root_task_.Valid() &&
+        (current_state_ == nullptr || current_state_->defers.Empty())) {
+      // Idle in a state with nothing deferrable: any queued event is
+      // processable.
+      return !queue_.Empty();
+    }
+    return IsEnabledSlow();
+  }
+  /// Receive-wait and deferrable-state cases of IsEnabled.
+  [[nodiscard]] bool IsEnabledSlow() const;
+  /// Memoized IsEnabled: recomputed only after MarkEnabledDirty.
+  [[nodiscard]] bool CachedEnabled() {
+    if (enabled_dirty_) {
+      enabled_cache_ = IsEnabled();
+      enabled_dirty_ = false;
+    }
+    return enabled_cache_;
+  }
+  void MarkEnabledDirty() noexcept { enabled_dirty_ = true; }
   [[nodiscard]] bool IsWaitingInReceive() const noexcept {
     return !waiting_types_.empty();
   }
@@ -275,22 +320,32 @@ class Machine {
   void InvokeHandler(const detail::Handler& handler, const Event* event);
   void DispatchEvent(std::unique_ptr<const Event> ev, bool raised);
   void Transition(const std::string& target);
+  void TransitionToState(const detail::CompiledState& next);
+  void EnterState(const detail::CompiledState& next);
   void DoHalt();
-  detail::StateDecl& FindState(const std::string& name);
+  const detail::CompiledState& FindState(const std::string& name) const;
   [[nodiscard]] bool HasMatchingQueuedEvent() const;
 
   Runtime* runtime_ = nullptr;
   MachineId id_{};
   std::string debug_name_;
 
-  std::map<std::string, detail::StateDecl> states_;
+  /// Builder-form states, populated by State() in the FIRST instance of the
+  /// type only; moved into the shared decl at Attach and empty afterwards.
+  std::map<std::string, detail::StateDecl> builder_states_;
+  /// Immutable per-type declaration, shared across instances and Runtimes
+  /// (or pointing at owned_decl_ for opted-out types).
+  const detail::MachineDecl* decl_ = nullptr;
+  /// Per-instance decl for types with kShareStateDecls == false.
+  std::unique_ptr<const detail::MachineDecl> owned_decl_;
+  bool share_decls_ = true;
   std::string start_state_;
-  detail::StateDecl* current_state_ = nullptr;
+  const detail::CompiledState* current_state_ = nullptr;
 
-  std::deque<std::unique_ptr<const Event>> queue_;
+  detail::EventQueue queue_;
   std::unique_ptr<const Event> current_event_;  // alive while handler runs
   std::unique_ptr<const Event> received_;       // fulfilled Receive result
-  std::vector<std::type_index> waiting_types_;  // non-empty while in Receive
+  std::vector<EventTypeId> waiting_types_;  // non-empty while in Receive
   std::coroutine_handle<> resume_point_{};
   Task root_task_;
 
@@ -299,6 +354,9 @@ class Machine {
   bool pending_halt_ = false;
   bool started_ = false;
   bool halted_ = false;
+  bool enabled_cache_ = false;
+  bool enabled_dirty_ = true;
+  bool logging_ = false;  // Runtime's options_.logging, cached at attach
 
   std::uint64_t transitions_taken_ = 0;
 };
@@ -310,7 +368,7 @@ class [[nodiscard]] ReceiveAwaiter {
   explicit ReceiveAwaiter(Machine* machine) : machine_(machine) {}
 
   bool await_ready() {
-    machine_->BeginReceive({std::type_index(typeid(E))});
+    machine_->BeginReceive({EventTypeIdOf<E>()});
     return machine_->TryFulfillReceive();
   }
   void await_suspend(std::coroutine_handle<> h) { machine_->SetResumePoint(h); }
@@ -331,7 +389,7 @@ class [[nodiscard]] ReceiveAnyAwaiter {
   explicit ReceiveAnyAwaiter(Machine* machine) : machine_(machine) {}
 
   bool await_ready() {
-    machine_->BeginReceive({std::type_index(typeid(Es))...});
+    machine_->BeginReceive({EventTypeIdOf<Es>()...});
     return machine_->TryFulfillReceive();
   }
   void await_suspend(std::coroutine_handle<> h) { machine_->SetResumePoint(h); }
@@ -352,14 +410,16 @@ ReceiveAnyAwaiter<Es...> Machine::ReceiveAny() {
 }
 
 /// Fluent builder for monitor states (synchronous handlers only; hot/cold
-/// attributes drive liveness checking).
+/// attributes drive liveness checking). Inert when the monitor type's
+/// declarations are already compiled.
 class MonitorStateBuilder {
  public:
   explicit MonitorStateBuilder(detail::MonitorStateDecl* decl) : decl_(decl) {}
 
   template <typename E, typename M>
   MonitorStateBuilder& On(void (M::*fn)(const E&)) {
-    decl_->handlers[typeid(E)] = [fn](Monitor& m, const Event& e) {
+    if (decl_ == nullptr) return *this;
+    decl_->handlers[EventTypeIdOf<E>()] = [fn](Monitor& m, const Event& e) {
       (static_cast<M&>(m).*fn)(static_cast<const E&>(e));
     };
     return *this;
@@ -367,7 +427,8 @@ class MonitorStateBuilder {
 
   template <typename E, typename M>
   MonitorStateBuilder& On(void (M::*fn)()) {
-    decl_->handlers[typeid(E)] = [fn](Monitor& m, const Event&) {
+    if (decl_ == nullptr) return *this;
+    decl_->handlers[EventTypeIdOf<E>()] = [fn](Monitor& m, const Event&) {
       (static_cast<M&>(m).*fn)();
     };
     return *this;
@@ -375,12 +436,14 @@ class MonitorStateBuilder {
 
   template <typename E>
   MonitorStateBuilder& Ignore() {
-    decl_->ignores.insert(typeid(E));
+    if (decl_ == nullptr) return *this;
+    decl_->ignores.insert(EventTypeIdOf<E>());
     return *this;
   }
 
   template <typename M>
   MonitorStateBuilder& OnEntry(void (M::*fn)()) {
+    if (decl_ == nullptr) return *this;
     decl_->entry = [fn](Monitor& m) { (static_cast<M&>(m).*fn)(); };
     return *this;
   }
@@ -389,12 +452,14 @@ class MonitorStateBuilder {
   /// here (§2.5). An execution that stays hot past the liveness temperature
   /// threshold is reported as a liveness violation.
   MonitorStateBuilder& Hot() {
+    if (decl_ == nullptr) return *this;
     decl_->hot = true;
     return *this;
   }
 
   /// Marks this state cold: progress has happened.
   MonitorStateBuilder& Cold() {
+    if (decl_ == nullptr) return *this;
     decl_->cold = true;
     return *this;
   }
@@ -406,7 +471,8 @@ class MonitorStateBuilder {
 /// Base class for safety and liveness monitors (§2.4, §2.5): a monitor can
 /// receive notifications but never send; it maintains the history relevant to
 /// the property being specified and flags violations via Assert, or via
-/// staying in a hot state forever (liveness).
+/// staying in a hot state forever (liveness). Declarations are per-TYPE,
+/// like machines'.
 class Monitor {
  public:
   Monitor(const Monitor&) = delete;
@@ -429,23 +495,36 @@ class Monitor {
   /// Immediate transition (the paper's `jumpto`): runs the target's entry.
   void Goto(const std::string& state);
 
-  /// Safety assertion over the monitor's private state.
-  void Assert(bool cond, const std::string& message);
+  /// Safety assertion over the monitor's private state; the message is only
+  /// assembled on failure.
+  void Assert(bool cond, const std::string& message) {
+    if (!cond) FailAssert(message);
+  }
+
+  template <detail::AssertMessageFn F>
+  void Assert(bool cond, F&& message_fn) {
+    if (!cond) FailAssert(message_fn());
+  }
 
   [[nodiscard]] Runtime& Rt();
 
  private:
   friend class Runtime;
 
+  [[noreturn]] void FailAssert(const std::string& message);
+
   void Start();
   void HandleNotification(const Event& event);
-  detail::MonitorStateDecl& FindState(const std::string& name);
+  const detail::CompiledMonitorState& FindState(const std::string& name) const;
 
   Runtime* runtime_ = nullptr;
   std::string debug_name_;
-  std::map<std::string, detail::MonitorStateDecl> states_;
+  std::map<std::string, detail::MonitorStateDecl> builder_states_;
+  const detail::MonitorDecl* decl_ = nullptr;
+  std::unique_ptr<const detail::MonitorDecl> owned_decl_;
+  bool share_decls_ = true;
   std::string start_state_;
-  detail::MonitorStateDecl* current_state_ = nullptr;
+  const detail::CompiledMonitorState* current_state_ = nullptr;
   std::uint64_t hot_steps_ = 0;
   std::uint64_t transitions_taken_ = 0;
 };
@@ -476,19 +555,70 @@ class Runtime {
   // ---- Harness API ----
 
   /// Creates a machine; it becomes enabled and will run its start state's
-  /// entry action when first scheduled.
+  /// entry action when first scheduled. If M's declarations are already
+  /// compiled (any earlier instance, in any Runtime), the constructor's
+  /// State() calls are skipped wholesale.
   template <typename M, typename... Args>
   MachineId CreateMachine(std::string debug_name, Args&&... args) {
-    auto machine = std::make_unique<M>(std::forward<Args>(args)...);
+    static_assert(std::is_base_of_v<Machine, M>);
+    std::unique_ptr<M> machine;
+    if constexpr (detail::SharesStateDecls<M>::value) {
+      const detail::MachineDecl* decl =
+          detail::DeclRegistry::FindMachineDecl(std::type_index(typeid(M)));
+      if (decl != nullptr) {
+#ifdef NDEBUG
+        const detail::ScopedDeclSkip skip;
+        machine = std::make_unique<M>(std::forward<Args>(args)...);
+#else
+        // Debug builds construct declarations anyway and verify they match
+        // the shared decl — the tripwire for a type that varies its state
+        // graph per instance without opting out of sharing.
+        machine = std::make_unique<M>(std::forward<Args>(args)...);
+        detail::VerifyDeclMatches(*decl, machine->builder_states_,
+                                  typeid(M).name());
+        machine->builder_states_.clear();
+#endif
+        machine->decl_ = decl;
+      } else {
+        machine = std::make_unique<M>(std::forward<Args>(args)...);
+      }
+    } else {
+      machine = std::make_unique<M>(std::forward<Args>(args)...);
+      machine->share_decls_ = false;
+    }
     return Attach(std::move(machine), std::move(debug_name));
   }
 
-  /// Registers a monitor; its start state is entered immediately.
+  /// Registers a monitor; its start state is entered immediately. Shares
+  /// compiled declarations per monitor type, like CreateMachine.
   template <typename M, typename... Args>
   M& RegisterMonitor(std::string debug_name, Args&&... args) {
-    auto monitor = std::make_unique<M>(std::forward<Args>(args)...);
+    static_assert(std::is_base_of_v<Monitor, M>);
+    std::unique_ptr<M> monitor;
+    if constexpr (detail::SharesStateDecls<M>::value) {
+      const detail::MonitorDecl* decl =
+          detail::DeclRegistry::FindMonitorDecl(std::type_index(typeid(M)));
+      if (decl != nullptr) {
+#ifdef NDEBUG
+        const detail::ScopedDeclSkip skip;
+        monitor = std::make_unique<M>(std::forward<Args>(args)...);
+#else
+        monitor = std::make_unique<M>(std::forward<Args>(args)...);
+        detail::VerifyMonitorDeclMatches(*decl, monitor->builder_states_,
+                                         typeid(M).name());
+        monitor->builder_states_.clear();
+#endif
+        monitor->decl_ = decl;
+      } else {
+        monitor = std::make_unique<M>(std::forward<Args>(args)...);
+      }
+    } else {
+      monitor = std::make_unique<M>(std::forward<Args>(args)...);
+      monitor->share_decls_ = false;
+    }
     M& ref = *monitor;
-    AttachMonitor(std::move(monitor), std::move(debug_name));
+    AttachMonitor(std::move(monitor), std::move(debug_name),
+                  MonitorTypeIdOf<M>());
     return ref;
   }
 
@@ -503,8 +633,10 @@ class Runtime {
   /// Looks up the registered monitor of type M (for end-of-test inspection).
   template <typename M>
   [[nodiscard]] M* FindMonitor() const {
-    auto it = monitor_by_type_.find(std::type_index(typeid(M)));
-    return it == monitor_by_type_.end() ? nullptr : static_cast<M*>(it->second);
+    const EventTypeId id = MonitorTypeIdOf<M>();
+    return id < monitors_by_id_.size()
+               ? static_cast<M*>(monitors_by_id_[id])
+               : nullptr;
   }
 
   [[nodiscard]] const Machine* FindMachine(MachineId id) const;
@@ -543,34 +675,81 @@ class Runtime {
 
   // ---- Internal API used by Machine / Monitor ----
 
-  void Assert(bool cond, const std::string& message);
+  /// Hot-path assertion: no message work when `cond` holds.
+  void Assert(bool cond, const std::string& message) {
+    if (!cond) {
+      FailAssert(message);
+    }
+  }
+  template <detail::AssertMessageFn F>
+  void Assert(bool cond, F&& message_fn) {
+    if (!cond) {
+      FailAssert(message_fn());
+    }
+  }
+  [[noreturn]] void FailAssert(const std::string& message);
+
   [[nodiscard]] bool ChooseBool();
   [[nodiscard]] std::uint64_t ChooseInt(std::uint64_t bound);
   void DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
                     const Machine* sender);
   MachineId Attach(std::unique_ptr<Machine> machine, std::string debug_name);
-  void AttachMonitor(std::unique_ptr<Monitor> monitor, std::string debug_name);
-  void NotifyMonitorByType(std::type_index type, const Event& event);
-  void LogLine(const std::string& line);
+  void AttachMonitor(std::unique_ptr<Monitor> monitor, std::string debug_name,
+                     EventTypeId monitor_type_id);
+  void NotifyMonitorById(EventTypeId monitor_type_id, const Event& event);
   [[nodiscard]] bool LoggingEnabled() const noexcept { return options_.logging; }
-  void CountCascadeAction();
+  void CountCascadeAction() {
+    if (++cascade_actions_ > options_.max_cascade_actions) [[unlikely]] {
+      ThrowCascadeOverflow();
+    }
+  }
+
+  /// Appends one line to the execution log as "[step] part0part1...\n",
+  /// building no intermediate strings. Callers gate on LoggingEnabled().
+  template <typename... Parts>
+  void LogLine(const Parts&... parts) {
+    log_ += '[';
+    AppendLogPart(log_, steps_);
+    log_ += "] ";
+    (AppendLogPart(log_, parts), ...);
+    log_ += '\n';
+  }
 
  private:
-  [[nodiscard]] std::vector<MachineId> EnabledMachines() const;
+  static void AppendLogPart(std::string& out, std::string_view part) {
+    out += part;
+  }
+  static void AppendLogPart(std::string& out, const std::string& part) {
+    out += part;
+  }
+  static void AppendLogPart(std::string& out, const char* part) {
+    out += part;
+  }
+  static void AppendLogPart(std::string& out, char part) { out += part; }
+  static void AppendLogPart(std::string& out, std::uint64_t part) {
+    out += std::to_string(part);
+  }
+
   void UpdateMonitorTemperatures();
+  [[noreturn]] void ThrowCascadeOverflow() const;
 
   SchedulingStrategy& strategy_;
   RuntimeOptions options_;
   std::vector<std::unique_ptr<Machine>> machines_;  // index = id - 1
   std::vector<std::unique_ptr<Monitor>> monitors_;
-  std::unordered_map<std::type_index, Monitor*> monitor_by_type_;
+  std::vector<Monitor*> monitors_by_id_;  // index = interned monitor type id
+  std::vector<MachineId> enabled_scratch_;  // reused by every Step
   Trace trace_;
   std::uint64_t steps_ = 0;
   std::uint64_t cascade_actions_ = 0;
   std::string log_;
 };
 
-// ---- Machine template members that need Runtime's definition ----
+// ---- Machine members that need Runtime's definition ----
+
+inline void Machine::Send(MachineId target, std::unique_ptr<const Event> ev) {
+  Rt().DeliverEvent(target, std::move(ev), this);
+}
 
 template <typename M, typename... Args>
 MachineId Machine::Create(std::string debug_name, Args&&... args) {
@@ -580,8 +759,9 @@ MachineId Machine::Create(std::string debug_name, Args&&... args) {
 
 template <typename MonitorT, typename E, typename... Args>
 void Machine::Notify(Args&&... args) {
-  const E event(std::forward<Args>(args)...);
-  Rt().NotifyMonitorByType(std::type_index(typeid(MonitorT)), event);
+  E event(std::forward<Args>(args)...);
+  detail::EventTypeStamp::Set(event, EventTypeIdOf<E>());
+  Rt().NotifyMonitorById(MonitorTypeIdOf<MonitorT>(), event);
 }
 
 }  // namespace systest

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/bug.h"       // IWYU pragma: export
+#include "core/decl.h"      // IWYU pragma: export
 #include "core/engine.h"    // IWYU pragma: export
 #include "core/event.h"     // IWYU pragma: export
 #include "core/rng.h"       // IWYU pragma: export

@@ -34,6 +34,10 @@ class Trace {
  public:
   void Clear() { decisions_.clear(); }
 
+  /// Pre-sizes decision storage (the runtime reserves from its step bound so
+  /// the per-execution hot path never regrows the vector).
+  void Reserve(std::size_t capacity) { decisions_.reserve(capacity); }
+
   void RecordSchedule(std::uint64_t machine_id) {
     decisions_.push_back({Decision::Kind::kSchedule, machine_id, 0});
   }

@@ -120,10 +120,11 @@ void FabricClusterMachine::OnInjectFailure(const InjectPrimaryFailure&) {
 void FabricClusterMachine::Promote(systest::MachineId replica) {
   // The §5 assertion: "only a secondary can be promoted to an active
   // secondary".
-  Assert(replicas_[replica] == ReplicaRole::kIdleSecondary,
-         "only a secondary can be promoted to an active secondary (replica "
-         "is " +
-             std::string(ToString(replicas_[replica])) + ")");
+  Assert(replicas_[replica] == ReplicaRole::kIdleSecondary, [&] {
+    return "only a secondary can be promoted to an active secondary (replica "
+           "is " +
+           std::string(ToString(replicas_[replica])) + ")";
+  });
   replicas_[replica] = ReplicaRole::kActiveSecondary;
   Send<RoleEvent>(replica, ReplicaRole::kActiveSecondary);
   // One repair completion per rebuilt replica (each failure spawns exactly

@@ -114,10 +114,11 @@ class FailoverDriverMachine final : public systest::Machine {
   }
 
   void OnAuditReport(const AuditReport& report) {
-    Assert(report.total == expected_total_,
-           "replica diverged after failover: reports " +
-               std::to_string(report.total) + " but the client accumulated " +
-               std::to_string(expected_total_));
+    Assert(report.total == expected_total_, [&] {
+      return "replica diverged after failover: reports " +
+             std::to_string(report.total) + " but the client accumulated " +
+             std::to_string(expected_total_);
+    });
     if (++audit_reports_ == static_cast<int>(options_.replicas)) {
       Notify<ScenarioLivenessMonitor, NotifyScenarioDone>();
       Halt();

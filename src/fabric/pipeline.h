@@ -22,6 +22,10 @@ namespace fabric {
 /// is dereferenced unconditionally.
 class AggregatorMachine final : public systest::Machine {
  public:
+  /// The constructor declares a DIFFERENT state graph when the bug is
+  /// injected, so this type cannot share compiled declarations per type.
+  static constexpr bool kShareStateDecls = false;
+
   AggregatorMachine(systest::MachineId driver, int expected_records,
                     FabricBugs bugs);
 

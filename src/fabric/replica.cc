@@ -70,8 +70,10 @@ void ReplicaMachine::OnCopyState(const CopyState& copy) {
   // never consume a copy.
   Assert(role_ == ReplicaRole::kIdleSecondary ||
              role_ == ReplicaRole::kActiveSecondary,
-         "state copy delivered to a " + std::string(ToString(role_)) +
-             " replica");
+         [&] {
+           return "state copy delivered to a " +
+                  std::string(ToString(role_)) + " replica";
+         });
   for (const auto& [op, delta] : copy.state.applied) {
     Apply(op, delta);
   }

@@ -123,11 +123,12 @@ void TablesMachine::ApplyLinWrite(const LinWrite& action,
     op.etag = it->second;
   }
   const OpResult rt_result = rt_.ExecuteWrite(op);
-  Assert(rt_result.code == action.expected,
-         "MT/RT divergence on " + std::string(ToString(spec.kind)) + " " +
-             spec.key.ToString() + ": MT returned " +
-             std::string(ToString(action.expected)) + " but RT returned " +
-             std::string(ToString(rt_result.code)));
+  Assert(rt_result.code == action.expected, [&] {
+    return "MT/RT divergence on " + std::string(ToString(spec.kind)) + " " +
+           spec.key.ToString() + ": MT returned " +
+           std::string(ToString(action.expected)) + " but RT returned " +
+           std::string(ToString(rt_result.code));
+  });
   if (rt_result.Ok()) {
     if (spec.out_slot >= 0) {
       rt_slots_[{service.value, spec.out_slot}] = rt_result.etag;
@@ -151,11 +152,12 @@ void TablesMachine::CheckRead(const LinReadCheck& action) {
       rt_result.row.has_value()
           ? std::optional<Properties>(rt_result.row->properties)
           : std::nullopt;
-  Assert(rt_value == action.expected,
-         "MT/RT divergence on Retrieve " + action.key.ToString() +
-             ": MT saw " + (action.expected ? "a row" : "no row") +
-             " but RT has " + (rt_value ? "a row" : "no row") +
-             " (or the contents differ)");
+  Assert(rt_value == action.expected, [&] {
+    return "MT/RT divergence on Retrieve " + action.key.ToString() +
+           ": MT saw " + (action.expected ? "a row" : "no row") +
+           " but RT has " + (rt_value ? "a row" : "no row") +
+           " (or the contents differ)";
+  });
 }
 
 void TablesMachine::CheckQuery(const LinQueryCheck& action) {
@@ -171,11 +173,12 @@ void TablesMachine::CheckQuery(const LinQueryCheck& action) {
       }
     }
   }
-  Assert(equal, "MT/RT divergence on atomic query " +
-                    action.filter.ToString() + ": MT returned " +
-                    std::to_string(action.expected.size()) +
-                    " rows, RT holds " + std::to_string(rt_rows.size()) +
-                    " (or contents differ)");
+  Assert(equal, [&] {
+    return "MT/RT divergence on atomic query " + action.filter.ToString() +
+           ": MT returned " + std::to_string(action.expected.size()) +
+           " rows, RT holds " + std::to_string(rt_rows.size()) +
+           " (or contents differ)";
+  });
 }
 
 void TablesMachine::StreamStarted(const LinStreamStart& action) {
@@ -233,10 +236,11 @@ void TablesMachine::CheckSkippedKeys(std::uint64_t stream_id,
           if (!value.has_value()) return true;  // absent at some point
           return !info.filter.Matches(TableRow{key, *value});
         });
-    Assert(excusable,
-           "stream " + std::to_string(stream_id) + " skipped key " +
-               key.ToString() +
-               " which matched the filter for the entire stream window");
+    Assert(excusable, [&] {
+      return "stream " + std::to_string(stream_id) + " skipped key " +
+             key.ToString() +
+             " which matched the filter for the entire stream window";
+    });
   }
 }
 
@@ -246,25 +250,28 @@ void TablesMachine::StreamEmitted(const LinStreamEmit& action) {
          "stream emit on unknown or closed stream");
   StreamInfo& info = it->second;
   // (a) ascending keys, no duplicates.
-  Assert(!info.last_emitted || action.row.key > *info.last_emitted,
-         "stream " + std::to_string(action.stream) +
-             " emitted keys out of order: " + action.row.key.ToString());
+  Assert(!info.last_emitted || action.row.key > *info.last_emitted, [&] {
+    return "stream " + std::to_string(action.stream) +
+           " emitted keys out of order: " + action.row.key.ToString();
+  });
   // (b) the emitted value matches the filter and some historical RT value
   // within the window.
-  Assert(info.filter.Matches(action.row),
-         "stream emitted a row that does not match its filter: " +
-             action.row.key.ToString());
+  Assert(info.filter.Matches(action.row), [&] {
+    return "stream emitted a row that does not match its filter: " +
+           action.row.key.ToString();
+  });
   const auto window = HistoryWindow(action.row.key, info.start_seq);
   const bool justified = std::any_of(
       window.begin(), window.end(),
       [&](const std::optional<Properties>& value) {
         return value.has_value() && *value == action.row.properties;
       });
-  Assert(justified,
-         "stream " + std::to_string(action.stream) + " emitted row " +
-             action.row.key.ToString() +
-             " with contents the virtual table never held during the "
-             "stream window");
+  Assert(justified, [&] {
+    return "stream " + std::to_string(action.stream) + " emitted row " +
+           action.row.key.ToString() +
+           " with contents the virtual table never held during the "
+           "stream window";
+  });
   // (c) keys between the previous emission and this one must have been
   // absent (or non-matching) at some point in the window.
   CheckSkippedKeys(action.stream, info.last_emitted,
@@ -284,14 +291,17 @@ void TablesMachine::OnVerify(const VerifyTables&) {
   // End-to-end postconditions after both the workload and the migration have
   // completed: the merged backend view must equal the RT, the old table must
   // be empty, and no tombstones may remain.
-  Assert(old_.Empty(), "old table not empty after migration completed: " +
-                           std::to_string(old_.RowCount()) + " rows left");
+  Assert(old_.Empty(), [&] {
+    return "old table not empty after migration completed: " +
+           std::to_string(old_.RowCount()) + " rows left";
+  });
   const std::vector<QueryRow> new_rows = new_.ExecuteQueryAtomic(Filter{});
   std::vector<TableRow> merged;
   for (const QueryRow& row : new_rows) {
     if (row.row.key.partition == kMetaPartition) continue;
-    Assert(!IsTombstone(row.row.properties),
-           "tombstone row survived the sweep: " + row.row.key.ToString());
+    Assert(!IsTombstone(row.row.properties), [&] {
+      return "tombstone row survived the sweep: " + row.row.key.ToString();
+    });
     merged.push_back(TableRow{row.row.key, StripMeta(row.row.properties)});
   }
   const std::vector<QueryRow> rt_rows = rt_.ExecuteQueryAtomic(Filter{});

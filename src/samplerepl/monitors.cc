@@ -24,10 +24,11 @@ void ReplicaSafetyMonitor::OnStored(const NotifyStored& notification) {
 }
 
 void ReplicaSafetyMonitor::OnAck() {
-  Assert(replicas_.size() >= replica_target_,
-         "server acked with only " + std::to_string(replicas_.size()) +
-             " distinct up-to-date replicas (target " +
-             std::to_string(replica_target_) + ")");
+  Assert(replicas_.size() >= replica_target_, [&] {
+    return "server acked with only " + std::to_string(replicas_.size()) +
+           " distinct up-to-date replicas (target " +
+           std::to_string(replica_target_) + ")";
+  });
 }
 
 RequestLivenessMonitor::RequestLivenessMonitor() {

@@ -57,16 +57,19 @@ void TestingDriverMachine::OnStart() {
 
 systest::MachineId TestingDriverMachine::MachineOf(NodeId node) {
   const auto it = node_machines_.find(node);
-  Assert(it != node_machines_.end(),
-         "message routed to unknown EN " + std::to_string(node));
+  Assert(it != node_machines_.end(), [&] {
+    return "message routed to unknown EN " + std::to_string(node);
+  });
   return it->second;
 }
 
 void TestingDriverMachine::OnMgrOutbound(const MgrOutboundEvent& outbound) {
   // Dispatch an intercepted Extent Manager message to the destination EN
   // machine (paper §3.1).
-  Assert(outbound.message->GetType() == Message::Type::kRepairRequest,
-         "unexpected outbound ExtMgr message: " + outbound.message->Describe());
+  Assert(outbound.message->GetType() == Message::Type::kRepairRequest, [&] {
+    return "unexpected outbound ExtMgr message: " +
+           outbound.message->Describe();
+  });
   Send<RepairRequestEvent>(
       MachineOf(outbound.destination),
       std::static_pointer_cast<const RepairRequestMessage>(outbound.message));

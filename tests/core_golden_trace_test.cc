@@ -1,0 +1,217 @@
+// Golden-trace regression tests: the exact decision sequence produced for a
+// fixed seed is part of the runtime's contract — performance work on the
+// scheduler hot path (shared machine declarations, interned event ids,
+// incremental enabled-set tracking) must be bit-for-bit invisible here. The
+// expected strings below were captured before that refactor landed; any
+// divergence means the serialized-execution semantics changed.
+//
+// Regenerate (after an INTENTIONAL semantic change only) with:
+//   GOLDEN_PRINT=1 ./build/core_golden_trace_test
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/systest.h"
+#include "samplerepl/harness.h"
+
+namespace {
+
+using systest::Event;
+using systest::Machine;
+using systest::MachineId;
+
+struct GoldenBall final : Event {
+  explicit GoldenBall(int n) : n(n) {}
+  int n;
+};
+
+/// Ping-pong with controlled nondeterminism on both the bool and the int
+/// paths, so a golden trace covers every Decision::Kind.
+class GoldenPaddle final : public Machine {
+ public:
+  explicit GoldenPaddle(int rounds) : rounds_(rounds) {
+    State("Play").OnEntry(&GoldenPaddle::OnStart).On<GoldenBall>(&GoldenPaddle::OnBall);
+    SetStart("Play");
+  }
+
+  void SetPeer(MachineId peer) { peer_ = peer; }
+  void Serve() { serve_ = true; }
+
+ private:
+  void OnStart() {
+    if (serve_) {
+      Send<GoldenBall>(peer_, 0);
+    }
+  }
+  void OnBall(const GoldenBall& ball) {
+    if (ball.n >= rounds_) return;
+    if (NondetBool()) {
+      (void)NondetInt(5);
+    }
+    Send<GoldenBall>(peer_, ball.n + 1);
+  }
+
+  MachineId peer_;
+  int rounds_;
+  bool serve_ = false;
+};
+
+systest::Harness PingPongHarness(int rounds) {
+  return [rounds](systest::Runtime& rt) {
+    auto a = rt.CreateMachine<GoldenPaddle>("A", rounds);
+    auto b = rt.CreateMachine<GoldenPaddle>("B", rounds);
+    auto* pa = static_cast<GoldenPaddle*>(rt.FindMachine(a));
+    auto* pb = static_cast<GoldenPaddle*>(rt.FindMachine(b));
+    pa->SetPeer(b);
+    pb->SetPeer(a);
+    pb->Serve();
+  };
+}
+
+/// Runs `harness` once for the given 0-based iteration and returns the full
+/// decision trace, whether or not the execution found a bug.
+std::string TraceOf(const systest::Harness& harness,
+                    systest::SchedulingStrategy& strategy,
+                    std::uint64_t iteration, std::uint64_t max_steps) {
+  strategy.PrepareIteration(iteration, max_steps);
+  systest::RuntimeOptions options;
+  options.max_steps = max_steps;
+  systest::Runtime rt(strategy, options);
+  try {
+    const bool hit_bound = !systest::StepToCompletion(rt, harness, max_steps);
+    (void)hit_bound;
+  } catch (const systest::BugFound&) {
+    // The trace up to the violation is still the golden artifact.
+  }
+  return rt.GetTrace().ToString();
+}
+
+/// FNV-1a 64-bit, for goldens too long to inline verbatim.
+std::string Fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+bool PrintMode() { return std::getenv("GOLDEN_PRINT") != nullptr; }
+
+void CheckGolden(const char* label, const std::string& actual,
+                 const std::string& expected) {
+  if (PrintMode()) {
+    std::printf("GOLDEN %s = %s\n", label, actual.c_str());
+    return;
+  }
+  EXPECT_EQ(actual, expected) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Ping-pong goldens: every strategy, two iterations each (iteration 0 and 2,
+// so PrepareIteration re-derivation is covered too).
+
+TEST(GoldenTrace, PingPongRandom) {
+  systest::RandomStrategy strategy(7);
+  const systest::Harness harness = PingPongHarness(6);
+  CheckGolden("random_it0", TraceOf(harness, strategy, 0, 500),
+              "s1;s2;s1;b0;s2;b0;s1;b1;i3/5;s2;b1;i0/5;s1;b1;i0/5;s2;b0;s1");
+  CheckGolden("random_it2", TraceOf(harness, strategy, 2, 500),
+              "s1;s2;s1;b0;s2;b0;s1;b0;s2;b0;s1;b0;s2;b0;s1");
+}
+
+TEST(GoldenTrace, PingPongPct) {
+  systest::PctStrategy strategy(7, 2);
+  const systest::Harness harness = PingPongHarness(6);
+  CheckGolden("pct_it0", TraceOf(harness, strategy, 0, 500),
+              "s1;s2;s1;b1;i2/5;s2;b0;s1;b1;i3/5;s2;b0;s1;b1;i0/5;s2;b0;s1");
+  CheckGolden("pct_it2", TraceOf(harness, strategy, 2, 500),
+              "s2;s1;s1;b1;i0/5;s2;b0;s1;b0;s2;b1;i2/5;s1;b0;s2;b0;s1");
+}
+
+TEST(GoldenTrace, PingPongDelayBounded) {
+  systest::DelayBoundedStrategy strategy(7, 2);
+  const systest::Harness harness = PingPongHarness(6);
+  CheckGolden("db_it0", TraceOf(harness, strategy, 0, 500),
+              "s1;s2;s1;b0;s2;b0;s1;b1;i2/5;s2;b0;s1;b1;i3/5;s2;b0;s1");
+  CheckGolden("db_it2", TraceOf(harness, strategy, 2, 500),
+              "s1;s2;s1;b0;s2;b0;s1;b1;i0/5;s2;b0;s1;b0;s2;b1;i2/5;s1");
+}
+
+TEST(GoldenTrace, PingPongRoundRobin) {
+  systest::RoundRobinStrategy strategy(3);
+  const systest::Harness harness = PingPongHarness(6);
+  CheckGolden("rr_it0", TraceOf(harness, strategy, 0, 500),
+              "s2;s1;s1;b1;i1/5;s2;b1;i3/5;s1;b1;i0/5;s2;b1;i2/5;s1;b1;i4/5;s2;"
+              "b1;i1/5;s1");
+  CheckGolden("rr_it2", TraceOf(harness, strategy, 2, 500),
+              "s2;s1;s1;b1;i1/5;s2;b1;i3/5;s1;b1;i0/5;s2;b1;i2/5;s1;b1;i4/5;s2;"
+              "b1;i1/5;s1");
+}
+
+// ---------------------------------------------------------------------------
+// Real-harness goldens (samplerepl, the paper's §2.2 example): traces are a
+// few KB, so assert length + FNV-1a fingerprint instead of the full text.
+
+struct HarnessGolden {
+  std::size_t size;
+  const char* fnv;
+};
+
+void CheckHarnessGolden(const char* label, const std::string& actual,
+                        const HarnessGolden& expected) {
+  if (PrintMode()) {
+    std::printf("GOLDEN %s : size=%zu fnv=%s\n", label, actual.size(),
+                Fnv1a(actual).c_str());
+    return;
+  }
+  EXPECT_EQ(actual.size(), expected.size) << label;
+  EXPECT_EQ(Fnv1a(actual), expected.fnv) << label;
+}
+
+TEST(GoldenTrace, SampleReplClean) {
+  const systest::Harness harness =
+      samplerepl::MakeHarness(samplerepl::HarnessOptions{});
+  {
+    systest::RandomStrategy strategy(2016);
+    CheckHarnessGolden("samplerepl_random", TraceOf(harness, strategy, 0, 2000),
+                       {543, "330a1ff9c4fddfe7"});
+  }
+  {
+    systest::PctStrategy strategy(2016, 2);
+    CheckHarnessGolden("samplerepl_pct", TraceOf(harness, strategy, 0, 2000),
+                       {8296, "97470e6a0ffe6631"});
+  }
+  {
+    systest::DelayBoundedStrategy strategy(2016, 2);
+    CheckHarnessGolden("samplerepl_db", TraceOf(harness, strategy, 0, 2000),
+                       {8657, "88e5a3e7f0b9913c"});
+  }
+  {
+    systest::RoundRobinStrategy strategy(5);
+    CheckHarnessGolden("samplerepl_rr", TraceOf(harness, strategy, 0, 2000),
+                       {417, "bf0a786a79230889"});
+  }
+}
+
+TEST(GoldenTrace, SampleReplBuggy) {
+  samplerepl::HarnessOptions options;
+  options.bugs.non_unique_replica_count = true;
+  const systest::Harness harness = samplerepl::MakeHarness(options);
+  systest::RandomStrategy strategy(2016);
+  // Scan a few iterations so the golden covers a bug-terminated trace too.
+  std::string combined;
+  for (std::uint64_t it = 0; it < 8; ++it) {
+    combined += TraceOf(harness, strategy, it, 2000);
+    combined += '|';
+  }
+  CheckHarnessGolden("samplerepl_buggy_random", combined,
+                     {3656, "476cf8364f416f59"});
+}
+
+}  // namespace
