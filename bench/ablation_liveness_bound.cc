@@ -23,7 +23,7 @@ void Sweep(bool fixed) {
     vnext::DriverOptions options;
     options.manager.fix_stale_sync_report = fixed;
     systest::TestConfig config =
-        vnext::DefaultConfig(systest::StrategyKind::kRandom);
+        vnext::DefaultConfig("random");
     config.max_steps = max_steps;
     config.liveness_temperature_threshold = max_steps * 2 / 5;
     config.iterations = fixed ? 500 : 20'000;

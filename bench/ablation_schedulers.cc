@@ -17,18 +17,18 @@ namespace {
 
 struct Strategy {
   const char* label;
-  systest::StrategyKind kind;
+  const char* name;  ///< StrategyRegistry name
   int budget;
 };
 
 constexpr Strategy kStrategies[] = {
-    {"random", systest::StrategyKind::kRandom, 0},
-    {"pct(1)", systest::StrategyKind::kPct, 1},
-    {"pct(2)", systest::StrategyKind::kPct, 2},
-    {"pct(3)", systest::StrategyKind::kPct, 3},
-    {"pct(10)", systest::StrategyKind::kPct, 10},
-    {"delay-bounded(2)", systest::StrategyKind::kDelayBounded, 2},
-    {"round-robin", systest::StrategyKind::kRoundRobin, 0},
+    {"random", "random", 0},
+    {"pct(1)", "pct", 1},
+    {"pct(2)", "pct", 2},
+    {"pct(3)", "pct", 3},
+    {"pct(10)", "pct", 10},
+    {"delay-bounded(2)", "delay-bounded", 2},
+    {"round-robin", "round-robin", 0},
 };
 
 constexpr std::uint64_t kSeeds[] = {1, 7, 42, 1234, 2016};
@@ -46,7 +46,7 @@ void Sweep(const char* bug_label, systest::TestConfig base,
     double seconds = 0.0;
     for (const std::uint64_t seed : kSeeds) {
       systest::TestConfig config = base;
-      config.strategy = strategy.kind;
+      config.strategy = strategy.name;
       config.strategy_budget = strategy.budget;
       config.seed = seed;
       const systest::TestReport report =
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
   {
     vnext::DriverOptions options;  // buggy by default
     systest::TestConfig config =
-        vnext::DefaultConfig(systest::StrategyKind::kRandom);
+        vnext::DefaultConfig("random");
     config.iterations = 5'000;
     config.time_budget_seconds = 30;
     Sweep("vnext/ExtentNodeLivenessViolation", config,
@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
     mtable::MigrationHarnessOptions options;
     options.bugs = EnableBug(mtable::MTableBugId::kInsertBehindMigrator);
     systest::TestConfig config =
-        mtable::DefaultConfig(systest::StrategyKind::kRandom);
+        mtable::DefaultConfig("random");
     config.iterations = 20'000;
     config.time_budget_seconds = 30;
     Sweep("mtable/InsertBehindMigrator", config,
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
     mtable::MigrationHarnessOptions options;
     options.bugs = EnableBug(mtable::MTableBugId::kQueryStreamedLock);
     systest::TestConfig config =
-        mtable::DefaultConfig(systest::StrategyKind::kRandom);
+        mtable::DefaultConfig("random");
     config.iterations = 20'000;
     config.time_budget_seconds = 30;
     Sweep("mtable/QueryStreamedLock", config,
@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
     fabric::FailoverOptions options;
     options.bugs.promote_during_copy = true;
     systest::TestConfig config =
-        fabric::DefaultConfig(systest::StrategyKind::kRandom);
+        fabric::DefaultConfig("random");
     config.iterations = 20'000;
     config.time_budget_seconds = 30;
     Sweep("fabric/PromoteDuringCopy", config,

@@ -55,7 +55,7 @@ inline void EmitJson(const std::string& name, double executions_per_sec,
 
 /// One-line description of the engine configuration for the JSON output.
 inline std::string DescribeConfig(const systest::TestConfig& config) {
-  return std::string(ToString(config.strategy)) +
+  return config.strategy.str() +
          " iters=" + std::to_string(config.iterations) +
          " max_steps=" + std::to_string(config.max_steps) +
          " seed=" + std::to_string(config.seed);

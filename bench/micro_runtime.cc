@@ -94,21 +94,21 @@ void BM_VNextExecution(benchmark::State& state) {
   vnext::DriverOptions options;
   options.manager.fix_stale_sync_report = true;
   RunHarnessBenchmark(state,
-                      vnext::DefaultConfig(systest::StrategyKind::kRandom),
+                      vnext::DefaultConfig("random"),
                       vnext::MakeExtentRepairHarness(options));
 }
 BENCHMARK(BM_VNextExecution);
 
 void BM_MTableExecution(benchmark::State& state) {
   RunHarnessBenchmark(
-      state, mtable::DefaultConfig(systest::StrategyKind::kRandom),
+      state, mtable::DefaultConfig("random"),
       mtable::MakeMigrationHarness(mtable::MigrationHarnessOptions{}));
 }
 BENCHMARK(BM_MTableExecution);
 
 void BM_FabricExecution(benchmark::State& state) {
   RunHarnessBenchmark(state,
-                      fabric::DefaultConfig(systest::StrategyKind::kRandom),
+                      fabric::DefaultConfig("random"),
                       fabric::MakeFailoverHarness(fabric::FailoverOptions{}));
 }
 BENCHMARK(BM_FabricExecution);

@@ -97,7 +97,7 @@ void RunSampleRepl(std::uint64_t iterations) {
   config.iterations = iterations;
   config.max_steps = 2'000;
   config.seed = 42;
-  config.strategy = systest::StrategyKind::kRandom;
+  config.strategy = "random";
   systest::TestingEngine engine(
       config, samplerepl::MakeHarness(samplerepl::HarnessOptions{}));
   const systest::TestReport report = engine.Run();

@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
     config.iterations = iterations;
     config.max_steps = 1'000;
     config.seed = 99;
-    config.strategy = systest::StrategyKind::kRandom;
+    config.strategy = "random";
     config.stop_on_first_bug = true;  // clean harness: never triggers
 
     systest::explore::ParallelOptions options;

@@ -9,10 +9,8 @@ int main(int argc, char** argv) {
   if (!bench::JsonMode()) {
     std::printf("Table 2 (extension) — Azure Service Fabric model (§5)\n");
   }
-  for (const auto strategy :
-       {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
-    bench::PrintHeader(std::string("scheduler: ") +
-                       std::string(ToString(strategy)));
+  for (const char* strategy : {"random", "pct"}) {
+    bench::PrintHeader(std::string("scheduler: ") + strategy);
     {
       fabric::FailoverOptions options;
       options.bugs.promote_during_copy = true;
@@ -35,7 +33,7 @@ int main(int argc, char** argv) {
   {
     fabric::FailoverOptions options;
     systest::TestConfig config =
-        fabric::DefaultConfig(systest::StrategyKind::kRandom);
+        fabric::DefaultConfig("random");
     config.iterations = 10'000;
     bench::RunRow("Failover(fixed)", config,
                   fabric::MakeFailoverHarness(options));
@@ -43,7 +41,7 @@ int main(int argc, char** argv) {
   {
     fabric::PipelineOptions options;
     systest::TestConfig config =
-        fabric::DefaultConfig(systest::StrategyKind::kRandom);
+        fabric::DefaultConfig("random");
     config.iterations = 10'000;
     bench::RunRow("Pipeline(fixed)", config,
                   fabric::MakePipelineHarness(options));

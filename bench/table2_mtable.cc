@@ -10,7 +10,7 @@
 
 namespace {
 
-systest::TestConfig Config(systest::StrategyKind strategy) {
+systest::TestConfig Config(systest::StrategyName strategy) {
   systest::TestConfig config = mtable::DefaultConfig(strategy);
   config.iterations = 100'000;      // the paper's budget
   config.time_budget_seconds = 60;  // wall-clock cap per row
@@ -40,10 +40,8 @@ int main(int argc, char** argv) {
                 "PCT budget: 2 priority change points\n");
   }
 
-  for (const auto strategy :
-       {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
-    bench::PrintHeader(std::string("scheduler: ") +
-                       std::string(ToString(strategy)));
+  for (const char* strategy : {"random", "pct"}) {
+    bench::PrintHeader(std::string("scheduler: ") + strategy);
     for (const mtable::MTableBugId id : mtable::kAllMTableBugs) {
       mtable::MigrationHarnessOptions options;
       options.bugs = EnableBug(id);

@@ -15,10 +15,8 @@ int main(int argc, char** argv) {
                 "PCT budget: 2 priority change points\n");
   }
 
-  for (const auto strategy :
-       {systest::StrategyKind::kRandom, systest::StrategyKind::kPct}) {
-    bench::PrintHeader(std::string("scheduler: ") +
-                       std::string(ToString(strategy)));
+  for (const char* strategy : {"random", "pct"}) {
+    bench::PrintHeader(std::string("scheduler: ") + strategy);
     vnext::DriverOptions options;
     options.manager.fix_stale_sync_report = false;  // re-introduce the bug
     systest::TestConfig config = vnext::DefaultConfig(strategy);
@@ -32,7 +30,7 @@ int main(int argc, char** argv) {
   vnext::DriverOptions fixed;
   fixed.manager.fix_stale_sync_report = true;
   systest::TestConfig config =
-      vnext::DefaultConfig(systest::StrategyKind::kRandom);
+      vnext::DefaultConfig("random");
   config.iterations = 2'000;
   bench::RunRow("ExtentNodeLivenessViolation(fixed)", config,
                 vnext::MakeExtentRepairHarness(fixed));

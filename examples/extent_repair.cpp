@@ -1,4 +1,4 @@
-// The paper's flagship case study (§3): the Azure Storage vNext Extent
+// The paper's flagship case study (sec. 3): the Azure Storage vNext Extent
 // Manager, whose stale-sync-report bug made extent replicas silently
 // unrepairable. The real (C++) ExtentManager is wrapped in a machine and
 // driven by modeled extent nodes, timers and a failure-injecting testing
@@ -9,20 +9,14 @@
 #include <cstdio>
 #include <string>
 
-#include "core/systest.h"
-#include "vnext/harness.h"
+#include "api/session.h"
 
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "buggy";
 
-  vnext::DriverOptions options;
-  options.manager.fix_stale_sync_report = (mode == "fixed");
-
-  systest::TestConfig config =
-      vnext::DefaultConfig(systest::StrategyKind::kRandom);
-  if (mode == "fixed") {
-    config.iterations = 1'000;
-  }
+  systest::api::SessionConfig config;
+  config.scenario = mode == "fixed" ? "vnext-fixed" : "vnext-liveness";
+  if (mode == "fixed") config.iterations = 1'000;
 
   std::printf(
       "Scenario 2 (sec. 3.4): three extent nodes hold the extent; the driver\n"
@@ -31,9 +25,9 @@ int main(int argc, char** argv) {
       "fix_stale_sync_report=%s\n\n",
       mode == "fixed" ? "true" : "false");
 
-  systest::TestingEngine engine(config,
-                                vnext::MakeExtentRepairHarness(options));
-  const systest::TestReport report = engine.Run();
+  const systest::api::SessionReport session =
+      systest::api::TestSession(config).Run();
+  const systest::TestReport& report = session.report;
   std::printf("%s\n", report.Summary().c_str());
 
   if (report.bug_found) {
@@ -43,8 +37,12 @@ int main(int argc, char** argv) {
         "report from that node then RESURRECTS the records, so the repair\n"
         "loop believes all replicas are healthy while one is gone.\n"
         "Replaying the recorded trace reproduces it deterministically:\n");
-    const systest::TestReport replay = engine.Replay(report.bug_trace);
-    std::printf("  replay: %s\n", replay.Summary().c_str());
+    systest::api::SessionConfig replay;
+    replay.scenario = config.scenario;
+    replay.replay_trace = report.bug_trace;
+    const systest::api::SessionReport replayed =
+        systest::api::TestSession(replay).Run();
+    std::printf("  replay: %s\n", replayed.report.Summary().c_str());
   }
   return report.bug_found && mode == "fixed" ? 1 : 0;
 }

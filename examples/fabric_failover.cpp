@@ -1,7 +1,7 @@
-// Azure Service Fabric model (§5): a replicated counter service runs on the
-// modeled Fabric cluster; the driver fails the primary twice at
+// Azure Service Fabric model (sec. 5): a replicated counter service runs on
+// the modeled Fabric cluster; the driver fails the primary twice at
 // nondeterministic times. In buggy mode the cluster may elect the secondary
-// that is still waiting for its state copy and then promote it — firing the
+// that is still waiting for its state copy and then promote it - firing the
 // paper's assertion that "only a secondary can be promoted to an active
 // secondary". The pipeline mode races a CScale-like aggregator's
 // configuration against its input records.
@@ -10,31 +10,31 @@
 #include <cstdio>
 #include <string>
 
-#include "core/systest.h"
-#include "fabric/harness.h"
+#include "api/session.h"
 
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "buggy";
 
-  systest::TestConfig config =
-      fabric::DefaultConfig(systest::StrategyKind::kRandom);
-  systest::TestReport report;
-
-  if (mode == "pipeline" || mode == "pipeline-buggy") {
-    fabric::PipelineOptions options;
-    options.bugs.unguarded_pipeline_config = (mode == "pipeline-buggy");
-    if (mode == "pipeline") config.iterations = 10'000;
-    report = systest::TestingEngine(config,
-                                    fabric::MakePipelineHarness(options))
-                 .Run();
+  systest::api::SessionConfig config;
+  if (mode == "buggy") {
+    config.scenario = "fabric-failover";
+  } else if (mode == "fixed") {
+    config.scenario = "fabric-failover-fixed";
+    config.iterations = 10'000;
+  } else if (mode == "pipeline-buggy") {
+    config.scenario = "fabric-pipeline";
+  } else if (mode == "pipeline") {
+    config.scenario = "fabric-pipeline-fixed";
+    config.iterations = 10'000;
   } else {
-    fabric::FailoverOptions options;
-    options.bugs.promote_during_copy = (mode == "buggy");
-    if (mode == "fixed") config.iterations = 10'000;
-    report = systest::TestingEngine(config,
-                                    fabric::MakeFailoverHarness(options))
-                 .Run();
+    std::fprintf(stderr,
+                 "usage: %s [buggy|fixed|pipeline|pipeline-buggy]\n", argv[0]);
+    return 2;
   }
-  std::printf("mode=%s\n%s\n", mode.c_str(), report.Summary().c_str());
+
+  const systest::api::SessionReport session =
+      systest::api::TestSession(config).Run();
+  std::printf("mode=%s scenario=%s\n%s\n", mode.c_str(),
+              session.scenario.c_str(), session.report.Summary().c_str());
   return 0;
 }

@@ -1,16 +1,17 @@
-// Live Table Migration (§4): services keep reading and writing through
+// Live Table Migration (sec. 4): services keep reading and writing through
 // MigratingTable while a migrator moves the data set from the old to the new
 // backend table. The Tables machine checks every logical operation against a
 // reference table at its linearization point. This example re-introduces one
-// of the paper's Table 2 bugs (by name) and lets the engine find it — or
-// runs the fixed protocol to show it surviving differential testing.
+// of the paper's Table 2 bugs (by name, via the scenario's bug=<Name>
+// parameter) and lets the engine find it - or runs the fixed protocol to
+// show it surviving differential testing.
 //
 // Usage: live_migration [<BugName>|fixed|list]
 #include <cstdio>
 #include <string>
 
-#include "core/systest.h"
-#include "mtable/harness.h"
+#include "api/session.h"
+#include "mtable/bugs.h"
 
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "QueryStreamedBackUpNewStream";
@@ -22,41 +23,34 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  mtable::MigrationHarnessOptions options;
-  bool found_name = mode == "fixed";
-  for (const mtable::MTableBugId id : mtable::kAllMTableBugs) {
-    if (mode == ToString(id)) {
-      options.bugs = EnableBug(id);
-      found_name = true;
-    }
-  }
-  if (!found_name) {
-    std::fprintf(stderr,
-                 "unknown bug '%s' (try 'list', a Table 2 bug name, or "
-                 "'fixed')\n",
-                 mode.c_str());
-    return 2;
-  }
-
-  systest::TestConfig config =
-      mtable::DefaultConfig(systest::StrategyKind::kRandom);
+  systest::api::SessionConfig config;
+  config.scenario = "mtable-migration";
   config.time_budget_seconds = 60;
   if (mode == "fixed") {
     config.iterations = 10'000;
+  } else {
+    config.params.Set("bug", mode);  // TestSession rejects unknown bug names
   }
 
-  std::printf("workload: %d services x %d nondeterministic operations, "
-              "2 partitions, migrator concurrent\nmode=%s\n\n",
-              options.num_services, options.ops_per_service, mode.c_str());
-  systest::TestingEngine engine(config,
-                                mtable::MakeMigrationHarness(options));
-  const systest::TestReport report = engine.Run();
-  std::printf("%s\n", report.Summary().c_str());
-  if (report.bug_found) {
-    std::printf("\ntrace is replayable: re-running it reproduces the exact "
-                "divergence:\n");
-    const systest::TestReport replay = engine.Replay(report.bug_trace);
-    std::printf("  replay: %s\n", replay.Summary().c_str());
+  std::printf("workload: 2 services x 4 nondeterministic operations, "
+              "2 partitions, migrator concurrent\nmode=%s\n\n", mode.c_str());
+  try {
+    const systest::api::SessionReport session =
+        systest::api::TestSession(config).Run();
+    const systest::TestReport& report = session.report;
+    std::printf("%s\n", report.Summary().c_str());
+    if (report.bug_found) {
+      std::printf("\ntrace is replayable: re-running it reproduces the exact "
+                  "divergence:\n");
+      systest::api::SessionConfig replay = config;
+      replay.replay_trace = report.bug_trace;
+      const systest::api::SessionReport replayed =
+          systest::api::TestSession(replay).Run();
+      std::printf("  replay: %s\n", replayed.report.Summary().c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s (try 'list')\n", error.what());
+    return 2;
   }
   return 0;
 }

@@ -1,53 +1,18 @@
-// Quickstart: systematically test the paper's §2.2 example — a client, a
-// server and three storage nodes replicating a value — and find both seeded
-// bugs: a safety violation (the server acknowledges before three DISTINCT
-// replicas exist) and a liveness violation (the replica counter is never
-// reset, so the second request is never acknowledged).
+// Quickstart: systematically test the paper's sec. 2.2 example - a client, a
+// server and three storage nodes replicating a value - through the
+// TestSession front door. The whole run is one call:
+//
+//   systest::api::TestSession({.scenario = "samplerepl-safety"}).Run();
+//
+// Scenarios are looked up in the process-wide registry (`systest_run --list`
+// shows all of them); the same SessionConfig drives serial, parallel,
+// portfolio and replay testing.
 //
 // Usage: quickstart [safety|liveness|fixed]
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "core/systest.h"
-#include "samplerepl/harness.h"
-
-namespace {
-
-void Run(const std::string& mode) {
-  samplerepl::HarnessOptions options;
-  if (mode == "safety") {
-    options.bugs.non_unique_replica_count = true;
-  } else if (mode == "liveness") {
-    options.bugs.no_counter_reset = true;
-  }
-
-  systest::TestConfig config;
-  config.iterations = mode == "fixed" ? 5'000 : 100'000;
-  config.max_steps = 2'000;
-  config.seed = 2016;
-  config.strategy = systest::StrategyKind::kRandom;
-  config.readable_trace_on_bug = true;
-
-  std::printf("mode=%s: exploring up to %llu executions...\n", mode.c_str(),
-              static_cast<unsigned long long>(config.iterations));
-  systest::TestingEngine engine(config, samplerepl::MakeHarness(options));
-  const systest::TestReport report = engine.Run();
-  std::printf("%s\n", report.Summary().c_str());
-
-  if (report.bug_found) {
-    std::printf("\nreplayable trace (%zu decisions):\n  %s\n",
-                report.bug_trace.Size(),
-                report.bug_trace.ToString().substr(0, 160).c_str());
-    // Show the tail of the readable execution log — the part of the
-    // schedule that exhibits the bug.
-    const std::string& log = report.execution_log;
-    const std::size_t from = log.size() > 1'500 ? log.size() - 1'500 : 0;
-    std::printf("\nreadable trace (tail):\n%s\n", log.substr(from).c_str());
-  }
-}
-
-}  // namespace
+#include "api/session.h"
 
 int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "safety";
@@ -55,6 +20,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s [safety|liveness|fixed]\n", argv[0]);
     return 2;
   }
-  Run(mode);
+
+  // The 5-line quickstart: pick a registered scenario, run it.
+  systest::api::SessionConfig config;
+  config.scenario = "samplerepl-" + mode;
+  config.readable_trace_on_bug = true;
+  if (mode == "fixed") config.iterations = 5'000;
+  const systest::api::SessionReport session =
+      systest::api::TestSession(config).Run();
+
+  const systest::TestReport& report = session.report;
+  std::printf("scenario=%s: %s\n", session.scenario.c_str(),
+              report.Summary().c_str());
+
+  if (report.bug_found) {
+    std::printf("\nreplayable trace (%zu decisions):\n  %s\n",
+                report.bug_trace.Size(),
+                report.bug_trace.ToString().substr(0, 160).c_str());
+    // Show the tail of the readable execution log - the part of the
+    // schedule that exhibits the bug.
+    const std::string& log = report.execution_log;
+    const std::size_t from = log.size() > 1'500 ? log.size() - 1'500 : 0;
+    std::printf("\nreadable trace (tail):\n%s\n", log.substr(from).c_str());
+  }
   return 0;
 }

@@ -1,0 +1,121 @@
+#include "api/param_map.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace systest::api {
+
+namespace {
+
+[[noreturn]] void BadValue(std::string_view key, const std::string& value,
+                           const char* expected) {
+  throw std::invalid_argument("param '" + std::string(key) + "': value '" +
+                              value + "' is not " + expected);
+}
+
+std::string Lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+void ParamMap::ParseAssign(std::string_view assign) {
+  const std::size_t eq = assign.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    throw std::invalid_argument("malformed parameter '" + std::string(assign) +
+                                "' (expected key=value)");
+  }
+  Set(std::string(assign.substr(0, eq)), std::string(assign.substr(eq + 1)));
+}
+
+ParamMap ParamMap::Parse(std::string_view text) {
+  ParamMap map;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    if (comma > pos) map.ParseAssign(text.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return map;
+}
+
+std::string ParamMap::GetString(std::string_view key,
+                                std::string fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::uint64_t ParamMap::GetUint(std::string_view key,
+                                std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    // std::stoull would silently wrap "-1" to 18446744073709551615; a
+    // negative count is always a caller mistake, so reject it up front.
+    if (it->second.find('-') != std::string::npos) {
+      throw std::invalid_argument(it->second);
+    }
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    BadValue(key, it->second, "an unsigned integer");
+  }
+}
+
+std::int64_t ParamMap::GetInt(std::string_view key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    BadValue(key, it->second, "an integer");
+  }
+}
+
+double ParamMap::GetDouble(std::string_view key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    BadValue(key, it->second, "a number");
+  }
+}
+
+bool ParamMap::GetBool(std::string_view key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string value = Lower(it->second);
+  if (value == "true" || value == "yes" || value == "on" || value == "1") {
+    return true;
+  }
+  if (value == "false" || value == "no" || value == "off" || value == "0") {
+    return false;
+  }
+  BadValue(key, it->second, "a boolean (true/false, yes/no, on/off, 1/0)");
+}
+
+std::string ParamMap::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace systest::api

@@ -1,0 +1,65 @@
+// SysTest public API layer.
+//
+// ParamMap: string-keyed scenario parameters. Scenario factories read typed
+// values with per-key defaults; the CLI fills one from repeated --param k=v
+// flags. Round-trips through ToString()/Parse() so parameter sets can be
+// logged and replayed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace systest::api {
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+  ParamMap(std::initializer_list<std::pair<const std::string, std::string>> kv)
+      : values_(kv) {}
+
+  void Set(std::string key, std::string value) {
+    values_.insert_or_assign(std::move(key), std::move(value));
+  }
+
+  /// Parses one "key=value" assignment (the --param syntax) into the map.
+  /// Throws std::invalid_argument when there is no '=' or the key is empty.
+  void ParseAssign(std::string_view assign);
+
+  /// Parses a comma-separated "k=v,k2=v2" list (the ToString format).
+  static ParamMap Parse(std::string_view text);
+
+  [[nodiscard]] bool Has(std::string_view key) const {
+    return values_.find(key) != values_.end();
+  }
+  [[nodiscard]] bool Empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t Size() const noexcept { return values_.size(); }
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument (naming the key) when the value does not parse.
+  [[nodiscard]] std::string GetString(std::string_view key,
+                                      std::string fallback = {}) const;
+  [[nodiscard]] std::uint64_t GetUint(std::string_view key,
+                                      std::uint64_t fallback = 0) const;
+  [[nodiscard]] std::int64_t GetInt(std::string_view key,
+                                    std::int64_t fallback = 0) const;
+  [[nodiscard]] double GetDouble(std::string_view key,
+                                 double fallback = 0) const;
+  /// Accepts true/false, yes/no, on/off, 1/0 (case-insensitive).
+  [[nodiscard]] bool GetBool(std::string_view key, bool fallback = false) const;
+
+  /// "k=v,k2=v2" with keys in sorted order; Parse(ToString()) round-trips
+  /// (values must not contain ',' or '=' — scenario parameters never do).
+  [[nodiscard]] std::string ToString() const;
+
+  [[nodiscard]] auto begin() const noexcept { return values_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return values_.end(); }
+
+  friend bool operator==(const ParamMap&, const ParamMap&) = default;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace systest::api

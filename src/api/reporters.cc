@@ -1,0 +1,136 @@
+#include "api/reporters.h"
+
+#include <cinttypes>
+
+#include "core/bug.h"
+
+namespace systest::api {
+
+namespace {
+
+void PrintBugTail(std::FILE* out, const TestReport& report) {
+  if (report.execution_log.empty()) return;
+  const std::string& log = report.execution_log;
+  const std::size_t from = log.size() > 2'000 ? log.size() - 2'000 : 0;
+  std::fprintf(out, "\nreadable trace (tail):\n%s\n", log.substr(from).c_str());
+}
+
+}  // namespace
+
+void HumanReporter::OnStart(const SessionStartInfo& info) {
+  if (info.scenario != nullptr) {
+    std::fprintf(out_, "scenario %s: %s\n", info.scenario->name.c_str(),
+                 info.scenario->description.c_str());
+  }
+  if (!info.plan.empty()) {
+    std::fprintf(out_, "exploration plan (%d workers):\n%s", info.threads,
+                 info.plan.c_str());
+  }
+}
+
+void HumanReporter::OnFinish(const SessionReport& report) {
+  if (!report.workers.empty()) {
+    std::fprintf(out_, "\n%s\n", report.BreakdownTable().c_str());
+  }
+  std::fprintf(out_, "%s\n", report.report.Summary().c_str());
+  if (report.report.bug_found && report.winning_worker >= 0) {
+    std::fprintf(out_, "winning worker: w%d (%s); main-thread replay %s\n",
+                 report.winning_worker, report.report.strategy_name.c_str(),
+                 !report.replay_verify_attempted
+                     ? "skipped (verify_replay=false)"
+                     : report.replay_verified ? "REPRODUCED the violation"
+                                              : "did not reproduce (!)");
+  }
+  if (report.mode == "replay" && !report.replay_verified) {
+    if (report.report.bug_kind == systest::BugKind::kReplayDivergence) {
+      std::fprintf(out_,
+                   "replay DIVERGED (wrong scenario or parameters?)\n");
+    } else {
+      std::fprintf(out_, "replay did NOT reproduce a violation\n");
+    }
+  }
+  if (verbose_ && report.report.bug_found) PrintBugTail(out_, report.report);
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonReporter::OnFinish(const SessionReport& report) {
+  const TestReport& r = report.report;
+  std::string json = "{";
+  auto field = [&json](const char* key, const std::string& value, bool quote) {
+    if (json.size() > 1) json += ',';
+    json += '"';
+    json += key;
+    json += "\":";
+    if (quote) {
+      json += '"';
+      json += JsonEscape(value);
+      json += '"';
+    } else {
+      json += value;
+    }
+  };
+  field("scenario", report.scenario, true);
+  field("mode", report.mode, true);
+  field("strategy", r.strategy_name, true);
+  field("executions", std::to_string(r.executions), false);
+  field("total_steps", std::to_string(r.total_steps), false);
+  field("seconds", std::to_string(r.total_seconds), false);
+  field("bug_found", r.bug_found ? "true" : "false", false);
+  if (r.bug_found) {
+    field("bug_kind", std::string(ToString(r.bug_kind)), true);
+    field("bug_message", r.bug_message, true);
+    field("bug_iteration", std::to_string(r.bug_iteration), false);
+    field("seconds_to_bug", std::to_string(r.seconds_to_bug), false);
+    field("ndc", std::to_string(r.ndc), false);
+    field("bug_steps", std::to_string(r.bug_steps), false);
+  }
+  if (!report.workers.empty()) {
+    field("winning_worker", std::to_string(report.winning_worker), false);
+    field("replay_verified", report.replay_verified ? "true" : "false", false);
+    json += ",\"workers\":[";
+    bool first = true;
+    for (const explore::WorkerReport& w : report.workers) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"worker\":" + std::to_string(w.assignment.worker) +
+              ",\"strategy\":\"" + JsonEscape(w.strategy_name) +
+              "\",\"seed\":" + std::to_string(w.assignment.seed) +
+              ",\"iterations\":" + std::to_string(w.assignment.iterations) +
+              ",\"executions\":" + std::to_string(w.executions) +
+              ",\"steps\":" + std::to_string(w.steps) +
+              ",\"bug_found\":" + (w.bug_found ? "true" : "false") +
+              ",\"won\":" + (w.won ? "true" : "false") + "}";
+    }
+    json += ']';
+  }
+  if (report.mode == "replay") {
+    field("replay_verified", report.replay_verified ? "true" : "false", false);
+  }
+  json += '}';
+  last_ = std::move(json);
+  std::fprintf(out_, "%s\n", last_.c_str());
+}
+
+}  // namespace systest::api

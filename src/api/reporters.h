@@ -1,0 +1,49 @@
+// SysTest public API layer.
+//
+// RunObserver implementations shared by the CLI, examples and CI tooling:
+//  * HumanReporter — the classic systest_run output (plan, per-worker
+//    breakdown, one-line summary, optional readable-trace tail).
+//  * JsonReporter — one machine-readable JSON object per session, for CI
+//    smoke sweeps and external dashboards.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "api/session.h"
+
+namespace systest::api {
+
+class HumanReporter final : public RunObserver {
+ public:
+  /// `verbose` additionally prints the tail of the readable execution log
+  /// when a bug was found (requires SessionConfig::readable_trace_on_bug).
+  explicit HumanReporter(std::FILE* out = stdout, bool verbose = false)
+      : out_(out), verbose_(verbose) {}
+
+  void OnStart(const SessionStartInfo& info) override;
+  void OnFinish(const SessionReport& report) override;
+
+ private:
+  std::FILE* out_;
+  bool verbose_;
+};
+
+class JsonReporter final : public RunObserver {
+ public:
+  explicit JsonReporter(std::FILE* out = stdout) : out_(out) {}
+
+  void OnFinish(const SessionReport& report) override;
+
+  /// The JSON emitted by the most recent OnFinish (exposed for tests).
+  [[nodiscard]] const std::string& Last() const noexcept { return last_; }
+
+ private:
+  std::FILE* out_;
+  std::string last_;
+};
+
+/// Escapes a string for inclusion in a JSON double-quoted literal.
+[[nodiscard]] std::string JsonEscape(const std::string& text);
+
+}  // namespace systest::api

@@ -1,0 +1,86 @@
+#include "api/scenario_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace systest::api {
+
+bool Scenario::HasTag(std::string_view tag) const {
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+bool ScenarioRegistry::Register(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::logic_error("ScenarioRegistry: cannot register an empty name");
+  }
+  if (!scenario.make) {
+    throw std::logic_error("ScenarioRegistry: scenario '" + scenario.name +
+                           "' registered without a harness factory");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string name = scenario.name;
+  const auto [it, inserted] =
+      scenarios_.emplace(std::move(name), std::move(scenario));
+  if (!inserted) {
+    throw std::logic_error("ScenarioRegistry: duplicate scenario name '" +
+                           it->first + "'");
+  }
+  return true;
+}
+
+const Scenario* ScenarioRegistry::Find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+const Scenario& ScenarioRegistry::Get(std::string_view name) const {
+  const Scenario* scenario = Find(name);
+  if (scenario == nullptr) {
+    throw std::invalid_argument("unknown scenario '" + std::string(name) +
+                                "'; registered scenarios: " + NamesLine());
+  }
+  return *scenario;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::All() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) out.push_back(&scenario);
+  return out;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::WithTag(
+    std::string_view tag) const {
+  std::vector<const Scenario*> out;
+  for (const Scenario* scenario : All()) {
+    if (scenario->HasTag(tag)) out.push_back(scenario);
+  }
+  return out;
+}
+
+std::vector<std::string> ScenarioRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) out.push_back(name);
+  return out;
+}
+
+std::string ScenarioRegistry::NamesLine() const {
+  std::string out;
+  for (const std::string& name : Names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace systest::api

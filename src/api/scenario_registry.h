@@ -1,0 +1,112 @@
+// SysTest public API layer.
+//
+// ScenarioRegistry: the process-wide catalog of named test scenarios — the
+// paper's "write a harness once, then throw every scheduler and budget at
+// it" workflow (§2) turned into a declarative registry. Each domain
+// (samplerepl, vnext, mtable, fabric, chaintable, plus the race
+// micro-harness) self-registers its scenarios at static-initialization time
+// via SYSTEST_REGISTER_SCENARIO, carrying a name, a description, tags, the
+// declared parameters, a harness factory over a ParamMap, and the
+// per-scenario default TestConfig. Everything downstream — TestSession, the
+// systest_run CLI, CI's smoke sweep — discovers scenarios here instead of
+// hardcoding harness tables behind per-domain #includes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/param_map.h"
+#include "core/engine.h"
+
+namespace systest::api {
+
+/// One declared scenario parameter, for validation and `--list` help.
+struct ParamSpec {
+  std::string name;
+  std::string help;  ///< e.g. "writers per table (default 2)"
+};
+
+/// A registered scenario: everything needed to build and explore a harness.
+struct Scenario {
+  std::string name;         ///< unique, e.g. "samplerepl-safety"
+  std::string description;  ///< one line for --list
+  /// Free-form labels for filtering: by convention the domain name plus
+  /// "safety"/"liveness" for the property class and "buggy"/"fixed" for
+  /// whether the seeded defect is present.
+  std::vector<std::string> tags;
+  /// Parameters the factory understands. TestSession rejects any provided
+  /// key that is not declared here, so typos fail fast.
+  std::vector<ParamSpec> params;
+  /// Builds the harness. Called once per session; the returned callable
+  /// populates a fresh Runtime on every testing iteration and must be safe
+  /// to invoke from concurrent exploration workers.
+  std::function<Harness(const ParamMap&)> make;
+  /// Per-scenario default engine configuration (budget, step bound, seed,
+  /// liveness threshold). TestSession applies its overrides on top.
+  std::function<TestConfig()> default_config;
+
+  [[nodiscard]] bool HasTag(std::string_view tag) const;
+};
+
+/// Process-wide scenario catalog. Registration happens at static-init time
+/// (single-threaded); lookups are mutex-guarded and return pointers that
+/// stay valid for the process lifetime.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& Instance();
+
+  /// Registers a scenario. Throws std::logic_error on an empty name, a
+  /// missing factory, or a duplicate name. Returns true so the macro can
+  /// bind it to a static initializer.
+  bool Register(Scenario scenario);
+
+  /// Nullptr when unknown.
+  [[nodiscard]] const Scenario* Find(std::string_view name) const;
+
+  /// Throws std::invalid_argument for unknown names, listing every
+  /// registered scenario in the message.
+  [[nodiscard]] const Scenario& Get(std::string_view name) const;
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> All() const;
+
+  /// Scenarios carrying `tag`, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> WithTag(std::string_view tag) const;
+
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+  /// Comma-separated sorted names, for error messages.
+  [[nodiscard]] std::string NamesLine() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Scenario, std::less<>> scenarios_;
+};
+
+}  // namespace systest::api
+
+/// Registers a scenario at static-initialization time. Usage:
+///
+///   SYSTEST_REGISTER_SCENARIO(my_scenario) {
+///     systest::api::Scenario s;
+///     s.name = "my-scenario";
+///     s.description = "...";
+///     s.tags = {"mydomain", "safety", "buggy"};
+///     s.params = {{"ops", "operations per writer (default 3)"}};
+///     s.make = [](const systest::api::ParamMap& p) { return MakeHarness(p); };
+///     s.default_config = [] { return DefaultConfig("random"); };
+///     return s;
+///   }
+///
+/// The block is an ordinary function body returning the Scenario; the macro
+/// runs it once before main() and hands the result to the registry.
+#define SYSTEST_REGISTER_SCENARIO(ident)                         \
+  static ::systest::api::Scenario SystestScenarioBuild_##ident(); \
+  static const bool systest_scenario_registered_##ident =        \
+      ::systest::api::ScenarioRegistry::Instance().Register(     \
+          SystestScenarioBuild_##ident());                       \
+  static ::systest::api::Scenario SystestScenarioBuild_##ident()

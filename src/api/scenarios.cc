@@ -1,0 +1,71 @@
+// The built-in `race` micro scenario: two racers and a referee asserting
+// arrival order — the minimal ordering bug every exploring scheduler finds
+// quickly. Lived in tools/systest_run.cc before the scenario registry; now
+// it self-registers like every other scenario so the CLI, TestSession and
+// CI smoke sweeps all see it.
+#include "api/scenario_registry.h"
+#include "core/systest.h"
+
+namespace {
+
+struct ArrivalEvent final : systest::Event {
+  explicit ArrivalEvent(int who) : who(who) {}
+  int who;
+};
+
+class Referee final : public systest::Machine {
+ public:
+  Referee() {
+    State("Run").On<ArrivalEvent>(&Referee::OnArrival);
+    SetStart("Run");
+  }
+
+ private:
+  void OnArrival(const ArrivalEvent& arrival) {
+    if (first_ == 0) {
+      first_ = arrival.who;
+      Assert(first_ == 1, "racer 2 arrived first");
+    }
+  }
+  int first_ = 0;
+};
+
+class Racer final : public systest::Machine {
+ public:
+  Racer(systest::MachineId referee, int who) : referee_(referee), who_(who) {
+    State("Run").OnEntry(&Racer::OnStart);
+    SetStart("Run");
+  }
+
+ private:
+  void OnStart() { Send<ArrivalEvent>(referee_, who_); }
+  systest::MachineId referee_;
+  int who_;
+};
+
+SYSTEST_REGISTER_SCENARIO(race) {
+  systest::api::Scenario s;
+  s.name = "race";
+  s.description = "micro ordering-bug harness (two racers, one referee)";
+  s.tags = {"micro", "safety", "buggy"};
+  s.params = {{"racers", "racers sending to the referee (default 2)"}};
+  s.make = [](const systest::api::ParamMap& params) -> systest::Harness {
+    const int racers = static_cast<int>(params.GetUint("racers", 2));
+    return [racers](systest::Runtime& rt) {
+      auto referee = rt.CreateMachine<Referee>("Referee");
+      for (int i = 1; i <= racers; ++i) {
+        rt.CreateMachine<Racer>("Racer" + std::to_string(i), referee, i);
+      }
+    };
+  };
+  s.default_config = [] {
+    systest::TestConfig config;
+    config.iterations = 10'000;
+    config.max_steps = 100;
+    config.seed = 1;
+    return config;
+  };
+  return s;
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "api/strategy_registry.h"
+#include "core/bug.h"
+
+namespace systest::api {
+
+namespace {
+
+/// Portfolio runs without an explicit --threads field enough workers for the
+/// whole built-in rotation even on small machines (the workers are
+/// compute-bound but independent, so oversubscription just time-slices).
+int PortfolioThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(6u, hw));
+}
+
+void ValidateParams(const Scenario& scenario, const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    const bool declared =
+        std::any_of(scenario.params.begin(), scenario.params.end(),
+                    [&](const ParamSpec& spec) { return spec.name == key; });
+    if (!declared) {
+      std::string known;
+      for (const ParamSpec& spec : scenario.params) {
+        if (!known.empty()) known += ", ";
+        known += spec.name;
+      }
+      throw std::invalid_argument(
+          "scenario '" + scenario.name + "' has no parameter '" + key +
+          "'; declared parameters: " + (known.empty() ? "(none)" : known));
+    }
+  }
+}
+
+}  // namespace
+
+TestSession::TestSession(SessionConfig config) : config_(std::move(config)) {}
+
+TestSession& TestSession::AddObserver(RunObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+  return *this;
+}
+
+TestConfig TestSession::ResolveConfig() const {
+  const Scenario& scenario = ScenarioRegistry::Instance().Get(config_.scenario);
+  TestConfig tc =
+      scenario.default_config ? scenario.default_config() : TestConfig{};
+  const bool portfolio = config_.strategy == "portfolio";
+  if (!config_.strategy.empty() && !portfolio) tc.strategy = config_.strategy;
+  if (config_.seed) tc.seed = *config_.seed;
+  if (config_.iterations) tc.iterations = *config_.iterations;
+  if (config_.max_steps && *config_.max_steps != tc.max_steps) {
+    // Scenarios pin their liveness temperature threshold against their own
+    // default step bound (e.g. vnext: hot for 1200 of 3000 steps = 40%).
+    // When the caller overrides max_steps, keep that hot-step RATIO —
+    // keeping the absolute threshold would silently weaken (or outright
+    // invalidate) liveness detection at smaller bounds.
+    if (tc.liveness_temperature_threshold > 0 && tc.max_steps > 0) {
+      tc.liveness_temperature_threshold = std::max<std::uint64_t>(
+          1, tc.liveness_temperature_threshold * *config_.max_steps /
+                 tc.max_steps);
+    }
+    tc.max_steps = *config_.max_steps;
+  }
+  if (config_.strategy_budget) tc.strategy_budget = *config_.strategy_budget;
+  if (config_.time_budget_seconds) {
+    tc.time_budget_seconds = *config_.time_budget_seconds;
+  }
+  if (config_.stop_on_first_bug) tc.stop_on_first_bug = *config_.stop_on_first_bug;
+  if (config_.readable_trace_on_bug) tc.readable_trace_on_bug = true;
+  return tc;
+}
+
+SessionReport TestSession::Run() {
+  const Scenario& scenario = ScenarioRegistry::Instance().Get(config_.scenario);
+  ValidateParams(scenario, config_.params);
+
+  const TestConfig tc = ResolveConfig();
+  tc.Validate();
+  const bool portfolio = config_.strategy == "portfolio";
+  if (!portfolio) {
+    // Fail fast on unknown strategy names (and malformed "(N)" budgets)
+    // before any exploration work starts.
+    (void)StrategyRegistry::Instance().Create(tc.strategy, tc.seed,
+                                              tc.strategy_budget);
+  }
+
+  const Harness harness = scenario.make(config_.params);
+  std::vector<RunObserver*> iteration_observers;
+  for (RunObserver* observer : observers_) {
+    if (observer->WantsIterations()) iteration_observers.push_back(observer);
+  }
+  const bool replay =
+      config_.replay_trace.has_value() || !config_.replay_file.empty();
+  int threads = config_.threads;
+  if (portfolio && threads <= 0) threads = PortfolioThreads();
+  const bool parallel = !replay && (portfolio || threads > 1);
+
+  SessionReport out;
+  out.scenario = scenario.name;
+  out.mode = replay      ? "replay"
+             : portfolio ? "portfolio"
+             : parallel  ? "parallel"
+                         : "serial";
+
+  SessionStartInfo start;
+  start.scenario = &scenario;
+  start.config = &tc;
+  start.mode = out.mode;
+  start.threads = parallel ? threads : 1;
+
+  if (replay) {
+    const Trace trace = config_.replay_trace
+                            ? *config_.replay_trace
+                            : Trace::LoadFile(config_.replay_file);
+    TestingEngine engine(tc, harness);
+    for (RunObserver* observer : observers_) observer->OnStart(start);
+    out.report = engine.Replay(trace);
+    out.replay_verify_attempted = true;
+    out.replay_verified = out.report.bug_found &&
+                          out.report.bug_kind != BugKind::kReplayDivergence;
+  } else if (parallel) {
+    explore::ParallelOptions options;
+    options.threads = threads;
+    options.portfolio = portfolio;
+    options.verify_replay = config_.verify_replay;
+    std::mutex observer_mutex;
+    if (!iteration_observers.empty()) {
+      options.on_iteration = [&](int worker, std::uint64_t iteration,
+                                 const ExecutionResult& result) {
+        const std::lock_guard<std::mutex> lock(observer_mutex);
+        const IterationInfo info{worker, iteration, result};
+        for (RunObserver* observer : iteration_observers) {
+          observer->OnIteration(info);
+        }
+      };
+    }
+    explore::ParallelTestingEngine engine(tc, harness, options);
+    start.threads = engine.Threads();
+    start.plan = engine.Plan().Describe();
+    out.plan = start.plan;
+    for (RunObserver* observer : observers_) observer->OnStart(start);
+    explore::ParallelTestReport preport = engine.Run();
+    out.report = std::move(preport.aggregate);
+    out.workers = std::move(preport.workers);
+    out.winning_worker = preport.winning_worker;
+    out.replay_verified = preport.replay_verified;
+    out.replay_verify_attempted =
+        config_.verify_replay && out.report.bug_found;
+  } else {
+    TestingEngine engine(tc, harness);
+    if (!iteration_observers.empty()) {
+      engine.SetIterationCallback(
+          [&iteration_observers](std::uint64_t iteration,
+                                 const ExecutionResult& result) {
+            const IterationInfo info{/*worker=*/-1, iteration, result};
+            for (RunObserver* observer : iteration_observers) {
+              observer->OnIteration(info);
+            }
+          });
+    }
+    for (RunObserver* observer : observers_) observer->OnStart(start);
+    out.report = engine.Run();
+  }
+
+  if (out.report.bug_found) {
+    for (RunObserver* observer : observers_) observer->OnBug(out.report);
+  }
+  for (RunObserver* observer : observers_) observer->OnFinish(out);
+  return out;
+}
+
+}  // namespace systest::api

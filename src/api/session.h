@@ -1,0 +1,150 @@
+// SysTest public API layer.
+//
+// TestSession: the one front door for systematic testing. A builder-style
+// SessionConfig names a registered scenario and the exploration shape; Run()
+// dispatches to the serial TestingEngine, the sharded ParallelTestingEngine,
+// the strategy portfolio, or trace replay — all behind the same call:
+//
+//   auto report = systest::api::TestSession({.scenario = "samplerepl-safety",
+//                                            .strategy = "pct",
+//                                            .threads = 4}).Run();
+//
+// RunObserver hooks (on-start / on-iteration / on-bug / on-finish) feed both
+// the human reporter and the machine-readable JSON reporter (api/reporters.h)
+// and let callers collect per-execution data without touching engine
+// internals. The facade adds no scheduling perturbation: a serial session
+// produces byte-identical traces to driving TestingEngine directly (pinned
+// by the golden-trace guard in tests/api_session_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/scenario_registry.h"
+#include "core/engine.h"
+#include "core/trace.h"
+#include "explore/parallel_engine.h"
+
+namespace systest::api {
+
+/// Declarative session description. Only `scenario` is required; everything
+/// else defaults to the scenario's registered configuration.
+struct SessionConfig {
+  /// Registered scenario name (see `systest_run --list`). Required.
+  std::string scenario;
+  /// Strategy name override ("random", "pct", "pct(5)", "round-robin",
+  /// "delay-bounded", any registered third-party name, or "portfolio" to
+  /// race the built-in rotation across workers). Empty keeps the scenario's
+  /// default.
+  std::string strategy;
+  /// 0 (default) = serial engine, except portfolio mode which fields
+  /// max(6, hardware threads). 1 = serial engine. N > 1 = shard the budget
+  /// across N workers.
+  int threads = 0;
+  /// Scenario parameters; every key must be declared by the scenario.
+  ParamMap params;
+
+  // Engine overrides: unset keeps the scenario default.
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint64_t> iterations;
+  std::optional<std::uint64_t> max_steps;
+  std::optional<int> strategy_budget;
+  std::optional<double> time_budget_seconds;
+  std::optional<bool> stop_on_first_bug;
+  /// Produce the readable execution log on a bug (TestReport::execution_log).
+  bool readable_trace_on_bug = false;
+
+  /// Replay mode: re-run a recorded witness instead of exploring. Set the
+  /// in-memory trace, or a path to a trace saved with Trace::SaveFile.
+  std::optional<Trace> replay_trace;
+  std::string replay_file;
+
+  /// Parallel modes: re-run the winning trace on the calling thread and
+  /// record whether it reproduced (SessionReport::replay_verified).
+  bool verify_replay = true;
+};
+
+/// Aggregate outcome of a session, uniform across all four modes.
+struct SessionReport {
+  std::string scenario;
+  std::string mode;  ///< "serial", "parallel", "portfolio", or "replay"
+  TestReport report;
+  /// Parallel modes only: per-worker breakdown and the winning worker.
+  std::vector<explore::WorkerReport> workers;
+  int winning_worker = -1;
+  /// Parallel modes with verify_replay: the winning trace reproduced on the
+  /// calling thread. Replay mode: the replayed trace reproduced a violation.
+  bool replay_verified = false;
+  /// Whether replay verification was attempted at all (false when
+  /// SessionConfig::verify_replay was disabled) — distinguishes "not
+  /// verified" from "verification failed".
+  bool replay_verify_attempted = false;
+  /// Parallel modes: human-readable exploration plan.
+  std::string plan;
+
+  [[nodiscard]] std::string BreakdownTable() const {
+    return explore::BreakdownTable(workers);
+  }
+};
+
+/// Context handed to RunObserver::OnStart once the session is resolved.
+struct SessionStartInfo {
+  const Scenario* scenario = nullptr;
+  const TestConfig* config = nullptr;  ///< fully resolved engine config
+  std::string mode;
+  int threads = 1;
+  std::string plan;  ///< exploration plan (parallel modes; empty otherwise)
+};
+
+/// One completed execution, streamed to RunObserver::OnIteration.
+struct IterationInfo {
+  int worker = -1;          ///< worker index; -1 for the serial engine
+  std::uint64_t iteration;  ///< worker-local 0-based iteration
+  const ExecutionResult& result;
+};
+
+/// Session lifecycle hooks. Methods are invoked on the calling thread
+/// (TestSession serializes parallel workers' iteration events under a lock,
+/// so observers need no synchronization of their own). Default
+/// implementations do nothing — override what you need.
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+  virtual void OnStart(const SessionStartInfo& /*info*/) {}
+  /// Per-execution stream. Only delivered when WantsIterations() returns
+  /// true — the hook costs a callback (and, in parallel modes, a shared
+  /// lock) per execution in the exploration inner loop, so observers that
+  /// don't need it (like the shipped reporters) must not pay for it.
+  virtual void OnIteration(const IterationInfo& /*info*/) {}
+  [[nodiscard]] virtual bool WantsIterations() const { return false; }
+  /// Invoked once when the session found a violation (the winning bug).
+  virtual void OnBug(const TestReport& /*report*/) {}
+  virtual void OnFinish(const SessionReport& /*report*/) {}
+};
+
+/// The facade. Construct with a SessionConfig, optionally attach observers,
+/// call Run(). Throws std::invalid_argument for unknown scenarios or
+/// strategies, undeclared parameters, and configurations rejected by
+/// TestConfig::Validate().
+class TestSession {
+ public:
+  explicit TestSession(SessionConfig config);
+
+  /// Attaches a non-owning observer; it must outlive Run(). Returns *this
+  /// for chaining.
+  TestSession& AddObserver(RunObserver* observer);
+
+  SessionReport Run();
+
+  /// The engine configuration the session will run with (scenario defaults
+  /// plus overrides), resolved without running. Exposed for tests and tools.
+  [[nodiscard]] TestConfig ResolveConfig() const;
+
+ private:
+  SessionConfig config_;
+  std::vector<RunObserver*> observers_;
+};
+
+}  // namespace systest::api

@@ -1,0 +1,126 @@
+#include "api/strategy_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace systest {
+
+StrategyRegistry& StrategyRegistry::Instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+StrategyRegistry::StrategyRegistry() {
+  // Built-ins, mirroring the paper's evaluation (§6.2): the random baseline,
+  // PCT (Burckhardt et al. [4]), plus delay-bounded (Emmi et al. [11]) and
+  // the deterministic round-robin baseline used by benches and tests.
+  Register("random", "uniformly random scheduling and choices",
+           [](std::uint64_t seed, int /*budget*/) {
+             return std::make_unique<RandomStrategy>(seed);
+           });
+  Register("pct",
+           "randomized priority-based scheduling; budget = priority change "
+           "points per execution",
+           [](std::uint64_t seed, int budget) {
+             return std::make_unique<PctStrategy>(seed, budget);
+           });
+  Register("round-robin",
+           "deterministic rotation over enabled machines (seed offsets the "
+           "rotation)",
+           [](std::uint64_t seed, int /*budget*/) {
+             return std::make_unique<RoundRobinStrategy>(seed);
+           });
+  Register("delay-bounded",
+           "round-robin order with up to budget randomly placed delays",
+           [](std::uint64_t seed, int budget) {
+             return std::make_unique<DelayBoundedStrategy>(seed, budget);
+           });
+}
+
+bool StrategyRegistry::Register(std::string name, std::string description,
+                                Factory factory) {
+  if (name.empty()) {
+    throw std::logic_error("StrategyRegistry: cannot register an empty name");
+  }
+  if (name.find('(') != std::string::npos) {
+    throw std::logic_error("StrategyRegistry: strategy name '" + name +
+                           "' may not contain '(' — the \"name(N)\" form is "
+                           "reserved for budget overrides");
+  }
+  if (!factory) {
+    throw std::logic_error("StrategyRegistry: strategy '" + name +
+                           "' registered without a factory");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry{name, std::move(description), std::move(factory)};
+  const auto [it, inserted] = entries_.emplace(std::move(name), std::move(entry));
+  if (!inserted) {
+    throw std::logic_error("StrategyRegistry: duplicate strategy name '" +
+                           it->first + "'");
+  }
+  return true;
+}
+
+std::unique_ptr<SchedulingStrategy> StrategyRegistry::Create(
+    const std::string& spec, std::uint64_t seed, int budget) const {
+  std::string name = spec;
+  // "pct(5)" — a budget baked into the name, as printed by Strategy::Name()
+  // and the portfolio breakdown tables, overrides the configured budget.
+  if (const std::size_t open = spec.find('(');
+      open != std::string::npos && spec.back() == ')') {
+    const std::string digits = spec.substr(open + 1, spec.size() - open - 2);
+    if (!digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string::npos) {
+      name = spec.substr(0, open);
+      try {
+        budget = std::stoi(digits);
+      } catch (const std::out_of_range&) {
+        throw std::invalid_argument("strategy spec '" + spec +
+                                    "': budget does not fit in an int");
+      }
+    }
+  }
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) factory = it->second.factory;
+  }
+  if (!factory) {
+    throw std::invalid_argument("unknown strategy '" + spec +
+                                "'; registered strategies: " + NamesLine());
+  }
+  return factory(seed, budget);
+}
+
+bool StrategyRegistry::Has(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<StrategyRegistry::Entry> StrategyRegistry::All() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::vector<std::string> StrategyRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string StrategyRegistry::NamesLine() const {
+  std::string out;
+  for (const std::string& name : Names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace systest

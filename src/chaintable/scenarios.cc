@@ -1,0 +1,176 @@
+// Scenario registrations for the chaintable domain: a read-modify-write
+// micro harness driving concurrent writer machines against one
+// InMemoryChainTable. Each increment spans two scheduling points (read the
+// counter row in one step, write it back in a later one), so the scheduler
+// can interleave writers inside the window:
+//
+//  * chaintable-lost-update — writers write back with a match-any etag
+//    (blind write); interleaved increments overwrite each other and the
+//    auditor's final count is short. A genuine exploration-found safety bug.
+//  * chaintable-cas — writers write back conditionally on the etag they
+//    read; interference surfaces as kConditionNotMet instead of data loss,
+//    so the audit always balances (the fixed control).
+#include <memory>
+#include <string>
+
+#include "api/scenario_registry.h"
+#include "chaintable/memory_table.h"
+#include "core/systest.h"
+
+namespace chaintable {
+namespace {
+
+using systest::api::ParamMap;
+using systest::api::ParamSpec;
+using systest::api::Scenario;
+
+const TableKey kCounterKey{"P", "counter"};
+
+std::uint64_t CounterValue(const InMemoryChainTable& table) {
+  const OpResult r = table.Retrieve(kCounterKey);
+  return r.code == TableCode::kOk ? std::stoull(r.row->properties.at("v")) : 0;
+}
+
+struct OpTick final : systest::Event {};
+
+struct WriterDone final : systest::Event {
+  explicit WriterDone(std::uint64_t successes) : successes(successes) {}
+  std::uint64_t successes;
+};
+
+/// Increments the shared counter row `ops` times. The read and the
+/// write-back are separate event handlers, so other writers can run in
+/// between — the classic lost-update window.
+class CounterWriter final : public systest::Machine {
+ public:
+  CounterWriter(std::shared_ptr<InMemoryChainTable> table,
+                systest::MachineId auditor, std::uint64_t ops, bool blind)
+      : table_(std::move(table)), auditor_(auditor), ops_(ops), blind_(blind) {
+    State("Run").OnEntry(&CounterWriter::Kick).On<OpTick>(&CounterWriter::OnTick);
+    SetStart("Run");
+  }
+
+ private:
+  void Kick() { Send<OpTick>(Id()); }
+
+  void OnTick(const OpTick&) {
+    if (reading_) {
+      const OpResult r = table_->Retrieve(kCounterKey);
+      Assert(r.code == TableCode::kOk, "counter row vanished");
+      seen_value_ = std::stoull(r.row->properties.at("v"));
+      seen_etag_ = r.row_etag;
+      reading_ = false;
+      Send<OpTick>(Id());
+      return;
+    }
+    WriteOp op;
+    op.kind = WriteKind::kReplace;
+    op.row.key = kCounterKey;
+    op.row.properties = {{"v", std::to_string(seen_value_ + 1)}};
+    op.etag = blind_ ? kAnyEtag : seen_etag_;
+    if (table_->ExecuteWrite(op).code == TableCode::kOk) ++successes_;
+    reading_ = true;
+    if (++done_ == ops_) {
+      Send<WriterDone>(auditor_, successes_);
+      Halt();
+      return;
+    }
+    Send<OpTick>(Id());
+  }
+
+  std::shared_ptr<InMemoryChainTable> table_;
+  systest::MachineId auditor_;
+  std::uint64_t ops_;
+  bool blind_;
+  bool reading_ = true;
+  std::uint64_t done_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t seen_value_ = 0;
+  Etag seen_etag_ = kInvalidEtag;
+};
+
+/// Waits for every writer, then audits: the counter must equal the number of
+/// increments the writers believe succeeded.
+class CounterAuditor final : public systest::Machine {
+ public:
+  CounterAuditor(std::shared_ptr<InMemoryChainTable> table,
+                 std::size_t writers)
+      : table_(std::move(table)), pending_(writers) {
+    State("Collect").On<WriterDone>(&CounterAuditor::OnDone);
+    SetStart("Collect");
+  }
+
+ private:
+  void OnDone(const WriterDone& done) {
+    total_ += done.successes;
+    if (--pending_ > 0) return;
+    const std::uint64_t counter = CounterValue(*table_);
+    Assert(counter == total_, [&] {
+      return "lost update: counter is " + std::to_string(counter) + " but " +
+             std::to_string(total_) + " increments succeeded";
+    });
+    Halt();
+  }
+
+  std::shared_ptr<InMemoryChainTable> table_;
+  std::size_t pending_;
+  std::uint64_t total_ = 0;
+};
+
+std::vector<ParamSpec> Params() {
+  return {
+      {"writers", "concurrent writer machines (default 2)"},
+      {"ops", "increments per writer (default 2)"},
+  };
+}
+
+Scenario Counter(const char* name, const char* description, bool blind) {
+  Scenario s;
+  s.name = name;
+  s.description = description;
+  s.tags = {"chaintable", "safety", blind ? "buggy" : "fixed"};
+  s.params = Params();
+  s.make = [blind](const ParamMap& params) -> systest::Harness {
+    const std::size_t writers = params.GetUint("writers", 2);
+    const std::uint64_t ops = params.GetUint("ops", 2);
+    return [writers, ops, blind](systest::Runtime& rt) {
+      auto table = std::make_shared<InMemoryChainTable>();
+      WriteOp seed;
+      seed.kind = WriteKind::kInsert;
+      seed.row.key = kCounterKey;
+      seed.row.properties = {{"v", "0"}};
+      table->ExecuteWrite(seed);
+      const systest::MachineId auditor =
+          rt.CreateMachine<CounterAuditor>("Auditor", table, writers);
+      for (std::size_t i = 0; i < writers; ++i) {
+        rt.CreateMachine<CounterWriter>("Writer" + std::to_string(i), table,
+                                        auditor, ops, blind);
+      }
+    };
+  };
+  s.default_config = [] {
+    systest::TestConfig config;
+    config.iterations = 20'000;
+    config.max_steps = 500;
+    config.seed = 2016;
+    return config;
+  };
+  return s;
+}
+
+SYSTEST_REGISTER_SCENARIO(chaintable_lost_update) {
+  return Counter("chaintable-lost-update",
+                 "IChainTable read-modify-write with blind (match-any etag) "
+                 "write-backs: interleaved increments are lost",
+                 /*blind=*/true);
+}
+
+SYSTEST_REGISTER_SCENARIO(chaintable_cas) {
+  return Counter("chaintable-cas",
+                 "IChainTable read-modify-write with etag-conditional "
+                 "write-backs (control)",
+                 /*blind=*/false);
+}
+
+}  // namespace
+}  // namespace chaintable

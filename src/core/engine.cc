@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
+
+#include "api/strategy_registry.h"
 
 namespace systest {
 
@@ -25,6 +28,30 @@ std::string TestReport::Summary() const {
            std::to_string(total_seconds) + "s)";
   }
   return out;
+}
+
+void TestConfig::Validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("invalid TestConfig: " + what);
+  };
+  if (iterations == 0) {
+    fail("iterations == 0 (the engine would explore nothing)");
+  }
+  if (max_steps == 0) {
+    fail("max_steps == 0 (every execution would stop before its first step)");
+  }
+  if (strategy.empty()) {
+    fail("strategy name is empty");
+  }
+  if (time_budget_seconds < 0) {
+    fail("time_budget_seconds is negative (use 0 for unlimited)");
+  }
+  if (liveness_temperature_threshold > max_steps) {
+    fail("liveness_temperature_threshold (" +
+         std::to_string(liveness_temperature_threshold) +
+         ") exceeds max_steps (" + std::to_string(max_steps) +
+         "): no execution could ever get hot enough to report");
+  }
 }
 
 RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
@@ -63,9 +90,9 @@ ExecutionResult RunOneExecution(const TestConfig& config,
     result.bug_found = true;
     result.bug_kind = bug.Kind();
     result.bug_message = bug.what();
-    result.trace = runtime.GetTrace();
   }
   result.steps = runtime.Steps();
+  result.trace = runtime.TakeTrace();  // O(1): the runtime dies right here
   return result;
 }
 
@@ -74,8 +101,8 @@ TestingEngine::TestingEngine(TestConfig config, Harness harness)
 
 TestReport TestingEngine::Run() {
   TestReport report;
-  const auto strategy =
-      MakeStrategy(config_.strategy, config_.seed, config_.strategy_budget);
+  const auto strategy = StrategyRegistry::Instance().Create(
+      config_.strategy, config_.seed, config_.strategy_budget);
   report.strategy_name = strategy->Name();
   const auto start = Clock::now();
 
@@ -89,6 +116,7 @@ TestReport TestingEngine::Run() {
     ExecutionResult result =
         RunOneExecution(config_, harness_, *strategy, iteration);
     report.total_steps += result.steps;
+    if (on_iteration_) on_iteration_(iteration, result);
     if (result.bug_found) {
       if (!report.bug_found) {
         // Keep the FIRST violation; with stop_on_first_bug=false later

@@ -31,7 +31,11 @@ struct TestConfig {
   std::uint64_t iterations = 10'000;
   std::uint64_t max_steps = 10'000;
   std::uint64_t seed = 0;
-  StrategyKind strategy = StrategyKind::kRandom;
+  /// Strategy name resolved through StrategyRegistry ("random", "pct",
+  /// "round-robin", "delay-bounded", or any registered third-party name; a
+  /// "(N)" suffix overrides strategy_budget). Implicitly assignable from the
+  /// deprecated StrategyKind enum.
+  StrategyName strategy;
   int strategy_budget = 2;  ///< PCT priority change points / delay budget
   std::uint64_t liveness_temperature_threshold = 0;  ///< 0 = max_steps / 2
   bool report_deadlock = true;
@@ -40,6 +44,12 @@ struct TestConfig {
   /// When true, the buggy execution is re-run under replay with verbose
   /// logging to produce a human-readable trace in TestReport::execution_log.
   bool readable_trace_on_bug = false;
+
+  /// Fails fast on configurations that would silently explore nothing:
+  /// throws std::invalid_argument for zero iterations, zero max_steps, an
+  /// empty strategy name, a negative time budget, or a liveness temperature
+  /// threshold above the step bound. TestSession calls this before running.
+  void Validate() const;
 };
 
 /// Outcome of a testing run.
@@ -70,8 +80,15 @@ struct ExecutionResult {
   std::string bug_message;
   std::uint64_t steps = 0;        ///< scheduling steps performed
   bool hit_step_bound = false;    ///< true when max_steps was reached
-  Trace trace;                    ///< replayable witness; filled only on a bug
+  /// Full decision trace of the execution (moved out of the Runtime, so
+  /// always populated). On a bug it is the replayable witness.
+  Trace trace;
 };
+
+/// Per-execution hook: (0-based iteration, completed result). Invoked after
+/// every execution, bug or not, before the engine consumes the result.
+using IterationCallback =
+    std::function<void(std::uint64_t iteration, const ExecutionResult& result)>;
 
 /// Builds the per-execution RuntimeOptions implied by `config`.
 RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging);
@@ -107,9 +124,17 @@ class TestingEngine {
 
   [[nodiscard]] const TestConfig& Config() const noexcept { return config_; }
 
+  /// Installs an optional per-execution observer hook (see IterationCallback).
+  /// The callback runs outside the serialized execution, so it cannot perturb
+  /// scheduling decisions.
+  void SetIterationCallback(IterationCallback callback) {
+    on_iteration_ = std::move(callback);
+  }
+
  private:
   TestConfig config_;
   Harness harness_;
+  IterationCallback on_iteration_;
 };
 
 }  // namespace systest

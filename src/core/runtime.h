@@ -654,6 +654,10 @@ class Runtime {
 
   [[nodiscard]] std::uint64_t Steps() const noexcept { return steps_; }
   [[nodiscard]] const Trace& GetTrace() const noexcept { return trace_; }
+  /// Moves the recorded decision trace out of a runtime that is about to be
+  /// destroyed (the engines call this once per execution). O(1); the
+  /// runtime's internal trace is left empty.
+  [[nodiscard]] Trace TakeTrace() noexcept { return std::move(trace_); }
   [[nodiscard]] const RuntimeOptions& Options() const noexcept { return options_; }
 
   // ---- Introspection ----

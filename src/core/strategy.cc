@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "api/strategy_registry.h"
 #include "core/bug.h"
 
 namespace systest {
@@ -184,17 +185,9 @@ std::string_view ToString(StrategyKind kind) noexcept {
 std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind,
                                                  std::uint64_t seed,
                                                  int budget) {
-  switch (kind) {
-    case StrategyKind::kRandom:
-      return std::make_unique<RandomStrategy>(seed);
-    case StrategyKind::kPct:
-      return std::make_unique<PctStrategy>(seed, budget);
-    case StrategyKind::kRoundRobin:
-      return std::make_unique<RoundRobinStrategy>(seed);
-    case StrategyKind::kDelayBounded:
-      return std::make_unique<DelayBoundedStrategy>(seed, budget);
-  }
-  return nullptr;
+  // Deprecated shim: the registry is the single construction site now.
+  return StrategyRegistry::Instance().Create(std::string(ToString(kind)), seed,
+                                             budget);
 }
 
 }  // namespace systest

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "api/strategy_registry.h"
+
 namespace systest::explore {
 
 namespace {
@@ -9,14 +11,13 @@ namespace {
 /// The strategy rotation raced in portfolio mode. Worker w runs entry
 /// w % size; worker 0 therefore always keeps the paper's random baseline.
 struct PortfolioEntry {
-  StrategyKind strategy;
+  const char* strategy;
   int budget;
 };
 
 constexpr PortfolioEntry kPortfolio[] = {
-    {StrategyKind::kRandom, 0},       {StrategyKind::kPct, 2},
-    {StrategyKind::kDelayBounded, 2}, {StrategyKind::kPct, 5},
-    {StrategyKind::kDelayBounded, 5}, {StrategyKind::kPct, 10},
+    {"random", 0},       {"pct", 2}, {"delay-bounded", 2},
+    {"pct", 5},          {"delay-bounded", 5}, {"pct", 10},
 };
 
 /// Evenly partitions config.iterations into `workers` contiguous slices of
@@ -50,8 +51,11 @@ std::string WorkerAssignment::Describe() const {
   // Use the strategy's own display name so plan descriptions can never
   // drift from the names workers report.
   return "w" + std::to_string(worker) + " " +
-         MakeStrategy(strategy, seed, strategy_budget)->Name() + " seeds=[" +
-         std::to_string(seed) + "," + std::to_string(seed + iterations) + ")";
+         StrategyRegistry::Instance()
+             .Create(strategy, seed, strategy_budget)
+             ->Name() +
+         " seeds=[" + std::to_string(seed) + "," +
+         std::to_string(seed + iterations) + ")";
 }
 
 ExplorationPlan ExplorationPlan::Shard(const TestConfig& config, int workers) {

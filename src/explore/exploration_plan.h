@@ -22,7 +22,7 @@ namespace systest::explore {
 /// One worker's slice of the exploration budget.
 struct WorkerAssignment {
   int worker = 0;
-  StrategyKind strategy = StrategyKind::kRandom;
+  StrategyName strategy;  ///< registered strategy name (default "random")
   int strategy_budget = 2;
   std::uint64_t seed = 0;        ///< base seed of this worker's range
   std::uint64_t iterations = 0;  ///< slice size; seeds cover [seed, seed+iterations)

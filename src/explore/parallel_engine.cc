@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "api/strategy_registry.h"
+
 namespace systest::explore {
 
 namespace {
@@ -31,7 +33,7 @@ struct WorkerBug {
 
 }  // namespace
 
-std::string ParallelTestReport::BreakdownTable() const {
+std::string BreakdownTable(const std::vector<WorkerReport>& workers) {
   std::string out =
       "  worker  strategy            seeds                 executions      "
       "steps  bug\n";
@@ -49,6 +51,10 @@ std::string ParallelTestReport::BreakdownTable() const {
     out += line;
   }
   return out;
+}
+
+std::string ParallelTestReport::BreakdownTable() const {
+  return explore::BreakdownTable(workers);
 }
 
 ParallelTestingEngine::ParallelTestingEngine(TestConfig config,
@@ -84,8 +90,8 @@ ParallelTestReport ParallelTestingEngine::Run() {
     // every Runtime it builds is thread-local: workers share nothing but the
     // atomics above. RunOneExecution only consumes the execution bounds from
     // the config; all seeding flows through the strategy.
-    const auto strategy = MakeStrategy(assignment.strategy, assignment.seed,
-                                       assignment.strategy_budget);
+    const auto strategy = StrategyRegistry::Instance().Create(
+        assignment.strategy, assignment.seed, assignment.strategy_budget);
     wr.strategy_name = strategy->Name();
 
     const auto worker_start = Clock::now();
@@ -100,6 +106,7 @@ ParallelTestReport ParallelTestingEngine::Run() {
       wr.steps += result.steps;
       executions.fetch_add(1, std::memory_order_relaxed);
       steps.fetch_add(result.steps, std::memory_order_relaxed);
+      if (options_.on_iteration) options_.on_iteration(w, i, result);
       if (result.bug_found) {
         wr.bug_found = true;
         int expected = -1;
@@ -130,8 +137,7 @@ ParallelTestReport ParallelTestingEngine::Run() {
   agg.total_steps = steps.load(std::memory_order_relaxed);
   agg.total_seconds = SecondsSince(start);
   agg.strategy_name =
-      (options_.portfolio ? std::string("portfolio")
-                          : std::string(ToString(config_.strategy))) +
+      (options_.portfolio ? std::string("portfolio") : config_.strategy.str()) +
       " x" + std::to_string(n);
 
   const int won = winner.load(std::memory_order_acquire);

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,14 @@ struct ParallelOptions {
   /// Re-run the winning trace on the calling thread after the workers join
   /// and record whether it reproduced (ParallelTestReport::replay_verified).
   bool verify_replay = true;
+  /// Optional per-execution hook, invoked from WORKER threads after every
+  /// execution with (worker index, worker-local 0-based iteration, result).
+  /// Must be thread-safe; keep it cheap — it runs inside the exploration
+  /// inner loop. It cannot perturb scheduling (executions stay serialized
+  /// and fully seed-determined).
+  std::function<void(int worker, std::uint64_t iteration,
+                     const ExecutionResult& result)>
+      on_iteration;
 };
 
 /// Per-worker slice of the merged report — the per-strategy breakdown.
@@ -63,6 +72,10 @@ struct ParallelTestReport {
   /// Formatted per-worker breakdown table.
   [[nodiscard]] std::string BreakdownTable() const;
 };
+
+/// Formats the per-worker breakdown table (shared with api::TestSession
+/// reports, which carry the same WorkerReport rows).
+[[nodiscard]] std::string BreakdownTable(const std::vector<WorkerReport>& workers);
 
 /// Parallel counterpart of TestingEngine. One engine per Run() call; the
 /// engine itself is single-use from the calling thread's perspective but

@@ -205,7 +205,7 @@ systest::Harness MakePipelineHarness(const PipelineOptions& options) {
   };
 }
 
-systest::TestConfig DefaultConfig(systest::StrategyKind strategy) {
+systest::TestConfig DefaultConfig(systest::StrategyName strategy) {
   systest::TestConfig config;
   config.iterations = 100'000;
   config.max_steps = 5'000;

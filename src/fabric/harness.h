@@ -37,6 +37,6 @@ struct PipelineOptions {
 systest::Harness MakePipelineHarness(const PipelineOptions& options);
 
 /// Engine configuration tuned for the Fabric harnesses.
-systest::TestConfig DefaultConfig(systest::StrategyKind strategy);
+systest::TestConfig DefaultConfig(systest::StrategyName strategy = {});
 
 }  // namespace fabric

@@ -85,7 +85,7 @@ systest::Harness MakeMigrationHarness(const MigrationHarnessOptions& options) {
   };
 }
 
-systest::TestConfig DefaultConfig(systest::StrategyKind strategy) {
+systest::TestConfig DefaultConfig(systest::StrategyName strategy) {
   systest::TestConfig config;
   config.iterations = 100'000;  // the paper's execution budget
   config.max_steps = 20'000;    // executions quiesce far earlier

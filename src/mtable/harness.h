@@ -31,6 +31,6 @@ systest::Harness MakeMigrationHarness(const MigrationHarnessOptions& options);
 
 /// Engine configuration tuned for this harness (executions quiesce when the
 /// workload and migration complete).
-systest::TestConfig DefaultConfig(systest::StrategyKind strategy);
+systest::TestConfig DefaultConfig(systest::StrategyName strategy = {});
 
 }  // namespace mtable

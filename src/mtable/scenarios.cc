@@ -1,0 +1,89 @@
+// Scenario registrations for the Live Table Migration case study (§4): the
+// marquee QueryStreamedBackUpNewStream bug, the fixed control, and a generic
+// parameterized scenario that re-introduces any Table 2 bug by name.
+#include "api/scenario_registry.h"
+#include "mtable/harness.h"
+
+namespace mtable {
+namespace {
+
+using systest::api::ParamMap;
+using systest::api::ParamSpec;
+using systest::api::Scenario;
+
+MigrationHarnessOptions OptionsFrom(const ParamMap& params) {
+  MigrationHarnessOptions options;
+  options.num_services =
+      static_cast<int>(params.GetUint("services", options.num_services));
+  options.ops_per_service = static_cast<int>(
+      params.GetUint("ops-per-service", options.ops_per_service));
+  options.value_space = params.GetUint("value-space", options.value_space);
+  return options;
+}
+
+std::vector<ParamSpec> Params() {
+  return {
+      {"services", "concurrent service machines (default 2)"},
+      {"ops-per-service", "nondeterministic operations each (default 4)"},
+      {"value-space", "distinct property values (default 3)"},
+  };
+}
+
+SYSTEST_REGISTER_SCENARIO(mtable_backupnewstream) {
+  Scenario s;
+  s.name = "mtable-backupnewstream";
+  s.description =
+      "sec. 4 MigratingTable, QueryStreamedBackUpNewStream (marquee sec. 6.2 bug)";
+  s.tags = {"mtable", "safety", "buggy"};
+  s.params = Params();
+  s.make = [](const ParamMap& params) {
+    MigrationHarnessOptions options = OptionsFrom(params);
+    options.bugs.query_streamed_backup_new_stream = true;
+    return MakeMigrationHarness(options);
+  };
+  s.default_config = [] { return DefaultConfig(); };
+  return s;
+}
+
+SYSTEST_REGISTER_SCENARIO(mtable_migration) {
+  Scenario s;
+  s.name = "mtable-migration";
+  s.description =
+      "sec. 4 MigratingTable differential harness; re-introduce any Table 2 "
+      "bug via bug=<Name> (default: fixed protocol)";
+  s.tags = {"mtable", "safety", "fixed"};
+  std::vector<ParamSpec> params = Params();
+  params.push_back(
+      {"bug", "Table 2 bug name to re-introduce (default none; see "
+              "`live_migration list`)"});
+  s.params = std::move(params);
+  s.make = [](const ParamMap& params) {
+    MigrationHarnessOptions options = OptionsFrom(params);
+    const std::string bug = params.GetString("bug");
+    if (!bug.empty()) {
+      bool found = false;
+      for (const MTableBugId id : kAllMTableBugs) {
+        if (bug == ToString(id)) {
+          options.bugs = EnableBug(id);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::string known;
+        for (const MTableBugId id : kAllMTableBugs) {
+          if (!known.empty()) known += ", ";
+          known += std::string(ToString(id));
+        }
+        throw std::invalid_argument("unknown mtable bug '" + bug +
+                                    "'; Table 2 bugs: " + known);
+      }
+    }
+    return MakeMigrationHarness(options);
+  };
+  s.default_config = [] { return DefaultConfig(); };
+  return s;
+}
+
+}  // namespace
+}  // namespace mtable

@@ -36,4 +36,14 @@ systest::Harness MakeHarness(const HarnessOptions& options) {
   };
 }
 
+systest::TestConfig DefaultConfig(systest::StrategyName strategy) {
+  systest::TestConfig config;
+  config.iterations = 100'000;  // the paper's execution budget
+  config.max_steps = 2'000;
+  config.seed = 2016;
+  config.strategy = std::move(strategy);
+  config.strategy_budget = 2;  // the paper's PCT budget
+  return config;
+}
+
 }  // namespace samplerepl

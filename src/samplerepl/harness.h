@@ -30,4 +30,8 @@ struct HarnessOptions {
 /// Runtime on every testing iteration.
 systest::Harness MakeHarness(const HarnessOptions& options);
 
+/// Engine configuration tuned for this harness (the paper's 100k-execution
+/// budget at the §2.2 example's scale).
+systest::TestConfig DefaultConfig(systest::StrategyName strategy = {});
+
 }  // namespace samplerepl

@@ -1,0 +1,76 @@
+// Scenario registrations for the §2.2 worked example: the seeded safety bug
+// (non-unique replica count), the seeded liveness bug (no counter reset) and
+// the fixed control.
+#include "api/scenario_registry.h"
+#include "samplerepl/harness.h"
+
+namespace samplerepl {
+namespace {
+
+using systest::api::ParamMap;
+using systest::api::ParamSpec;
+using systest::api::Scenario;
+
+HarnessOptions OptionsFrom(const ParamMap& params) {
+  HarnessOptions options;
+  options.num_nodes = params.GetUint("nodes", options.num_nodes);
+  options.replica_target =
+      params.GetUint("replica-target", options.replica_target);
+  options.num_requests = params.GetUint("requests", options.num_requests);
+  options.value_space = params.GetUint("value-space", options.value_space);
+  options.timer_rounds = params.GetUint("timer-rounds", options.timer_rounds);
+  return options;
+}
+
+std::vector<ParamSpec> Params() {
+  return {
+      {"nodes", "storage nodes (default 3)"},
+      {"replica-target", "replicas required before Ack (default 3)"},
+      {"requests", "client requests (default 2; bug 2 needs at least 2)"},
+      {"value-space", "distinct payload values per request (default 2)"},
+      {"timer-rounds", "sync-timer rounds per node (default 0 = unbounded)"},
+  };
+}
+
+Scenario Base(const char* name, const char* description, const char* extra_tag,
+              ServerBugs bugs) {
+  Scenario s;
+  s.name = name;
+  s.description = description;
+  s.tags = {"samplerepl", extra_tag};
+  s.tags.emplace_back(bugs.non_unique_replica_count || bugs.no_counter_reset
+                          ? "buggy"
+                          : "fixed");
+  s.params = Params();
+  s.make = [bugs](const ParamMap& params) {
+    HarnessOptions options = OptionsFrom(params);
+    options.bugs = bugs;
+    return MakeHarness(options);
+  };
+  s.default_config = [] { return DefaultConfig(); };
+  return s;
+}
+
+SYSTEST_REGISTER_SCENARIO(samplerepl_safety) {
+  ServerBugs bugs;
+  bugs.non_unique_replica_count = true;
+  return Base("samplerepl-safety",
+              "sec. 2.2 example, seeded safety bug (non-unique replica count)",
+              "safety", bugs);
+}
+
+SYSTEST_REGISTER_SCENARIO(samplerepl_liveness) {
+  ServerBugs bugs;
+  bugs.no_counter_reset = true;
+  return Base("samplerepl-liveness",
+              "sec. 2.2 example, seeded liveness bug (no replica counter reset)",
+              "liveness", bugs);
+}
+
+SYSTEST_REGISTER_SCENARIO(samplerepl_fixed) {
+  return Base("samplerepl-fixed", "sec. 2.2 example with both bugs fixed (control)",
+              "safety", ServerBugs{});
+}
+
+}  // namespace
+}  // namespace samplerepl

@@ -17,7 +17,7 @@ systest::Harness MakeExtentRepairHarness(const DriverOptions& options) {
   };
 }
 
-systest::TestConfig DefaultConfig(systest::StrategyKind strategy) {
+systest::TestConfig DefaultConfig(systest::StrategyName strategy) {
   systest::TestConfig config;
   config.iterations = 100'000;  // the paper's execution budget
   config.max_steps = 3'000;

@@ -13,6 +13,6 @@ systest::Harness MakeExtentRepairHarness(const DriverOptions& options);
 /// Engine configuration tuned for this harness: executions always run to the
 /// step bound (the timers are unbounded), so liveness detection uses the
 /// temperature heuristic.
-systest::TestConfig DefaultConfig(systest::StrategyKind strategy);
+systest::TestConfig DefaultConfig(systest::StrategyName strategy = {});
 
 }  // namespace vnext

@@ -1,0 +1,64 @@
+// Scenario registrations for the Azure Storage vNext case study (§3): the
+// stale-sync-report repair liveness bug and the fixed control.
+#include "api/scenario_registry.h"
+#include "vnext/harness.h"
+
+namespace vnext {
+namespace {
+
+using systest::api::ParamMap;
+using systest::api::ParamSpec;
+using systest::api::Scenario;
+
+DriverOptions OptionsFrom(const ParamMap& params) {
+  DriverOptions options;
+  options.num_nodes = params.GetUint("nodes", options.num_nodes);
+  options.initial_replicas =
+      params.GetUint("initial-replicas", options.initial_replicas);
+  options.inject_failure =
+      params.GetBool("inject-failure", options.inject_failure);
+  options.manager.replica_target =
+      params.GetUint("replica-target", options.manager.replica_target);
+  return options;
+}
+
+std::vector<ParamSpec> Params() {
+  return {
+      {"nodes", "initial extent nodes (default 3)"},
+      {"initial-replicas", "nodes holding the extent at start (default 3)"},
+      {"inject-failure", "fail one EN at a nondeterministic time (default true)"},
+      {"replica-target", "desired replicas per extent (default 3)"},
+  };
+}
+
+Scenario Repair(const char* name, const char* description, bool fixed) {
+  Scenario s;
+  s.name = name;
+  s.description = description;
+  s.tags = {"vnext", "liveness", fixed ? "fixed" : "buggy"};
+  s.params = Params();
+  s.make = [fixed](const ParamMap& params) {
+    DriverOptions options = OptionsFrom(params);
+    options.manager.fix_stale_sync_report = fixed;
+    return MakeExtentRepairHarness(options);
+  };
+  s.default_config = [] { return DefaultConfig(); };
+  return s;
+}
+
+SYSTEST_REGISTER_SCENARIO(vnext_liveness) {
+  return Repair("vnext-liveness",
+                "sec. 3 vNext extent repair, ExtentNodeLivenessViolation "
+                "(stale sync report)",
+                /*fixed=*/false);
+}
+
+SYSTEST_REGISTER_SCENARIO(vnext_fixed) {
+  return Repair("vnext-fixed",
+                "sec. 3 vNext extent repair with the stale-sync-report fix "
+                "(control)",
+                /*fixed=*/true);
+}
+
+}  // namespace
+}  // namespace vnext

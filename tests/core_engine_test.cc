@@ -15,7 +15,6 @@ using systest::Machine;
 using systest::MachineId;
 using systest::PctStrategy;
 using systest::RandomStrategy;
-using systest::StrategyKind;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
@@ -73,7 +72,7 @@ TEST(TestingEngine, RandomSchedulerFindsOrderingBug) {
   TestConfig config;
   config.iterations = 1'000;
   config.seed = 1;
-  config.strategy = StrategyKind::kRandom;
+  config.strategy = "random";
   TestingEngine engine(config, RaceHarness());
   const TestReport report = engine.Run();
   ASSERT_TRUE(report.bug_found);
@@ -86,7 +85,7 @@ TEST(TestingEngine, PctSchedulerFindsOrderingBug) {
   TestConfig config;
   config.iterations = 1'000;
   config.seed = 1;
-  config.strategy = StrategyKind::kPct;
+  config.strategy = "pct";
   config.strategy_budget = 2;
   TestingEngine engine(config, RaceHarness());
   const TestReport report = engine.Run();

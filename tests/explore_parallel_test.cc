@@ -10,6 +10,7 @@
 #include <set>
 #include <string>
 
+#include "api/strategy_registry.h"
 #include "core/systest.h"
 #include "explore/parallel_engine.h"
 
@@ -20,9 +21,8 @@ using systest::Event;
 using systest::Harness;
 using systest::Machine;
 using systest::MachineId;
-using systest::MakeStrategy;
 using systest::Runtime;
-using systest::StrategyKind;
+using systest::StrategyRegistry;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
@@ -84,7 +84,7 @@ TestConfig RaceConfig() {
   config.iterations = 4'000;
   config.max_steps = 100;
   config.seed = 1;
-  config.strategy = StrategyKind::kRandom;
+  config.strategy = "random";
   return config;
 }
 
@@ -128,14 +128,14 @@ TEST(ExplorationPlan, PortfolioRacesComplementaryStrategies) {
   ASSERT_EQ(plan.WorkerCount(), 6u);
   // Worker 0 keeps the random baseline; the rotation must include PCT and
   // delay-bounded at more than one budget.
-  EXPECT_EQ(plan.Workers()[0].strategy, StrategyKind::kRandom);
-  std::set<std::pair<StrategyKind, int>> combos;
+  EXPECT_EQ(plan.Workers()[0].strategy.str(), "random");
+  std::set<std::pair<std::string, int>> combos;
   for (const WorkerAssignment& a : plan.Workers()) {
-    combos.insert({a.strategy, a.strategy_budget});
+    combos.insert({a.strategy.str(), a.strategy_budget});
   }
   EXPECT_GE(combos.size(), 5u);
-  EXPECT_TRUE(combos.contains({StrategyKind::kPct, 2}));
-  EXPECT_TRUE(combos.contains({StrategyKind::kDelayBounded, 2}));
+  EXPECT_TRUE(combos.contains({"pct", 2}));
+  EXPECT_TRUE(combos.contains({"delay-bounded", 2}));
 }
 
 // ---------------------------------------------------------------------------
@@ -143,13 +143,12 @@ TEST(ExplorationPlan, PortfolioRacesComplementaryStrategies) {
 
 TEST(Determinism, SameSeedYieldsIdenticalTracePerStrategy) {
   const TestConfig config = RaceConfig();
-  for (const StrategyKind kind :
-       {StrategyKind::kRandom, StrategyKind::kPct, StrategyKind::kRoundRobin,
-        StrategyKind::kDelayBounded}) {
+  for (const char* name : {"random", "pct", "round-robin", "delay-bounded"}) {
     for (const std::uint64_t iteration : {0ULL, 1ULL, 17ULL}) {
       Trace traces[2];
       for (int run = 0; run < 2; ++run) {
-        const auto strategy = MakeStrategy(kind, /*seed=*/42, /*budget=*/2);
+        const auto strategy =
+            StrategyRegistry::Instance().Create(name, /*seed=*/42, /*budget=*/2);
         strategy->PrepareIteration(iteration, config.max_steps);
         Runtime runtime(*strategy,
                         systest::MakeRuntimeOptions(config, false));
@@ -161,7 +160,7 @@ TEST(Determinism, SameSeedYieldsIdenticalTracePerStrategy) {
         traces[run] = runtime.GetTrace();
       }
       EXPECT_EQ(traces[0], traces[1])
-          << "strategy " << ToString(kind) << " iteration " << iteration;
+          << "strategy " << name << " iteration " << iteration;
       EXPECT_FALSE(traces[0].Empty());
     }
   }

@@ -14,12 +14,11 @@ using fabric::MakeFailoverHarness;
 using fabric::MakePipelineHarness;
 using fabric::PipelineOptions;
 using systest::BugKind;
-using systest::StrategyKind;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
 
-TestConfig Config(StrategyKind strategy, std::uint64_t iterations) {
+TestConfig Config(systest::StrategyName strategy, std::uint64_t iterations) {
   TestConfig config = fabric::DefaultConfig(strategy);
   config.iterations = iterations;
   return config;
@@ -28,7 +27,7 @@ TestConfig Config(StrategyKind strategy, std::uint64_t iterations) {
 TEST(FabricFailover, FixedModelConvergesUnderDoubleFailover) {
   FailoverOptions options;  // no bugs
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 10'000),
+      TestingEngine(Config("random", 10'000),
                     MakeFailoverHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -37,7 +36,7 @@ TEST(FabricFailover, FixedModelConvergesUnderDoubleFailover) {
 TEST(FabricFailover, FixedModelConvergesUnderPct) {
   FailoverOptions options;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kPct, 10'000),
+      TestingEngine(Config("pct", 10'000),
                     MakeFailoverHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -47,7 +46,7 @@ TEST(FabricFailover, PromoteDuringCopyFiresRoleAssertion) {
   FailoverOptions options;
   options.bugs.promote_during_copy = true;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 100'000),
+      TestingEngine(Config("random", 100'000),
                     MakeFailoverHarness(options))
           .Run();
   ASSERT_TRUE(report.bug_found) << report.Summary();
@@ -61,7 +60,7 @@ TEST(FabricFailover, SingleFailureAlsoConverges) {
   FailoverOptions options;
   options.failures = 1;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 5'000),
+      TestingEngine(Config("random", 5'000),
                     MakeFailoverHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -71,7 +70,7 @@ TEST(FabricFailover, FiveReplicasConverge) {
   FailoverOptions options;
   options.replicas = 5;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 3'000),
+      TestingEngine(Config("random", 3'000),
                     MakeFailoverHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -80,7 +79,7 @@ TEST(FabricFailover, FiveReplicasConverge) {
 TEST(FabricFailover, BugTraceReplaysDeterministically) {
   FailoverOptions options;
   options.bugs.promote_during_copy = true;
-  TestingEngine engine(Config(StrategyKind::kRandom, 100'000),
+  TestingEngine engine(Config("random", 100'000),
                        MakeFailoverHarness(options));
   const TestReport report = engine.Run();
   ASSERT_TRUE(report.bug_found);
@@ -92,7 +91,7 @@ TEST(FabricFailover, BugTraceReplaysDeterministically) {
 TEST(FabricPipeline, FixedAggregatorHandlesConfigRace) {
   PipelineOptions options;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 5'000),
+      TestingEngine(Config("random", 5'000),
                     MakePipelineHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -102,7 +101,7 @@ TEST(FabricPipeline, UnguardedConfigIsNullDereference) {
   PipelineOptions options;
   options.bugs.unguarded_pipeline_config = true;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 100'000),
+      TestingEngine(Config("random", 100'000),
                     MakePipelineHarness(options))
           .Run();
   ASSERT_TRUE(report.bug_found) << report.Summary();

@@ -14,12 +14,11 @@ using mtable::MigrationHarnessOptions;
 using mtable::MakeMigrationHarness;
 using mtable::MTableBugId;
 using systest::BugKind;
-using systest::StrategyKind;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
 
-TestConfig Config(StrategyKind strategy, std::uint64_t iterations) {
+TestConfig Config(systest::StrategyName strategy, std::uint64_t iterations) {
   TestConfig config = mtable::DefaultConfig(strategy);
   config.iterations = iterations;
   return config;
@@ -28,7 +27,7 @@ TestConfig Config(StrategyKind strategy, std::uint64_t iterations) {
 TEST(MTableFixed, SurvivesDifferentialTestingRandom) {
   MigrationHarnessOptions options;  // no bugs
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 4'000),
+      TestingEngine(Config("random", 4'000),
                     MakeMigrationHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -38,7 +37,7 @@ TEST(MTableFixed, SurvivesDifferentialTestingRandom) {
 TEST(MTableFixed, SurvivesDifferentialTestingPct) {
   MigrationHarnessOptions options;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kPct, 4'000),
+      TestingEngine(Config("pct", 4'000),
                     MakeMigrationHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -49,7 +48,7 @@ TEST(MTableFixed, SurvivesWithBiggerWorkload) {
   options.num_services = 3;
   options.ops_per_service = 6;
   const TestReport report =
-      TestingEngine(Config(StrategyKind::kRandom, 1'500),
+      TestingEngine(Config("random", 1'500),
                     MakeMigrationHarness(options))
           .Run();
   EXPECT_FALSE(report.bug_found) << report.Summary();
@@ -62,7 +61,7 @@ class MTableBugSweep : public ::testing::TestWithParam<MTableBugId> {};
 TEST_P(MTableBugSweep, RandomSchedulerFindsBug) {
   MigrationHarnessOptions options;
   options.bugs = EnableBug(GetParam());
-  TestConfig config = Config(StrategyKind::kRandom, 100'000);
+  TestConfig config = Config("random", 100'000);
   config.time_budget_seconds = 60;
   const TestReport report =
       TestingEngine(config, MakeMigrationHarness(options)).Run();
@@ -80,7 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(MTableBugs, BugTraceReplaysDeterministically) {
   MigrationHarnessOptions options;
   options.bugs = EnableBug(MTableBugId::kInsertBehindMigrator);
-  TestingEngine engine(Config(StrategyKind::kRandom, 100'000),
+  TestingEngine engine(Config("random", 100'000),
                        MakeMigrationHarness(options));
   const TestReport report = engine.Run();
   ASSERT_TRUE(report.bug_found);
@@ -108,7 +107,7 @@ TEST(MTableBugs, CustomTestCasePinsDeletePrimaryKey) {
   delete_p1.row = 0;
   options.scripts = {{touch_p0, delete_p1}};
   options.num_services = 1;
-  TestConfig config = Config(StrategyKind::kRandom, 20'000);
+  TestConfig config = Config("random", 20'000);
   const TestReport report =
       TestingEngine(config, MakeMigrationHarness(options)).Run();
   ASSERT_TRUE(report.bug_found) << report.Summary();

@@ -63,7 +63,7 @@ Harness VNextBuggy() {
 }
 
 TestConfig VNextConfig() {
-  TestConfig config = vnext::DefaultConfig(systest::StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 5'000;
   config.time_budget_seconds = 30;
   return config;
@@ -83,7 +83,7 @@ Harness MTableSwitchFromPopulated() {
 }
 
 TestConfig MTableConfig() {
-  TestConfig config = mtable::DefaultConfig(systest::StrategyKind::kRandom);
+  TestConfig config = mtable::DefaultConfig("random");
   config.time_budget_seconds = 30;
   return config;
 }
@@ -101,7 +101,7 @@ Harness FabricPipeline() {
 }
 
 TestConfig FabricConfig() {
-  TestConfig config = fabric::DefaultConfig(systest::StrategyKind::kRandom);
+  TestConfig config = fabric::DefaultConfig("random");
   config.time_budget_seconds = 30;
   return config;
 }

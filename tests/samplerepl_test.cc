@@ -12,12 +12,11 @@ namespace {
 using samplerepl::HarnessOptions;
 using samplerepl::MakeHarness;
 using systest::BugKind;
-using systest::StrategyKind;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
 
-TestConfig BaseConfig(StrategyKind strategy) {
+TestConfig BaseConfig(systest::StrategyName strategy) {
   TestConfig config;
   config.iterations = 20'000;
   config.max_steps = 2'000;
@@ -29,7 +28,7 @@ TestConfig BaseConfig(StrategyKind strategy) {
 
 TEST(SampleRepl, FixedSystemPassesSystematicTesting) {
   HarnessOptions options;  // no bugs enabled
-  TestConfig config = BaseConfig(StrategyKind::kRandom);
+  TestConfig config = BaseConfig("random");
   config.iterations = 3'000;
   const TestReport report =
       TestingEngine(config, MakeHarness(options)).Run();
@@ -41,7 +40,7 @@ TEST(SampleRepl, NonUniqueReplicaCountIsSafetyBug) {
   HarnessOptions options;
   options.bugs.non_unique_replica_count = true;
   const TestReport report =
-      TestingEngine(BaseConfig(StrategyKind::kRandom), MakeHarness(options))
+      TestingEngine(BaseConfig("random"), MakeHarness(options))
           .Run();
   ASSERT_TRUE(report.bug_found) << report.Summary();
   EXPECT_EQ(report.bug_kind, BugKind::kSafety);
@@ -53,7 +52,7 @@ TEST(SampleRepl, MissingCounterResetIsLivenessBug) {
   HarnessOptions options;
   options.bugs.no_counter_reset = true;
   const TestReport report =
-      TestingEngine(BaseConfig(StrategyKind::kRandom), MakeHarness(options))
+      TestingEngine(BaseConfig("random"), MakeHarness(options))
           .Run();
   ASSERT_TRUE(report.bug_found) << report.Summary();
   EXPECT_EQ(report.bug_kind, BugKind::kLiveness);
@@ -65,7 +64,7 @@ TEST(SampleRepl, PctFindsBothBugs) {
     options.bugs.non_unique_replica_count = safety;
     options.bugs.no_counter_reset = !safety;
     const TestReport report =
-        TestingEngine(BaseConfig(StrategyKind::kPct), MakeHarness(options))
+        TestingEngine(BaseConfig("pct"), MakeHarness(options))
             .Run();
     ASSERT_TRUE(report.bug_found) << report.Summary();
     EXPECT_EQ(report.bug_kind,
@@ -76,7 +75,7 @@ TEST(SampleRepl, PctFindsBothBugs) {
 TEST(SampleRepl, BugTraceReplaysDeterministically) {
   HarnessOptions options;
   options.bugs.non_unique_replica_count = true;
-  TestingEngine engine(BaseConfig(StrategyKind::kRandom), MakeHarness(options));
+  TestingEngine engine(BaseConfig("random"), MakeHarness(options));
   const TestReport report = engine.Run();
   ASSERT_TRUE(report.bug_found);
   const TestReport replay = engine.Replay(report.bug_trace);
@@ -94,7 +93,7 @@ TEST(SampleRepl, SingleRequestMasksLivenessBug) {
   HarnessOptions options;
   options.bugs.no_counter_reset = true;
   options.num_requests = 1;
-  TestConfig config = BaseConfig(StrategyKind::kRandom);
+  TestConfig config = BaseConfig("random");
   config.iterations = 2'000;
   const TestReport report =
       TestingEngine(config, MakeHarness(options)).Run();

@@ -14,7 +14,6 @@
 namespace {
 
 using systest::BugKind;
-using systest::StrategyKind;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
@@ -213,7 +212,7 @@ DriverOptions FixedScenario() {
 }
 
 TEST(VNextSystematic, RandomSchedulerFindsLivenessViolation) {
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 5'000;
   const TestReport report =
       TestingEngine(config, MakeExtentRepairHarness(BuggyScenario())).Run();
@@ -223,7 +222,7 @@ TEST(VNextSystematic, RandomSchedulerFindsLivenessViolation) {
 }
 
 TEST(VNextSystematic, PctSchedulerFindsLivenessViolation) {
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kPct);
+  TestConfig config = vnext::DefaultConfig("pct");
   config.iterations = 5'000;
   const TestReport report =
       TestingEngine(config, MakeExtentRepairHarness(BuggyScenario())).Run();
@@ -232,7 +231,7 @@ TEST(VNextSystematic, PctSchedulerFindsLivenessViolation) {
 }
 
 TEST(VNextSystematic, FixedManagerPassesSystematicTesting) {
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 300;  // each execution runs to the step bound
   const TestReport report =
       TestingEngine(config, MakeExtentRepairHarness(FixedScenario())).Run();
@@ -246,7 +245,7 @@ TEST(VNextSystematic, Scenario1ReplicationPasses) {
   DriverOptions options = FixedScenario();
   options.initial_replicas = 1;
   options.inject_failure = false;
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 300;
   const TestReport report =
       TestingEngine(config, MakeExtentRepairHarness(options)).Run();
@@ -254,7 +253,7 @@ TEST(VNextSystematic, Scenario1ReplicationPasses) {
 }
 
 TEST(VNextSystematic, BugTraceReplaysDeterministically) {
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 5'000;
   TestingEngine engine(config, MakeExtentRepairHarness(BuggyScenario()));
   const TestReport report = engine.Run();

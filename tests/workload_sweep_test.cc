@@ -14,7 +14,6 @@
 
 namespace {
 
-using systest::StrategyKind;
 using systest::TestConfig;
 using systest::TestingEngine;
 using systest::TestReport;
@@ -30,7 +29,7 @@ TEST_P(VNextTopologySweep, FixedManagerRepairsAtEveryClusterSize) {
   options.manager.fix_stale_sync_report = true;
   options.num_nodes = GetParam();
   options.initial_replicas = 3;
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 150;
   // Repair latency grows superlinearly with cluster size (every extra node
   // adds two producer timers competing for the Extent Manager's queue), so
@@ -48,7 +47,7 @@ TEST_P(VNextTopologySweep, BuggyManagerIsCaughtAtEveryClusterSize) {
   options.manager.fix_stale_sync_report = false;
   options.num_nodes = GetParam();
   options.initial_replicas = 3;
-  TestConfig config = vnext::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = vnext::DefaultConfig("random");
   config.iterations = 3'000;
   config.max_steps = 3'000 * GetParam();
   config.liveness_temperature_threshold = config.max_steps * 2 / 5;
@@ -79,7 +78,7 @@ TEST_P(MTableWorkloadSweep, FixedProtocolPassesDifferentialTesting) {
   mtable::MigrationHarnessOptions options;
   options.num_services = GetParam().services;
   options.ops_per_service = GetParam().ops;
-  TestConfig config = mtable::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = mtable::DefaultConfig("random");
   config.iterations = 800;
   config.time_budget_seconds = 60;
   const TestReport report =
@@ -101,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(MTableWorkloadEdge, SinglePartitionFixedPasses) {
   mtable::MigrationHarnessOptions options;
   options.partitions = {"P0"};
-  TestConfig config = mtable::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = mtable::DefaultConfig("random");
   config.iterations = 1'500;
   config.time_budget_seconds = 60;
   const TestReport report =
@@ -117,7 +116,7 @@ TEST(MTableWorkloadEdge, EmptyInitialTableFixedPasses) {
       // one marker row so initial_rows is non-empty but trivial
   };
   options.ops_per_service = 2;
-  TestConfig config = mtable::DefaultConfig(StrategyKind::kRandom);
+  TestConfig config = mtable::DefaultConfig("random");
   config.iterations = 1'000;
   const TestReport report =
       TestingEngine(config, mtable::MakeMigrationHarness(options)).Run();

@@ -1,225 +1,90 @@
-// systest_run — command-line driver for the SysTest exploration subsystem.
+// systest_run — command-line driver for the SysTest scenario registry.
 //
-// Runs any registered harness under a chosen scheduling strategy, serially
-// or sharded across worker threads (optionally as a strategy portfolio),
-// writes the winning bug trace to disk, and replays previously saved traces.
+// Entirely registry-driven: scenarios self-register from their domains
+// (SYSTEST_REGISTER_SCENARIO) and strategies from StrategyRegistry, so this
+// file carries no per-domain includes and no hardcoded harness table. Every
+// run goes through the TestSession facade (serial, sharded-parallel,
+// portfolio or replay alike).
 //
 // Examples:
 //   systest_run --list
-//   systest_run --harness samplerepl-safety --threads 4 --iterations 20000
-//   systest_run --harness race --strategy portfolio --threads 6 \
-//       --trace-out bug.trace
-//   systest_run --harness race --replay bug.trace
-#include <algorithm>
+//   systest_run --list --tag buggy --json
+//   systest_run --scenario samplerepl-safety --threads 4 --iterations 20000
+//   systest_run --scenario race --strategy portfolio --trace-out bug.trace
+//   systest_run --scenario race --replay bug.trace
+//   systest_run --scenario chaintable-lost-update --param writers=3 --param ops=2
+//   systest_run --all --iterations 50 --json        # CI smoke sweep
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
-#include <functional>
+#include <cstdlib>
+#include <exception>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "core/systest.h"
-#include "explore/parallel_engine.h"
-#include "fabric/harness.h"
-#include "mtable/harness.h"
-#include "samplerepl/harness.h"
-#include "vnext/harness.h"
+#include "api/reporters.h"
+#include "api/scenario_registry.h"
+#include "api/session.h"
+#include "api/strategy_registry.h"
 
 namespace {
 
-using systest::StrategyKind;
-using systest::TestConfig;
-using systest::TestReport;
-
-// ---------------------------------------------------------------------------
-// The built-in micro harness: two racers and a referee asserting arrival
-// order — the minimal ordering bug every exploring scheduler finds quickly.
-
-struct ArrivalEvent final : systest::Event {
-  explicit ArrivalEvent(int who) : who(who) {}
-  int who;
-};
-
-class Referee final : public systest::Machine {
- public:
-  Referee() {
-    State("Run").On<ArrivalEvent>(&Referee::OnArrival);
-    SetStart("Run");
-  }
-
- private:
-  void OnArrival(const ArrivalEvent& arrival) {
-    if (first_ == 0) {
-      first_ = arrival.who;
-      Assert(first_ == 1, "racer 2 arrived first");
-    }
-  }
-  int first_ = 0;
-};
-
-class Racer final : public systest::Machine {
- public:
-  Racer(systest::MachineId referee, int who) : referee_(referee), who_(who) {
-    State("Run").OnEntry(&Racer::OnStart);
-    SetStart("Run");
-  }
-
- private:
-  void OnStart() { Send<ArrivalEvent>(referee_, who_); }
-  systest::MachineId referee_;
-  int who_;
-};
-
-systest::Harness RaceHarness() {
-  return [](systest::Runtime& rt) {
-    auto referee = rt.CreateMachine<Referee>("Referee");
-    rt.CreateMachine<Racer>("Racer1", referee, 1);
-    rt.CreateMachine<Racer>("Racer2", referee, 2);
-  };
-}
-
-// ---------------------------------------------------------------------------
-// Harness registry.
-
-struct HarnessEntry {
-  const char* name;
-  const char* description;
-  std::function<systest::Harness()> make;
-  std::function<TestConfig(StrategyKind)> default_config;
-};
-
-TestConfig SampleReplConfig(StrategyKind strategy) {
-  TestConfig config;
-  config.iterations = 100'000;
-  config.max_steps = 2'000;
-  config.seed = 2016;
-  config.strategy = strategy;
-  config.strategy_budget = 2;
-  return config;
-}
-
-TestConfig RaceConfig(StrategyKind strategy) {
-  TestConfig config;
-  config.iterations = 10'000;
-  config.max_steps = 100;
-  config.seed = 1;
-  config.strategy = strategy;
-  return config;
-}
-
-const std::vector<HarnessEntry>& Registry() {
-  static const std::vector<HarnessEntry> entries = {
-      {"race", "micro ordering-bug harness (two racers, one referee)",
-       [] { return RaceHarness(); }, RaceConfig},
-      {"samplerepl-safety",
-       "§2.2 example, seeded safety bug (non-unique replica count)",
-       [] {
-         samplerepl::HarnessOptions options;
-         options.bugs.non_unique_replica_count = true;
-         return samplerepl::MakeHarness(options);
-       },
-       SampleReplConfig},
-      {"samplerepl-liveness",
-       "§2.2 example, seeded liveness bug (no replica counter reset)",
-       [] {
-         samplerepl::HarnessOptions options;
-         options.bugs.no_counter_reset = true;
-         return samplerepl::MakeHarness(options);
-       },
-       SampleReplConfig},
-      {"samplerepl-fixed", "§2.2 example with both bugs fixed (control)",
-       [] { return samplerepl::MakeHarness({}); }, SampleReplConfig},
-      {"fabric-failover",
-       "§5 Service Fabric failover, promote-during-copy role assertion",
-       [] {
-         fabric::FailoverOptions options;
-         options.bugs.promote_during_copy = true;
-         return fabric::MakeFailoverHarness(options);
-       },
-       fabric::DefaultConfig},
-      {"fabric-pipeline",
-       "§5 CScale-like pipeline, unguarded configuration dereference",
-       [] {
-         fabric::PipelineOptions options;
-         options.bugs.unguarded_pipeline_config = true;
-         return fabric::MakePipelineHarness(options);
-       },
-       fabric::DefaultConfig},
-      {"mtable-backupnewstream",
-       "§4 MigratingTable, QueryStreamedBackUpNewStream (marquee §6.2 bug)",
-       [] {
-         mtable::MigrationHarnessOptions options;
-         options.bugs.query_streamed_backup_new_stream = true;
-         return mtable::MakeMigrationHarness(options);
-       },
-       mtable::DefaultConfig},
-      {"vnext-liveness",
-       "§3 vNext extent repair, ExtentNodeLivenessViolation (stale sync report)",
-       [] {
-         vnext::DriverOptions options;
-         options.manager.fix_stale_sync_report = false;
-         return vnext::MakeExtentRepairHarness(options);
-       },
-       vnext::DefaultConfig},
-  };
-  return entries;
-}
-
-const HarnessEntry* FindHarness(const std::string& name) {
-  for (const HarnessEntry& entry : Registry()) {
-    if (name == entry.name) return &entry;
-  }
-  return nullptr;
-}
-
-void PrintHarnessList() {
-  std::printf("available harnesses:\n");
-  for (const HarnessEntry& entry : Registry()) {
-    std::printf("  %-24s %s\n", entry.name, entry.description);
-  }
-}
+using systest::StrategyRegistry;
+using systest::api::JsonEscape;
+using systest::api::ParamMap;
+using systest::api::ParamSpec;
+using systest::api::Scenario;
+using systest::api::ScenarioRegistry;
+using systest::api::SessionConfig;
+using systest::api::SessionReport;
+using systest::api::TestSession;
 
 // ---------------------------------------------------------------------------
 // Argument parsing.
 
 struct Options {
-  std::string harness;
-  std::string strategy = "random";
-  int threads = 1;
-  bool threads_set = false;
-  bool portfolio = false;
+  std::string scenario;
+  std::string tag;        // with --list: filter; without: run all matching
+  bool all = false;       // run every registered scenario
+  std::string strategy;   // empty = scenario default
+  int threads = 0;        // 0 = serial (portfolio auto-fields workers)
   std::uint64_t seed = 0;
   bool seed_set = false;
-  std::uint64_t iterations = 0;  // 0 = harness default
-  std::uint64_t max_steps = 0;   // 0 = harness default
-  int budget = -1;               // <0 = harness default
-  double time_budget = -1;       // <0 = harness default
+  std::uint64_t iterations = 0;  // 0 = scenario default
+  std::uint64_t max_steps = 0;   // 0 = scenario default
+  int budget = -1;               // <0 = scenario default
+  double time_budget = -1;       // <0 = scenario default
+  std::vector<std::string> params;
   std::string trace_out;
   std::string replay;
   bool verbose = false;
   bool list = false;
+  bool json = false;
 };
 
 void PrintUsage(const char* argv0) {
   std::printf(
-      "usage: %s --harness <name> [options]\n"
-      "       %s --list\n"
+      "usage: %s --scenario <name> [options]\n"
+      "       %s --tag <tag> | --all [options]     run every matching scenario\n"
+      "       %s --list [--tag <tag>] [--json]\n"
       "\n"
       "options:\n"
-      "  --strategy <s>     random | pct | round-robin | delay-bounded |\n"
-      "                     portfolio (race all of the above across workers)\n"
-      "  --threads <n>      worker threads (default 1 = serial engine;\n"
-      "                     portfolio defaults to the hardware thread count)\n"
-      "  --seed <n>         base seed (default: harness default)\n"
+      "  --scenario <name>  registered scenario (--harness is a deprecated\n"
+      "                     alias); see --list\n"
+      "  --param k=v        scenario parameter (repeatable; see --list)\n"
+      "  --strategy <s>     registered strategy (budget suffix allowed, e.g.\n"
+      "                     pct(5)), or portfolio to race the rotation\n"
+      "  --threads <n>      worker threads (default: serial engine;\n"
+      "                     portfolio defaults to max(6, hardware threads))\n"
+      "  --seed <n>         base seed (default: scenario default)\n"
       "  --iterations <n>   total execution budget, sharded across workers\n"
       "  --max-steps <n>    per-execution scheduling step bound\n"
       "  --budget <n>       PCT priority change points / delay budget\n"
       "  --time-budget <s>  wall-clock budget in seconds\n"
       "  --trace-out <f>    write the winning bug trace to <f>\n"
       "  --replay <f>       replay a saved trace instead of exploring\n"
+      "  --json             machine-readable output (one JSON line per run)\n"
       "  --verbose          include the readable execution log on a bug\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
 }
 
 bool ParseArgs(int argc, char** argv, Options& options) {
@@ -235,18 +100,27 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     const char* value = nullptr;
     if (arg == "--list") {
       options.list = true;
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
-    } else if (arg == "--harness") {
+    } else if (arg == "--scenario" || arg == "--harness") {
       if (!(value = need_value(i))) return false;
-      options.harness = value;
+      options.scenario = value;
+    } else if (arg == "--tag") {
+      if (!(value = need_value(i))) return false;
+      options.tag = value;
+    } else if (arg == "--param") {
+      if (!(value = need_value(i))) return false;
+      options.params.emplace_back(value);
     } else if (arg == "--strategy") {
       if (!(value = need_value(i))) return false;
       options.strategy = value;
     } else if (arg == "--threads") {
       if (!(value = need_value(i))) return false;
       options.threads = std::atoi(value);
-      options.threads_set = true;
     } else if (arg == "--seed") {
       if (!(value = need_value(i))) return false;
       options.seed = std::strtoull(value, nullptr, 10);
@@ -280,51 +154,121 @@ bool ParseArgs(int argc, char** argv, Options& options) {
   return true;
 }
 
-bool ParseStrategy(const std::string& name, StrategyKind& kind) {
-  if (name == "random") {
-    kind = StrategyKind::kRandom;
-  } else if (name == "pct") {
-    kind = StrategyKind::kPct;
-  } else if (name == "round-robin") {
-    kind = StrategyKind::kRoundRobin;
-  } else if (name == "delay-bounded") {
-    kind = StrategyKind::kDelayBounded;
+// ---------------------------------------------------------------------------
+// --list: produced entirely from the registries.
+
+std::string JoinTags(const Scenario& scenario) {
+  std::string out;
+  for (const std::string& tag : scenario.tags) {
+    if (!out.empty()) out += ',';
+    out += tag;
+  }
+  return out;
+}
+
+void PrintList(const Options& options) {
+  const auto scenarios = options.tag.empty()
+                             ? ScenarioRegistry::Instance().All()
+                             : ScenarioRegistry::Instance().WithTag(options.tag);
+  if (options.json) {
+    std::string json = "{\"scenarios\":[";
+    bool first = true;
+    for (const Scenario* s : scenarios) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"name\":\"" + JsonEscape(s->name) + "\",\"description\":\"" +
+              JsonEscape(s->description) + "\",\"tags\":[";
+      for (std::size_t i = 0; i < s->tags.size(); ++i) {
+        if (i > 0) json += ',';
+        json += '"' + JsonEscape(s->tags[i]) + '"';
+      }
+      json += "],\"params\":[";
+      for (std::size_t i = 0; i < s->params.size(); ++i) {
+        if (i > 0) json += ',';
+        json += "{\"name\":\"" + JsonEscape(s->params[i].name) +
+                "\",\"help\":\"" + JsonEscape(s->params[i].help) + "\"}";
+      }
+      json += "]}";
+    }
+    json += "],\"strategies\":[";
+    bool sfirst = true;
+    for (const auto& entry : StrategyRegistry::Instance().All()) {
+      if (!sfirst) json += ',';
+      sfirst = false;
+      json += "{\"name\":\"" + JsonEscape(entry.name) + "\",\"description\":\"" +
+              JsonEscape(entry.description) + "\"}";
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::printf("registered scenarios%s:\n",
+              options.tag.empty() ? "" : (" [tag=" + options.tag + "]").c_str());
+  for (const Scenario* s : scenarios) {
+    std::printf("  %-26s %s\n", s->name.c_str(), s->description.c_str());
+    std::printf("  %-26s   tags: %s\n", "", JoinTags(*s).c_str());
+    for (const ParamSpec& p : s->params) {
+      std::printf("  %-26s   --param %s=...  %s\n", "", p.name.c_str(),
+                  p.help.c_str());
+    }
+  }
+  std::printf("\nregistered strategies (plus 'portfolio' to race them):\n");
+  for (const auto& entry : StrategyRegistry::Instance().All()) {
+    std::printf("  %-26s %s\n", entry.name.c_str(), entry.description.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Running one scenario through the TestSession facade.
+
+SessionConfig BuildSessionConfig(const std::string& scenario,
+                                 const Options& options) {
+  SessionConfig config;
+  config.scenario = scenario;
+  config.strategy = options.strategy;
+  config.threads = options.threads;
+  for (const std::string& assign : options.params) {
+    config.params.ParseAssign(assign);
+  }
+  if (options.seed_set) config.seed = options.seed;
+  if (options.iterations > 0) config.iterations = options.iterations;
+  if (options.max_steps > 0) config.max_steps = options.max_steps;
+  if (options.budget >= 0) config.strategy_budget = options.budget;
+  if (options.time_budget >= 0) config.time_budget_seconds = options.time_budget;
+  config.readable_trace_on_bug = options.verbose;
+  config.replay_file = options.replay;
+  return config;
+}
+
+int RunOne(const std::string& scenario, const Options& options) {
+  TestSession session(BuildSessionConfig(scenario, options));
+  systest::api::HumanReporter human(stdout, options.verbose);
+  systest::api::JsonReporter json(stdout);
+  if (options.json) {
+    session.AddObserver(&json);
   } else {
-    return false;
+    session.AddObserver(&human);
   }
-  return true;
-}
 
-void PrintBugTail(const TestReport& report) {
-  if (report.execution_log.empty()) return;
-  const std::string& log = report.execution_log;
-  const std::size_t from = log.size() > 2'000 ? log.size() - 2'000 : 0;
-  std::printf("\nreadable trace (tail):\n%s\n", log.substr(from).c_str());
-}
+  const SessionReport report = session.Run();
 
-int RunReplay(const HarnessEntry& entry, const Options& options,
-              const TestConfig& config) {
-  systest::Trace trace;
-  try {
-    trace = systest::Trace::LoadFile(options.replay);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "error: %s\n", error.what());
-    return 1;
+  if (!options.replay.empty()) {
+    if (!report.replay_verified) return 1;  // reporter already explained
+    return 0;
   }
-  std::printf("replaying %s (%zu decisions) on harness %s...\n",
-              options.replay.c_str(), trace.Size(), entry.name);
-  systest::TestingEngine engine(config, entry.make());
-  const TestReport report = engine.Replay(trace);
-  std::printf("%s\n", report.Summary().c_str());
-  if (options.verbose) PrintBugTail(report);
-  if (!report.bug_found) {
-    std::fprintf(stderr, "replay did NOT reproduce a violation\n");
-    return 1;
-  }
-  if (report.bug_kind == systest::BugKind::kReplayDivergence) {
-    std::fprintf(stderr,
-                 "replay DIVERGED (wrong harness or harness options?)\n");
-    return 1;
+
+  if (!options.trace_out.empty()) {
+    // Status goes to stderr in --json mode so stdout stays one JSON line
+    // per run.
+    std::FILE* status = options.json ? stderr : stdout;
+    if (report.report.bug_found) {
+      report.report.bug_trace.SaveFile(options.trace_out);
+      std::fprintf(status, "bug trace written to %s (replay with --replay)\n",
+                   options.trace_out.c_str());
+    } else {
+      std::fprintf(status, "no bug found; %s not written\n",
+                   options.trace_out.c_str());
+    }
   }
   return 0;
 }
@@ -338,91 +282,50 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (options.list) {
-    PrintHarnessList();
+    PrintList(options);
     return 0;
   }
-  if (options.harness.empty()) {
+
+  std::vector<std::string> targets;
+  if (!options.scenario.empty()) {
+    targets.push_back(options.scenario);
+  } else if (options.all || !options.tag.empty()) {
+    const auto scenarios =
+        options.all ? ScenarioRegistry::Instance().All()
+                    : ScenarioRegistry::Instance().WithTag(options.tag);
+    for (const Scenario* s : scenarios) targets.push_back(s->name);
+    if (targets.empty()) {
+      std::fprintf(stderr, "error: no scenario carries tag '%s'\n",
+                   options.tag.c_str());
+      return 2;
+    }
+  } else {
     PrintUsage(argv[0]);
     return 2;
   }
-  const HarnessEntry* entry = FindHarness(options.harness);
-  if (entry == nullptr) {
-    std::fprintf(stderr, "error: unknown harness %s\n",
-                 options.harness.c_str());
-    PrintHarnessList();
+  if (targets.size() > 1 && !options.trace_out.empty()) {
+    // One output path cannot hold one witness per scenario; each run would
+    // silently overwrite the previous trace.
+    std::fprintf(stderr,
+                 "error: --trace-out requires a single --scenario (got %zu "
+                 "scenarios)\n",
+                 targets.size());
     return 2;
   }
 
-  StrategyKind kind = StrategyKind::kRandom;
-  if (options.strategy == "portfolio") {
-    options.portfolio = true;
-    // A one-worker "portfolio" degenerates to plain random; without an
-    // explicit --threads, field enough workers for the whole rotation even
-    // on small machines (the workers are compute-bound but independent, so
-    // oversubscription just time-slices them).
-    if (!options.threads_set) {
-      options.threads =
-          static_cast<int>(std::max(6u, std::thread::hardware_concurrency()));
+  int exit_code = 0;
+  for (const std::string& target : targets) {
+    if (targets.size() > 1 && !options.json) {
+      std::printf("=== %s ===\n", target.c_str());
     }
-  } else if (!ParseStrategy(options.strategy, kind)) {
-    std::fprintf(stderr, "error: unknown strategy %s\n",
-                 options.strategy.c_str());
-    return 2;
-  }
-
-  TestConfig config = entry->default_config(kind);
-  if (options.seed_set) config.seed = options.seed;
-  if (options.iterations > 0) config.iterations = options.iterations;
-  if (options.max_steps > 0) config.max_steps = options.max_steps;
-  if (options.budget >= 0) config.strategy_budget = options.budget;
-  if (options.time_budget >= 0) config.time_budget_seconds = options.time_budget;
-  config.readable_trace_on_bug = options.verbose;
-
-  if (!options.replay.empty()) {
-    return RunReplay(*entry, options, config);
-  }
-
-  TestReport final_report;
-  if (options.threads > 1 || options.portfolio) {
-    systest::explore::ParallelOptions popts;
-    popts.threads = options.threads > 0 ? options.threads : 0;
-    popts.portfolio = options.portfolio;
-    systest::explore::ParallelTestingEngine engine(config, entry->make(),
-                                                   popts);
-    std::printf("exploration plan (%d workers):\n%s",
-                engine.Threads(), engine.Plan().Describe().c_str());
-    systest::explore::ParallelTestReport report = engine.Run();
-    std::printf("\n%s\n", report.BreakdownTable().c_str());
-    std::printf("%s\n", report.aggregate.Summary().c_str());
-    if (report.aggregate.bug_found) {
-      std::printf("winning worker: w%d (%s); main-thread replay %s\n",
-                  report.winning_worker,
-                  report.aggregate.strategy_name.c_str(),
-                  report.replay_verified ? "REPRODUCED the violation"
-                                         : "did not reproduce (!)");
+    try {
+      const int code = RunOne(target, options);
+      if (code != 0) exit_code = code;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      exit_code = 2;
     }
-    final_report = std::move(report.aggregate);
-  } else {
-    systest::TestingEngine engine(config, entry->make());
-    final_report = engine.Run();
-    std::printf("%s\n", final_report.Summary().c_str());
+    if (targets.size() > 1 && !options.json) std::printf("\n");
   }
-
-  if (options.verbose && final_report.bug_found) PrintBugTail(final_report);
-
-  if (!options.trace_out.empty()) {
-    if (final_report.bug_found) {
-      try {
-        final_report.bug_trace.SaveFile(options.trace_out);
-        std::printf("bug trace written to %s (replay with --replay)\n",
-                    options.trace_out.c_str());
-      } catch (const std::exception& error) {
-        std::fprintf(stderr, "error: %s\n", error.what());
-        return 1;
-      }
-    } else {
-      std::printf("no bug found; %s not written\n", options.trace_out.c_str());
-    }
-  }
-  return 0;
+  return exit_code;
 }
