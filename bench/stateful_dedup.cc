@@ -1,0 +1,125 @@
+// Stateful-exploration dedup bench: distinct-state discovery rate vs wall
+// clock, across all five case-study domains. For each domain's control
+// scenario the same budget is run twice — stateless (the baseline every PR 2
+// number was captured against) and stateful (fingerprint dedup + pruning) —
+// and the stateful row reports how many distinct program states the budget
+// actually covered, how many executions were pruned for reconverging to
+// known states, and the fingerprint hit rate.
+//
+// Usage: stateful_dedup [--json] [iterations-per-scenario]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/scenario_registry.h"
+#include "bench/bench_util.h"
+#include "core/systest.h"
+
+namespace {
+
+using systest::TestConfig;
+using systest::TestingEngine;
+using systest::TestReport;
+using systest::api::ParamMap;
+using systest::api::Scenario;
+using systest::api::ScenarioRegistry;
+
+struct DomainRow {
+  const char* domain;
+  const char* scenario;  ///< control variant: the full budget always runs
+};
+
+// One control scenario per domain; buggy variants would stop at the first
+// violation and make the two modes explore different budget shapes.
+constexpr DomainRow kDomains[] = {
+    {"samplerepl", "samplerepl-fixed"},
+    {"chaintable", "chaintable-cas"},
+    {"vnext", "vnext-fixed"},
+    {"mtable", "mtable-migration"},
+    {"fabric", "fabric-failover-fixed"},
+};
+
+void RunDomain(const DomainRow& row, std::uint64_t iterations) {
+  const Scenario& scenario = ScenarioRegistry::Instance().Get(row.scenario);
+  const systest::Harness harness = scenario.make(ParamMap{});
+  TestConfig config =
+      scenario.default_config ? scenario.default_config() : TestConfig{};
+  config.iterations = iterations;
+
+  for (const bool stateful : {false, true}) {
+    config.stateful = stateful;
+    TestingEngine engine(config, harness);
+    const TestReport report = engine.Run();
+    const double exec_per_sec =
+        report.total_seconds > 0 ? report.executions / report.total_seconds
+                                 : 0.0;
+    const double steps_per_sec =
+        report.total_seconds > 0 ? report.total_steps / report.total_seconds
+                                 : 0.0;
+    const double states_per_sec =
+        report.total_seconds > 0
+            ? report.distinct_states / report.total_seconds
+            : 0.0;
+    const std::string name = std::string("stateful_dedup/") + row.domain +
+                             (stateful ? "/on" : "/off");
+    if (bench::JsonMode()) {
+      std::string extra = bench::DescribeConfig(config);
+      if (stateful) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      " distinct_states=%llu distinct_per_sec=%.1f "
+                      "pruned=%llu hits=%llu misses=%llu hit_rate=%.4f",
+                      static_cast<unsigned long long>(report.distinct_states),
+                      states_per_sec,
+                      static_cast<unsigned long long>(report.pruned_executions),
+                      static_cast<unsigned long long>(report.fingerprint_hits),
+                      static_cast<unsigned long long>(
+                          report.fingerprint_misses),
+                      report.FingerprintHitRate());
+        extra += buf;
+      }
+      bench::EmitJson(name, exec_per_sec, steps_per_sec, extra);
+    } else if (stateful) {
+      std::printf(
+          "  %-26s  %9.0f exec/s  %8llu distinct (%8.0f/s)  %6llu pruned  "
+          "hit-rate %5.1f%%  (%.3fs)\n",
+          name.c_str(), exec_per_sec,
+          static_cast<unsigned long long>(report.distinct_states),
+          states_per_sec,
+          static_cast<unsigned long long>(report.pruned_executions),
+          report.FingerprintHitRate() * 100.0, report.total_seconds);
+    } else {
+      std::printf("  %-26s  %9.0f exec/s  (%llu execs, %.3fs)\n", name.c_str(),
+                  exec_per_sec,
+                  static_cast<unsigned long long>(report.executions),
+                  report.total_seconds);
+    }
+    if (report.bug_found) {
+      // Controls are expected bug-free; a violation here is a real finding.
+      std::fprintf(stderr, "unexpected bug in %s: %s\n", row.scenario,
+                   report.bug_message.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseArgs(argc, argv);
+  std::uint64_t iterations = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") continue;
+    iterations = std::strtoull(argv[i], nullptr, 10);
+  }
+  if (!bench::JsonMode()) {
+    std::printf("stateful dedup bench (%llu iterations per scenario)\n",
+                static_cast<unsigned long long>(iterations));
+  }
+  for (const DomainRow& row : kDomains) {
+    RunDomain(row, iterations);
+  }
+  return 0;
+}

@@ -49,6 +49,29 @@ void HumanReporter::OnFinish(const SessionReport& report) {
       std::fprintf(out_, "replay did NOT reproduce a violation\n");
     }
   }
+  if (report.report.stateful) {
+    std::fprintf(out_,
+                 "stateful: %llu distinct states, %llu/%llu executions "
+                 "pruned, fingerprint hit-rate %.1f%%\n",
+                 static_cast<unsigned long long>(report.report.distinct_states),
+                 static_cast<unsigned long long>(
+                     report.report.pruned_executions),
+                 static_cast<unsigned long long>(report.report.executions),
+                 report.report.FingerprintHitRate() * 100.0);
+    if (!report.report.bug_found && report.report.executions >= 10 &&
+        report.report.pruned_executions * 10 >=
+            report.report.executions * 9) {
+      // Near-total pruning means the fingerprint view has saturated: the
+      // budget is no longer reaching anything it can tell apart. Without a
+      // payload hook that is NOT the same as semantic coverage.
+      std::fprintf(out_,
+                   "note: >90%% of executions pruned — the fingerprint view "
+                   "has saturated. If machines carry semantic state beyond "
+                   "their state ids and queues, add FingerprintPayload "
+                   "overrides (and enable fingerprint_payloads), or run "
+                   "without --stateful for deeper schedules.\n");
+    }
+  }
   if (verbose_ && report.report.bug_found) PrintBugTail(out_, report.report);
 }
 
@@ -75,6 +98,11 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+void JsonReporter::OnStart(const SessionStartInfo& info) {
+  description_ =
+      info.scenario != nullptr ? info.scenario->description : std::string();
+}
+
 void JsonReporter::OnFinish(const SessionReport& report) {
   const TestReport& r = report.report;
   std::string json = "{";
@@ -92,12 +120,25 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     }
   };
   field("scenario", report.scenario, true);
+  // Escaped like every other string field: scenario descriptions are
+  // free-form prose and may embed quotes/backslashes.
+  if (!description_.empty()) field("description", description_, true);
   field("mode", report.mode, true);
   field("strategy", r.strategy_name, true);
   field("executions", std::to_string(r.executions), false);
   field("total_steps", std::to_string(r.total_steps), false);
   field("seconds", std::to_string(r.total_seconds), false);
   field("bug_found", r.bug_found ? "true" : "false", false);
+  if (r.stateful) {
+    field("stateful", "true", false);
+    field("distinct_states", std::to_string(r.distinct_states), false);
+    field("pruned_executions", std::to_string(r.pruned_executions), false);
+    field("fingerprint_hits", std::to_string(r.fingerprint_hits), false);
+    field("fingerprint_misses", std::to_string(r.fingerprint_misses), false);
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.4f", r.FingerprintHitRate());
+    field("fingerprint_hit_rate", rate, false);
+  }
   if (r.bug_found) {
     field("bug_kind", std::string(ToString(r.bug_kind)), true);
     field("bug_message", r.bug_message, true);
@@ -121,7 +162,10 @@ void JsonReporter::OnFinish(const SessionReport& report) {
               ",\"executions\":" + std::to_string(w.executions) +
               ",\"steps\":" + std::to_string(w.steps) +
               ",\"bug_found\":" + (w.bug_found ? "true" : "false") +
-              ",\"won\":" + (w.won ? "true" : "false") + "}";
+              ",\"won\":" + (w.won ? "true" : "false") +
+              (r.stateful ? ",\"pruned\":" + std::to_string(w.pruned_executions)
+                          : std::string()) +
+              "}";
     }
     json += ']';
   }

@@ -33,6 +33,7 @@ class JsonReporter final : public RunObserver {
  public:
   explicit JsonReporter(std::FILE* out = stdout) : out_(out) {}
 
+  void OnStart(const SessionStartInfo& info) override;
   void OnFinish(const SessionReport& report) override;
 
   /// The JSON emitted by the most recent OnFinish (exposed for tests).
@@ -41,6 +42,7 @@ class JsonReporter final : public RunObserver {
  private:
   std::FILE* out_;
   std::string last_;
+  std::string description_;  ///< scenario description captured at OnStart
 };
 
 /// Escapes a string for inclusion in a JSON double-quoted literal.

@@ -73,6 +73,11 @@ TestConfig TestSession::ResolveConfig() const {
   if (config_.time_budget_seconds) {
     tc.time_budget_seconds = *config_.time_budget_seconds;
   }
+  if (config_.stateful) tc.stateful = *config_.stateful;
+  if (config_.fingerprint_payloads) {
+    tc.fingerprint_payloads = *config_.fingerprint_payloads;
+  }
+  if (config_.max_visited) tc.max_visited = *config_.max_visited;
   if (config_.stop_on_first_bug) tc.stop_on_first_bug = *config_.stop_on_first_bug;
   if (config_.readable_trace_on_bug) tc.readable_trace_on_bug = true;
   return tc;

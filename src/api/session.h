@@ -53,6 +53,13 @@ struct SessionConfig {
   std::optional<int> strategy_budget;
   std::optional<double> time_budget_seconds;
   std::optional<bool> stop_on_first_bug;
+  /// Stateful exploration (TestConfig::{stateful, fingerprint_payloads,
+  /// max_visited}): fingerprint visited program states and prune executions
+  /// that reconverge to them. Serial sessions use a private visited set;
+  /// parallel/portfolio sessions share one sharded set across all workers.
+  std::optional<bool> stateful;
+  std::optional<bool> fingerprint_payloads;
+  std::optional<std::uint64_t> max_visited;
   /// Produce the readable execution log on a bug (TestReport::execution_log).
   bool readable_trace_on_bug = false;
 

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -27,6 +28,15 @@ std::string TestReport::Summary() const {
     out += "no bug in " + std::to_string(executions) + " executions (" +
            std::to_string(total_seconds) + "s)";
   }
+  if (stateful) {
+    char stats[96];
+    std::snprintf(stats, sizeof(stats),
+                  " [stateful: distinct=%llu pruned=%llu hit-rate=%.1f%%]",
+                  static_cast<unsigned long long>(distinct_states),
+                  static_cast<unsigned long long>(pruned_executions),
+                  FingerprintHitRate() * 100.0);
+    out += stats;
+  }
   return out;
 }
 
@@ -52,6 +62,14 @@ void TestConfig::Validate() const {
          ") exceeds max_steps (" + std::to_string(max_steps) +
          "): no execution could ever get hot enough to report");
   }
+  if (fingerprint_payloads && !stateful) {
+    fail("fingerprint_payloads without stateful (payload hashing only "
+         "happens inside stateful exploration)");
+  }
+  if (stateful && max_visited == 0) {
+    fail("stateful with max_visited == 0 (a frozen-empty visited set could "
+         "never record a state, making stateful a silent no-op)");
+  }
 }
 
 RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
@@ -61,6 +79,9 @@ RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
       config.liveness_temperature_threshold;
   options.report_deadlock = config.report_deadlock;
   options.logging = logging;
+  options.stateful = config.stateful;
+  options.fingerprint_payloads = config.fingerprint_payloads;
+  options.record_fingerprint_trail = config.record_fingerprint_trail;
   return options;
 }
 
@@ -77,15 +98,65 @@ bool StepToCompletion(Runtime& runtime, const Harness& harness,
   return true;
 }
 
+namespace {
+
+/// Stateful variant of StepToCompletion: after every step the post-step
+/// fingerprint is recorded in `visited`; once the execution has spent
+/// kFingerprintPruneRun consecutive steps in already-visited states it is
+/// pruned (result.pruned) — the schedule has reconverged to territory a
+/// prior execution already explored. Pruned executions skip the quiescence /
+/// bounded-liveness property checks: they did not actually terminate.
+bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
+                              std::uint64_t max_steps, VisitedSet& visited,
+                              ExecutionResult& result) {
+  harness(runtime);
+  // The post-setup initial state counts as visited too (every execution of a
+  // deterministic harness revisits it), but never prunes by itself: the
+  // known-run counter only accumulates across scheduling steps.
+  if (visited.Insert(runtime.ExecutionFingerprint())) {
+    ++result.fingerprint_misses;
+  } else {
+    ++result.fingerprint_hits;
+  }
+  std::uint64_t known_run = 0;
+  while (runtime.Steps() < max_steps) {
+    if (!runtime.Step()) {
+      runtime.CheckTermination(/*hit_bound=*/false);
+      return false;
+    }
+    if (visited.Insert(runtime.ExecutionFingerprint())) {
+      ++result.fingerprint_misses;
+      known_run = 0;
+    } else {
+      ++result.fingerprint_hits;
+      if (++known_run >= kFingerprintPruneRun) {
+        result.pruned = true;
+        return false;
+      }
+    }
+  }
+  runtime.CheckTermination(/*hit_bound=*/true);
+  return true;
+}
+
+}  // namespace
+
 ExecutionResult RunOneExecution(const TestConfig& config,
                                 const Harness& harness,
                                 SchedulingStrategy& strategy,
-                                std::uint64_t iteration) {
+                                std::uint64_t iteration,
+                                VisitedSet* visited) {
   ExecutionResult result;
   strategy.PrepareIteration(iteration, config.max_steps);
   Runtime runtime(strategy, MakeRuntimeOptions(config, false));
   try {
-    result.hit_step_bound = StepToCompletion(runtime, harness, config.max_steps);
+    if (config.stateful && visited != nullptr) {
+      result.hit_step_bound = StepToCompletionStateful(
+          runtime, harness, config.max_steps, *visited, result);
+    } else {
+      result.hit_step_bound =
+          StepToCompletion(runtime, harness, config.max_steps);
+    }
   } catch (const BugFound& bug) {
     result.bug_found = true;
     result.bug_kind = bug.Kind();
@@ -93,6 +164,9 @@ ExecutionResult RunOneExecution(const TestConfig& config,
   }
   result.steps = runtime.Steps();
   result.trace = runtime.TakeTrace();  // O(1): the runtime dies right here
+  if (config.stateful && config.record_fingerprint_trail) {
+    result.fingerprint_trail = runtime.TakeFingerprintTrail();
+  }
   return result;
 }
 
@@ -104,6 +178,8 @@ TestReport TestingEngine::Run() {
   const auto strategy = StrategyRegistry::Instance().Create(
       config_.strategy, config_.seed, config_.strategy_budget);
   report.strategy_name = strategy->Name();
+  FingerprintSet visited(static_cast<std::size_t>(config_.max_visited));
+  VisitedSet* visited_ptr = config_.stateful ? &visited : nullptr;
   const auto start = Clock::now();
 
   for (std::uint64_t iteration = 0; iteration < config_.iterations;
@@ -114,8 +190,13 @@ TestReport TestingEngine::Run() {
     }
     ++report.executions;
     ExecutionResult result =
-        RunOneExecution(config_, harness_, *strategy, iteration);
+        RunOneExecution(config_, harness_, *strategy, iteration, visited_ptr);
     report.total_steps += result.steps;
+    if (config_.stateful) {
+      report.fingerprint_hits += result.fingerprint_hits;
+      report.fingerprint_misses += result.fingerprint_misses;
+      if (result.pruned) ++report.pruned_executions;
+    }
     if (on_iteration_) on_iteration_(iteration, result);
     if (result.bug_found) {
       if (!report.bug_found) {
@@ -139,6 +220,10 @@ TestReport TestingEngine::Run() {
     }
   }
   report.total_seconds = SecondsSince(start);
+  if (config_.stateful) {
+    report.stateful = true;
+    report.distinct_states = visited.Size();
+  }
   return report;
 }
 
@@ -147,7 +232,11 @@ TestReport TestingEngine::Replay(const Trace& trace) {
   ReplayStrategy strategy(trace);
   strategy.PrepareIteration(0, config_.max_steps);
   report.strategy_name = strategy.Name();
-  Runtime runtime(strategy, MakeRuntimeOptions(config_, true));
+  RuntimeOptions options = MakeRuntimeOptions(config_, true);
+  // Replay reproduces one recorded witness; it never dedups or prunes, even
+  // when the config that FOUND the bug was stateful.
+  options.stateful = false;
+  Runtime runtime(strategy, options);
   ++report.executions;
   const auto start = Clock::now();
   try {

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/bug.h"
+#include "core/fingerprint.h"
 #include "core/runtime.h"
 #include "core/strategy.h"
 #include "core/trace.h"
@@ -45,10 +47,37 @@ struct TestConfig {
   /// logging to produce a human-readable trace in TestReport::execution_log.
   bool readable_trace_on_bug = false;
 
+  /// Stateful exploration (core/fingerprint.h): fingerprint every visited
+  /// program state and early-terminate executions that stay in
+  /// already-visited territory for kFingerprintPruneRun consecutive steps.
+  /// Opt-in: with the default false, scheduling, traces and reports are
+  /// bit-for-bit what they always were. Pruned executions skip the
+  /// end-of-execution quiescence/liveness checks (their continuations were
+  /// covered by the execution that first explored those states), so safety
+  /// bugs keep firing mid-step but stateful runs trade some
+  /// liveness/deadlock sensitivity for budget.
+  bool stateful = false;
+  /// With stateful: mix Machine::FingerprintPayload into each contribution,
+  /// separating states that differ only in domain data (default view is
+  /// state id + queued event types).
+  bool fingerprint_payloads = false;
+  /// With stateful: cap on distinct fingerprints tracked (memory bound).
+  /// Once full the set freezes — known states still prune, unseen states
+  /// pass through uncounted. (Parallel runs enforce it approximately: the
+  /// sharded set's count is maintained without a global lock, so a race can
+  /// overshoot by at most one entry per worker.)
+  std::uint64_t max_visited = 1u << 20;
+  /// With stateful: record each execution's per-step fingerprint sequence
+  /// into ExecutionResult::fingerprint_trail. Test/debug instrumentation —
+  /// off by default so production stateful runs pay nothing for trails.
+  bool record_fingerprint_trail = false;
+
   /// Fails fast on configurations that would silently explore nothing:
   /// throws std::invalid_argument for zero iterations, zero max_steps, an
-  /// empty strategy name, a negative time budget, or a liveness temperature
-  /// threshold above the step bound. TestSession calls this before running.
+  /// empty strategy name, a negative time budget, a liveness temperature
+  /// threshold above the step bound, fingerprint_payloads without stateful,
+  /// or stateful with max_visited == 0 (a frozen-empty visited set would
+  /// make stateful a silent no-op). TestSession calls this before running.
   void Validate() const;
 };
 
@@ -68,6 +97,22 @@ struct TestReport {
   double total_seconds = 0.0;
   std::string strategy_name;
 
+  // Stateful-exploration aggregates (meaningful when `stateful`).
+  bool stateful = false;               ///< run used fingerprint dedup
+  std::uint64_t distinct_states = 0;   ///< visited-set size at the end
+  std::uint64_t pruned_executions = 0; ///< executions early-terminated
+  std::uint64_t fingerprint_hits = 0;  ///< states seen that were known
+  std::uint64_t fingerprint_misses = 0;///< states seen that were novel
+
+  /// Fraction of observed states that were already visited (0 when the run
+  /// was not stateful or observed nothing).
+  [[nodiscard]] double FingerprintHitRate() const noexcept {
+    const std::uint64_t total = fingerprint_hits + fingerprint_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fingerprint_hits) /
+                            static_cast<double>(total);
+  }
+
   /// One-line summary suitable for bench output.
   [[nodiscard]] std::string Summary() const;
 };
@@ -83,6 +128,15 @@ struct ExecutionResult {
   /// Full decision trace of the execution (moved out of the Runtime, so
   /// always populated). On a bug it is the replayable witness.
   Trace trace;
+
+  // Per-execution fingerprint stats (stateful runs only).
+  bool pruned = false;                  ///< early-terminated on known states
+  std::uint64_t fingerprint_hits = 0;   ///< already-visited states touched
+  std::uint64_t fingerprint_misses = 0; ///< novel states discovered
+  /// Post-step fingerprint sequence (moved out of the Runtime; empty unless
+  /// TestConfig::record_fingerprint_trail). Deterministic for a given seed —
+  /// prunes only truncate it.
+  std::vector<Fingerprint> fingerprint_trail;
 };
 
 /// Per-execution hook: (0-based iteration, completed result). Invoked after
@@ -103,10 +157,15 @@ bool StepToCompletion(Runtime& runtime, const Harness& harness,
 /// prepares `strategy`, builds a fresh Runtime, steps it to completion and
 /// converts any BugFound into the returned result. This is the unit of work
 /// that both TestingEngine::Run and ParallelTestingEngine workers schedule.
+/// With config.stateful and a non-null `visited`, every post-step fingerprint
+/// is checked against the set and the execution is pruned after
+/// kFingerprintPruneRun consecutive known states (the serial engine passes
+/// its private FingerprintSet; explore workers share a sharded set).
 ExecutionResult RunOneExecution(const TestConfig& config,
                                 const Harness& harness,
                                 SchedulingStrategy& strategy,
-                                std::uint64_t iteration);
+                                std::uint64_t iteration,
+                                VisitedSet* visited = nullptr);
 
 /// Systematic testing engine. Thread-compatible; one engine per thread.
 class TestingEngine {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/event.h"
+#include "core/fingerprint.h"
 
 namespace systest::detail {
 
@@ -48,6 +49,16 @@ class EventQueue {
   void Clear() {
     buf_.clear();
     head_ = 0;
+  }
+
+  /// This queue's contribution to a machine's state fingerprint: the length
+  /// and the front-to-back sequence of queued event-type ids (payloads are a
+  /// machine concern — see Machine::FingerprintPayload).
+  void HashTypesInto(StateHasher& hasher) const {
+    hasher.Mix(Size());
+    for (const auto& ev : *this) {
+      hasher.Mix(ev->TypeId());
+    }
   }
 
   // Iteration over the live events, front to back.

@@ -1,0 +1,99 @@
+// SysTest systematic-testing framework.
+//
+// Execution fingerprinting — the state-space-caching half of stateful
+// exploration. A Fingerprint is a 64-bit digest of the serialized system's
+// current program state: for every live machine its dense StateId, its
+// queued event-type ids (the queue head order the scheduler actually sees),
+// its receive-wait set, and optionally a domain payload contributed through
+// Machine::FingerprintPayload. The Runtime maintains the digest
+// INCREMENTALLY: each machine's contribution is hashed separately and
+// XOR-combined into the world fingerprint, so a scheduling step only rehashes
+// the machines it actually touched (the stepped machine plus event targets),
+// not the world.
+//
+// Fingerprints are process-local: machine contributions hash interned
+// EventTypeIds, whose values depend on first-use order within a process run.
+// They must never be serialized; everything durable (traces, replay) stays
+// fingerprint-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace systest {
+
+/// 64-bit digest of a program state (or of one machine's contribution).
+using Fingerprint = std::uint64_t;
+
+/// Incremental FNV-1a 64 over 64-bit words. Also the extension point handed
+/// to Machine::FingerprintPayload, so domain harnesses mix their semantic
+/// state (counters, table contents, ...) into the default structural view.
+class StateHasher {
+ public:
+  StateHasher& Mix(std::uint64_t value) noexcept {
+    // FNV-1a, one byte at a time over the little-endian word: keeps the
+    // avalanche of the byte-wise reference function without materializing a
+    // buffer.
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (value >> shift) & 0xffu;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] Fingerprint Digest() const noexcept { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash_ = kOffset;
+};
+
+/// Consecutive already-visited states after which an execution is pruned
+/// (see VisitedSet): long enough that an execution crossing known territory
+/// can still diverge back out of it, short enough that executions which
+/// reconverged for good stop burning budget.
+inline constexpr std::uint64_t kFingerprintPruneRun = 8;
+
+/// Engine-side interface over "the set of program states any execution has
+/// visited". The serial TestingEngine owns a FingerprintSet; parallel
+/// exploration workers share a ShardedFingerprintSet (explore/). One virtual
+/// call per scheduling step, paid only when TestConfig::stateful is on.
+class VisitedSet {
+ public:
+  virtual ~VisitedSet() = default;
+
+  /// Records `fp` as visited. Returns true when the state is novel (a miss
+  /// in cache terms), false when it was already present (a hit).
+  virtual bool Insert(Fingerprint fp) = 0;
+
+  /// Distinct states recorded so far.
+  [[nodiscard]] virtual std::size_t Size() const = 0;
+};
+
+/// Single-threaded visited set with a hard entry cap (TestConfig::max_visited)
+/// so stateful runs have bounded memory. Once full, the set is frozen:
+/// lookups still report known states as hits, but unseen states are reported
+/// novel without being recorded — pruning degrades gracefully instead of
+/// growing without bound or (worse) pruning executions on states it never
+/// actually saw.
+class FingerprintSet final : public VisitedSet {
+ public:
+  explicit FingerprintSet(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  bool Insert(Fingerprint fp) override {
+    if (set_.size() >= max_entries_) {
+      return set_.find(fp) == set_.end();
+    }
+    return set_.insert(fp).second;
+  }
+
+  [[nodiscard]] std::size_t Size() const override { return set_.size(); }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_set<Fingerprint> set_;
+};
+
+}  // namespace systest

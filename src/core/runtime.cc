@@ -56,6 +56,24 @@ void Machine::Goto(std::string state) {
 
 bool Machine::NondetBool() { return Rt().ChooseBool(); }
 
+Fingerprint Machine::ComputeStateFingerprint(bool payloads) const {
+  StateHasher hasher;
+  hasher.Mix(id_.value);
+  hasher.Mix((halted_ ? 2u : 0u) | (started_ ? 1u : 0u));
+  // Dense state id; halted/pre-start machines have no current state.
+  hasher.Mix(current_state_ != nullptr ? CurrentStateId()
+                                       : ~std::uint64_t{0});
+  hasher.Mix(waiting_types_.size());
+  for (const EventTypeId type : waiting_types_) {
+    hasher.Mix(type);
+  }
+  queue_.HashTypesInto(hasher);
+  if (payloads) {
+    FingerprintPayload(hasher);
+  }
+  return hasher.Digest();
+}
+
 std::uint64_t Machine::NondetInt(std::uint64_t bound) {
   return Rt().ChooseInt(bound);
 }
@@ -404,7 +422,9 @@ void Monitor::HandleNotification(const Event& event) {
 // Runtime
 
 Runtime::Runtime(SchedulingStrategy& strategy, RuntimeOptions options)
-    : strategy_(strategy), options_(options) {
+    : strategy_(strategy),
+      options_(options),
+      strategy_builtin_(strategy.Builtin()) {
   // One up-front allocation instead of log2(steps) regrows per execution;
   // capped so huge step bounds don't preallocate tens of megabytes.
   trace_.Reserve(static_cast<std::size_t>(
@@ -446,6 +466,14 @@ MachineId Runtime::Attach(std::unique_ptr<Machine> machine,
   }
   machines_.push_back(std::move(machine));
   const MachineId id = machines_.back()->id_;
+  if (options_.stateful) {
+    // The contribution is NOT hashed here but at the next fingerprint
+    // refresh — after harness setup (or the creating step) has finished
+    // initializing the machine, so post-Create mutations like SetPeer are
+    // visible to FingerprintPayload.
+    fp_contrib_.push_back(0);
+    MarkFingerprintDirty(*machines_.back());
+  }
   if (LoggingEnabled()) {
     LogLine("create  ", machines_.back()->debug_name_);
   }
@@ -516,6 +544,9 @@ void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
   }
   machine->queue_.PushBack(std::move(ev));
   machine->MarkEnabledDirty();
+  if (options_.stateful) {
+    MarkFingerprintDirty(*machine);
+  }
 }
 
 void Runtime::SendEvent(MachineId target, std::unique_ptr<const Event> ev) {
@@ -565,7 +596,24 @@ bool Runtime::Step() {
   if (enabled_scratch_.empty()) {
     return false;
   }
-  const MachineId chosen = strategy_.Next(enabled_scratch_, steps_);
+  // The scheduling call dominates the step loop for the paper's two main
+  // strategies; both classes are final, so the tagged casts below compile to
+  // direct calls instead of vtable dispatch. kOther (replay, round-robin,
+  // third-party registrations) keeps the virtual path.
+  MachineId chosen;
+  switch (strategy_builtin_) {
+    case BuiltinStrategy::kRandom:
+      chosen = static_cast<RandomStrategy&>(strategy_).Next(enabled_scratch_,
+                                                            steps_);
+      break;
+    case BuiltinStrategy::kPct:
+      chosen =
+          static_cast<PctStrategy&>(strategy_).Next(enabled_scratch_, steps_);
+      break;
+    case BuiltinStrategy::kOther:
+      chosen = strategy_.Next(enabled_scratch_, steps_);
+      break;
+  }
   trace_.RecordSchedule(chosen.value);
   ++steps_;
   cascade_actions_ = 0;
@@ -574,10 +622,49 @@ bool Runtime::Step() {
   // Everything about the stepped machine may have changed (queue, state,
   // receive status, halt); senders were marked dirty by DeliverEvent.
   machine->MarkEnabledDirty();
+  if (options_.stateful) {
+    MarkFingerprintDirty(*machine);
+    RefreshFingerprint();
+    if (options_.record_fingerprint_trail) {
+      fp_trail_.push_back(world_fp_);
+    }
+  }
   if (!monitors_.empty()) {
     UpdateMonitorTemperatures();
   }
   return true;
+}
+
+void Runtime::MarkFingerprintDirty(Machine& machine) {
+  if (!machine.fp_dirty_) {
+    machine.fp_dirty_ = true;
+    fp_dirty_ids_.push_back(machine.id_.value);
+  }
+}
+
+void Runtime::RefreshFingerprint() {
+  for (const std::uint64_t id : fp_dirty_ids_) {
+    Machine& machine = *machines_[id - 1];
+    machine.fp_dirty_ = false;
+    const Fingerprint fresh =
+        machine.ComputeStateFingerprint(options_.fingerprint_payloads);
+    world_fp_ ^= fp_contrib_[id - 1] ^ fresh;
+    fp_contrib_[id - 1] = fresh;
+  }
+  fp_dirty_ids_.clear();
+}
+
+Fingerprint Runtime::ExecutionFingerprint() {
+  RefreshFingerprint();
+  return world_fp_;
+}
+
+Fingerprint Runtime::RecomputeExecutionFingerprint() const {
+  Fingerprint world = 0;
+  for (const auto& machine : machines_) {
+    world ^= machine->ComputeStateFingerprint(options_.fingerprint_payloads);
+  }
+  return world;
 }
 
 void Runtime::UpdateMonitorTemperatures() {

@@ -40,6 +40,7 @@
 #include "core/decl.h"
 #include "core/event.h"
 #include "core/event_queue.h"
+#include "core/fingerprint.h"
 #include "core/strategy.h"
 #include "core/task.h"
 #include "core/trace.h"
@@ -190,6 +191,29 @@ class Machine {
   [[nodiscard]] const detail::MachineDecl* StateDecls() const noexcept {
     return decl_;
   }
+
+  /// Dense per-type id of the current state (index into StateDecls()'s state
+  /// vector). Only meaningful once the machine has entered a state.
+  [[nodiscard]] detail::StateId CurrentStateId() const noexcept {
+    return static_cast<detail::StateId>(current_state_ - decl_->states.data());
+  }
+
+  /// This machine's contribution to the execution fingerprint: id, control
+  /// flags, dense current StateId, receive-wait set and queued event-type
+  /// ids; `payloads` additionally mixes in FingerprintPayload. Pure — safe
+  /// to call at any point between scheduling steps.
+  [[nodiscard]] Fingerprint ComputeStateFingerprint(bool payloads) const;
+
+  /// Domain payload hook for stateful exploration: mix any semantic state
+  /// (counters, stored values, ...) that distinguishes program states beyond
+  /// the default structural view. Default contributes nothing, so the
+  /// default view is the current state id plus the queue. Only consulted
+  /// when fingerprint_payloads is enabled. The hashed state must be OWNED by
+  /// this machine and mutated only in its own handlers (or during harness
+  /// setup, before stepping starts) — the incremental fingerprint rehashes a
+  /// machine when it steps or receives, so out-of-band mutation through
+  /// FindMachine from another machine's handler would go stale.
+  virtual void FingerprintPayload(StateHasher& /*hasher*/) const {}
 
  protected:
   Machine() = default;
@@ -356,6 +380,7 @@ class Machine {
   bool halted_ = false;
   bool enabled_cache_ = false;
   bool enabled_dirty_ = true;
+  bool fp_dirty_ = false;  // queued for contribution rehash (stateful only)
   bool logging_ = false;  // Runtime's options_.logging, cached at attach
 
   std::uint64_t transitions_taken_ = 0;
@@ -540,6 +565,17 @@ struct RuntimeOptions {
   /// raise/goto loop that would otherwise never yield).
   std::uint64_t max_cascade_actions = 100'000;
   bool logging = false;
+  /// Maintain the execution fingerprint incrementally (core/fingerprint.h).
+  /// Scheduling semantics are bit-for-bit unchanged either way; off costs
+  /// nothing.
+  bool stateful = false;
+  /// With stateful: also mix each machine's FingerprintPayload into its
+  /// contribution (default view is state id + queue only).
+  bool fingerprint_payloads = false;
+  /// With stateful: additionally record the per-step fingerprint sequence
+  /// (FingerprintTrail). Test/debug instrumentation — production stateful
+  /// runs keep it off so the step loop does no trail bookkeeping.
+  bool record_fingerprint_trail = false;
 };
 
 /// One serialized execution of a machine program. The TestingEngine creates a
@@ -653,6 +689,29 @@ class Runtime {
   void CheckTermination(bool hit_bound);
 
   [[nodiscard]] std::uint64_t Steps() const noexcept { return steps_; }
+
+  // ---- Stateful exploration (options_.stateful only) ----
+
+  /// Current execution fingerprint: XOR of every live machine's contribution
+  /// (monitors are excluded — they observe, they are not program state).
+  /// Maintained incrementally: only machines touched since the last call
+  /// (the stepped machine, event targets, fresh attaches) are rehashed.
+  [[nodiscard]] Fingerprint ExecutionFingerprint();
+
+  /// Recomputes the fingerprint from scratch over all machines — the O(world)
+  /// cross-check for the incremental path (tests).
+  [[nodiscard]] Fingerprint RecomputeExecutionFingerprint() const;
+
+  /// Post-step fingerprint sequence of this execution, one entry per
+  /// scheduling step. Empty unless options_.record_fingerprint_trail.
+  [[nodiscard]] const std::vector<Fingerprint>& FingerprintTrail() const noexcept {
+    return fp_trail_;
+  }
+  /// Moves the trail out (engines hand it to ExecutionResult). O(1).
+  [[nodiscard]] std::vector<Fingerprint> TakeFingerprintTrail() noexcept {
+    return std::move(fp_trail_);
+  }
+
   [[nodiscard]] const Trace& GetTrace() const noexcept { return trace_; }
   /// Moves the recorded decision trace out of a runtime that is about to be
   /// destroyed (the engines call this once per execution). O(1); the
@@ -737,8 +796,17 @@ class Runtime {
   void UpdateMonitorTemperatures();
   [[noreturn]] void ThrowCascadeOverflow() const;
 
+  /// Queues `machine` for a contribution rehash at the next fingerprint
+  /// refresh (stateful only; senders call this when they mutate a queue).
+  void MarkFingerprintDirty(Machine& machine);
+  /// Rehashes every dirty machine's contribution into world_fp_.
+  void RefreshFingerprint();
+
   SchedulingStrategy& strategy_;
   RuntimeOptions options_;
+  /// Builtin() of strategy_, cached so Step's scheduling call can be
+  /// devirtualized for the dominant final strategies.
+  const BuiltinStrategy strategy_builtin_;
   std::vector<std::unique_ptr<Machine>> machines_;  // index = id - 1
   std::vector<std::unique_ptr<Monitor>> monitors_;
   std::vector<Monitor*> monitors_by_id_;  // index = interned monitor type id
@@ -747,6 +815,11 @@ class Runtime {
   std::uint64_t steps_ = 0;
   std::uint64_t cascade_actions_ = 0;
   std::string log_;
+  // Stateful-exploration state (empty/unused unless options_.stateful).
+  std::vector<Fingerprint> fp_contrib_;      // per machine, index = id - 1
+  std::vector<std::uint64_t> fp_dirty_ids_;  // machines awaiting rehash
+  std::vector<Fingerprint> fp_trail_;        // post-step world fingerprints
+  Fingerprint world_fp_ = 0;
 };
 
 // ---- Machine members that need Runtime's definition ----

@@ -16,11 +16,6 @@ void RandomStrategy::PrepareIteration(std::uint64_t iteration,
   rng_.Reseed(SplitMix64(state));
 }
 
-MachineId RandomStrategy::Next(std::span<const MachineId> enabled,
-                               std::uint64_t /*step*/) {
-  return enabled[rng_.NextBelow(enabled.size())];
-}
-
 // ---------------------------------------------------------------------------
 // PctStrategy
 

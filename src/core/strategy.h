@@ -29,10 +29,22 @@ struct MachineId {
   friend auto operator<=>(const MachineId&, const MachineId&) = default;
 };
 
+/// Concrete-type tag carried by the strategy base class so Runtime::Step can
+/// special-case the dominant built-ins: the tagged final classes are called
+/// through a static_cast instead of the vtable (the registry is the single
+/// construction site for engines, but the tag is stamped in the constructors
+/// so directly built strategies — benches, golden tests — devirtualize too).
+/// kOther keeps the plain virtual path; a wrong tag would be a correctness
+/// bug, which is why only the built-ins' own constructors set it.
+enum class BuiltinStrategy : std::uint8_t { kOther = 0, kRandom, kPct };
+
 /// Interface consulted by the runtime at every scheduling point.
 class SchedulingStrategy {
  public:
   virtual ~SchedulingStrategy() = default;
+
+  /// Which built-in (if any) this instance is — see BuiltinStrategy.
+  [[nodiscard]] BuiltinStrategy Builtin() const noexcept { return builtin_; }
 
   /// Called before each execution. `iteration` is 0-based; `max_steps` is the
   /// engine's per-execution step bound (needed by PCT/delay-bounded to place
@@ -52,15 +64,29 @@ class SchedulingStrategy {
   virtual std::uint64_t NextInt(std::uint64_t bound) = 0;
 
   [[nodiscard]] virtual std::string Name() const = 0;
+
+ protected:
+  /// For built-in constructors only: the tag promises the dynamic type.
+  void TagBuiltin(BuiltinStrategy builtin) noexcept { builtin_ = builtin; }
+
+ private:
+  BuiltinStrategy builtin_ = BuiltinStrategy::kOther;
 };
 
 /// Uniformly random scheduling and choices.
 class RandomStrategy final : public SchedulingStrategy {
  public:
-  explicit RandomStrategy(std::uint64_t seed) : base_seed_(seed), rng_(seed) {}
+  explicit RandomStrategy(std::uint64_t seed) : base_seed_(seed), rng_(seed) {
+    TagBuiltin(BuiltinStrategy::kRandom);
+  }
 
   void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
-  MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
+  /// In-class so Runtime::Step's devirtualized call (BuiltinStrategy tag +
+  /// final class) inlines the whole pick into the step loop.
+  MachineId Next(std::span<const MachineId> enabled,
+                 std::uint64_t /*step*/) override {
+    return enabled[rng_.NextBelow(enabled.size())];
+  }
   bool NextBool() override { return rng_.NextBool(); }
   std::uint64_t NextInt(std::uint64_t bound) override {
     return rng_.NextBelow(bound);
@@ -80,7 +106,9 @@ class RandomStrategy final : public SchedulingStrategy {
 class PctStrategy final : public SchedulingStrategy {
  public:
   PctStrategy(std::uint64_t seed, int depth)
-      : base_seed_(seed), depth_(depth), rng_(seed) {}
+      : base_seed_(seed), depth_(depth), rng_(seed) {
+    TagBuiltin(BuiltinStrategy::kPct);
+  }
 
   void PrepareIteration(std::uint64_t iteration, std::uint64_t max_steps) override;
   MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;

@@ -9,12 +9,13 @@
 // a replayable violation.
 #pragma once
 
-#include "core/bug.h"       // IWYU pragma: export
-#include "core/decl.h"      // IWYU pragma: export
-#include "core/engine.h"    // IWYU pragma: export
-#include "core/event.h"     // IWYU pragma: export
-#include "core/rng.h"       // IWYU pragma: export
-#include "core/runtime.h"   // IWYU pragma: export
-#include "core/strategy.h"  // IWYU pragma: export
-#include "core/task.h"      // IWYU pragma: export
-#include "core/trace.h"     // IWYU pragma: export
+#include "core/bug.h"          // IWYU pragma: export
+#include "core/decl.h"         // IWYU pragma: export
+#include "core/engine.h"       // IWYU pragma: export
+#include "core/event.h"        // IWYU pragma: export
+#include "core/fingerprint.h"  // IWYU pragma: export
+#include "core/rng.h"          // IWYU pragma: export
+#include "core/runtime.h"      // IWYU pragma: export
+#include "core/strategy.h"     // IWYU pragma: export
+#include "core/task.h"         // IWYU pragma: export
+#include "core/trace.h"        // IWYU pragma: export

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "api/strategy_registry.h"
+#include "explore/sharded_fingerprint_set.h"
 
 namespace systest::explore {
 
@@ -79,6 +81,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
   std::atomic<int> winner{-1};
   std::vector<WorkerBug> bugs(static_cast<std::size_t>(n));
 
+  // Stateful exploration: ONE visited set for the whole fleet, so a state
+  // any worker discovered prunes every other worker's reconverging
+  // schedules (sharded + striped-locked; see sharded_fingerprint_set.h).
+  std::unique_ptr<ShardedFingerprintSet> visited;
+  if (config_.stateful) {
+    visited = std::make_unique<ShardedFingerprintSet>(
+        static_cast<std::size_t>(config_.max_visited));
+  }
+
   const auto start = Clock::now();
 
   auto worker_fn = [&](int w) {
@@ -101,9 +112,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
           SecondsSince(start) >= config_.time_budget_seconds) {
         break;
       }
-      ExecutionResult result = RunOneExecution(config_, harness_, *strategy, i);
+      ExecutionResult result =
+          RunOneExecution(config_, harness_, *strategy, i, visited.get());
       ++wr.executions;
       wr.steps += result.steps;
+      if (config_.stateful) {
+        wr.fingerprint_hits += result.fingerprint_hits;
+        wr.fingerprint_misses += result.fingerprint_misses;
+        if (result.pruned) ++wr.pruned_executions;
+      }
       executions.fetch_add(1, std::memory_order_relaxed);
       steps.fetch_add(result.steps, std::memory_order_relaxed);
       if (options_.on_iteration) options_.on_iteration(w, i, result);
@@ -136,6 +153,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
   agg.executions = executions.load(std::memory_order_relaxed);
   agg.total_steps = steps.load(std::memory_order_relaxed);
   agg.total_seconds = SecondsSince(start);
+  if (visited) {
+    agg.stateful = true;
+    agg.distinct_states = visited->Size();
+    for (const WorkerReport& w : report.workers) {
+      agg.pruned_executions += w.pruned_executions;
+      agg.fingerprint_hits += w.fingerprint_hits;
+      agg.fingerprint_misses += w.fingerprint_misses;
+    }
+  }
   agg.strategy_name =
       (options_.portfolio ? std::string("portfolio") : config_.strategy.str()) +
       " x" + std::to_string(n);

@@ -54,6 +54,10 @@ struct WorkerReport {
   bool bug_found = false;      ///< this worker hit a violation
   bool won = false;            ///< ... and claimed the first-bug-wins race
   double seconds = 0.0;        ///< worker wall time
+  // Stateful runs: this worker's share of the shared visited set's traffic.
+  std::uint64_t pruned_executions = 0;
+  std::uint64_t fingerprint_hits = 0;
+  std::uint64_t fingerprint_misses = 0;
 };
 
 struct ParallelTestReport {

@@ -1,0 +1,65 @@
+// SysTest exploration subsystem.
+//
+// ShardedFingerprintSet: the concurrent VisitedSet shared by parallel
+// exploration workers. The 64-bit fingerprints are already well-mixed
+// (FNV-1a), so the low bits pick one of 64 independently locked shards —
+// workers only contend when they land on the same shard at the same instant,
+// which keeps the per-step Insert cheap enough to sit inside the exploration
+// inner loop. Sharing one set across the portfolio is the point: a state any
+// worker has visited prunes every other worker's schedules that reconverge
+// to it, so the fleet stops racing toward duplicate states.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <unordered_set>
+
+#include "core/fingerprint.h"
+
+namespace systest::explore {
+
+class ShardedFingerprintSet final : public VisitedSet {
+ public:
+  /// `max_entries` is the global cap (TestConfig::max_visited), enforced by
+  /// a shared relaxed-atomic count so the sharded set has the SAME cap
+  /// semantics as the serial FingerprintSet (a full set freezes: known
+  /// states still hit, unseen states pass through uncounted). The check and
+  /// the insert are not one atomic step, so concurrent workers can overshoot
+  /// the cap by at most one entry each — an approximation, not a leak.
+  explicit ShardedFingerprintSet(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  bool Insert(Fingerprint fp) override {
+    Shard& shard = shards_[ShardOf(fp)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (count_.load(std::memory_order_relaxed) >= max_entries_) {
+      return shard.set.find(fp) == shard.set.end();
+    }
+    const bool inserted = shard.set.insert(fp).second;
+    if (inserted) count_.fetch_add(1, std::memory_order_relaxed);
+    return inserted;
+  }
+
+  [[nodiscard]] std::size_t Size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  static std::size_t ShardOf(Fingerprint fp) noexcept {
+    return static_cast<std::size_t>(fp & (kShards - 1));
+  }
+
+  struct alignas(64) Shard {  // own cache line: no false sharing across locks
+    mutable std::mutex mutex;
+    std::unordered_set<Fingerprint> set;
+  };
+
+  std::size_t max_entries_;
+  std::atomic<std::size_t> count_{0};
+  Shard shards_[kShards];
+};
+
+}  // namespace systest::explore

@@ -379,6 +379,84 @@ TEST(SessionReporters, JsonEscapesControlCharacters) {
   EXPECT_EQ(systest::api::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }
 
+// A scenario whose name-adjacent prose embeds quotes and a backslash — the
+// JSON reporter must emit it escaped, not as broken raw JSON.
+SYSTEST_REGISTER_SCENARIO(test_quoted_description) {
+  Scenario s;
+  s.name = "test-quoted-description";
+  s.description = "says \"hello\" with a \\backslash (test-only)";
+  s.tags = {"test"};
+  s.params = {{"rounds", "ping-pong rounds (default 6)"}};
+  s.make = [](const ParamMap& params) -> systest::Harness {
+    const int rounds = static_cast<int>(params.GetUint("rounds", 6));
+    return [rounds](systest::Runtime& rt) {
+      auto a = rt.CreateMachine<GoldenPaddle>("A", rounds);
+      auto b = rt.CreateMachine<GoldenPaddle>("B", rounds);
+      static_cast<GoldenPaddle*>(rt.FindMachine(a))->SetPeer(b);
+      auto* pb = static_cast<GoldenPaddle*>(rt.FindMachine(b));
+      pb->SetPeer(a);
+      pb->Serve();
+    };
+  };
+  s.default_config = [] {
+    TestConfig config;
+    config.iterations = 1;
+    config.max_steps = 500;
+    return config;
+  };
+  return s;
+}
+
+TEST(SessionReporters, JsonReporterEscapesQuotedDescriptions) {
+  systest::api::JsonReporter reporter(stdout);
+  SessionConfig config;
+  config.scenario = "test-quoted-description";
+  TestSession session(config);
+  session.AddObserver(&reporter);
+  (void)session.Run();
+  const std::string& json = reporter.Last();
+  EXPECT_NE(json.find("\"description\":\"says \\\"hello\\\" with a "
+                      "\\\\backslash (test-only)\""),
+            std::string::npos)
+      << json;
+  // Structural sanity: an even number of unescaped quotes means the
+  // embedded quotes did not break the object.
+  int unescaped_quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++unescaped_quotes;
+  }
+  EXPECT_EQ(unescaped_quotes % 2, 0) << json;
+}
+
+TEST(SessionReporters, StatefulSessionEmitsDedupFields) {
+  systest::api::JsonReporter reporter(stdout);
+  SessionConfig config;
+  config.scenario = "samplerepl-fixed";
+  config.iterations = 50;
+  config.stateful = true;
+  TestSession session(config);
+  session.AddObserver(&reporter);
+  const SessionReport report = session.Run();
+  EXPECT_TRUE(report.report.stateful);
+  EXPECT_GT(report.report.distinct_states, 0u);
+  const std::string& json = reporter.Last();
+  EXPECT_NE(json.find("\"distinct_states\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pruned_executions\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fingerprint_hit_rate\":"), std::string::npos) << json;
+}
+
+TEST(SessionOverrides, StatefulKnobsFlowThroughResolveConfig) {
+  SessionConfig config;
+  config.scenario = "samplerepl-fixed";
+  config.stateful = true;
+  config.fingerprint_payloads = true;
+  config.max_visited = 1234;
+  const TestConfig tc = TestSession(config).ResolveConfig();
+  EXPECT_TRUE(tc.stateful);
+  EXPECT_TRUE(tc.fingerprint_payloads);
+  EXPECT_EQ(tc.max_visited, 1234u);
+}
+
 // ---------------------------------------------------------------------------
 // Scenario parameters flow into the harness factory.
 

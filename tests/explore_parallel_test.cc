@@ -241,6 +241,35 @@ TEST(ParallelEngine, CleanHarnessExhaustsWholeBudget) {
   EXPECT_EQ(per_worker, 500u);
 }
 
+// Stateful exploration across workers: all of them hammer ONE shared
+// sharded visited set (this binary runs under TSan in CI, so this is also
+// the data-race guard for ShardedFingerprintSet).
+TEST(ParallelEngine, StatefulWorkersShareOneVisitedSet) {
+  TestConfig config = RaceConfig();
+  config.iterations = 2'000;
+  config.stateful = true;
+  ParallelOptions options;
+  options.threads = 4;
+  options.verify_replay = false;
+  // Only racer 1: clean harness, so every worker burns its whole slice
+  // through the shared set.
+  ParallelTestingEngine engine(
+      config,
+      [](Runtime& rt) {
+        auto referee = rt.CreateMachine<Referee>("Referee");
+        rt.CreateMachine<Racer>("Racer1", referee, 1);
+      },
+      options);
+  const ParallelTestReport report = engine.Run();
+  EXPECT_FALSE(report.aggregate.bug_found);
+  EXPECT_TRUE(report.aggregate.stateful);
+  EXPECT_GT(report.aggregate.distinct_states, 0u);
+  // The two-machine race has a handful of reachable states; the union must
+  // be tiny even though 2000 executions were fingerprinted.
+  EXPECT_LT(report.aggregate.distinct_states, 64u);
+  EXPECT_GT(report.aggregate.fingerprint_hits, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Trace serialization.
 

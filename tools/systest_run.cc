@@ -59,6 +59,8 @@ struct Options {
   bool verbose = false;
   bool list = false;
   bool json = false;
+  bool stateful = false;
+  bool fingerprint_stats = false;  // implies --stateful
 };
 
 void PrintUsage(const char* argv0) {
@@ -82,6 +84,10 @@ void PrintUsage(const char* argv0) {
       "  --time-budget <s>  wall-clock budget in seconds\n"
       "  --trace-out <f>    write the winning bug trace to <f>\n"
       "  --replay <f>       replay a saved trace instead of exploring\n"
+      "  --stateful         fingerprint visited program states and prune\n"
+      "                     executions that reconverge to them\n"
+      "  --fingerprint-stats  print the detailed dedup breakdown after the\n"
+      "                     run (implies --stateful)\n"
       "  --json             machine-readable output (one JSON line per run)\n"
       "  --verbose          include the readable execution log on a bug\n",
       argv0, argv0, argv0);
@@ -106,6 +112,11 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.json = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--stateful") {
+      options.stateful = true;
+    } else if (arg == "--fingerprint-stats") {
+      options.fingerprint_stats = true;
+      options.stateful = true;
     } else if (arg == "--scenario" || arg == "--harness") {
       if (!(value = need_value(i))) return false;
       options.scenario = value;
@@ -235,6 +246,7 @@ SessionConfig BuildSessionConfig(const std::string& scenario,
   if (options.max_steps > 0) config.max_steps = options.max_steps;
   if (options.budget >= 0) config.strategy_budget = options.budget;
   if (options.time_budget >= 0) config.time_budget_seconds = options.time_budget;
+  if (options.stateful) config.stateful = true;
   config.readable_trace_on_bug = options.verbose;
   config.replay_file = options.replay;
   return config;
@@ -251,6 +263,25 @@ int RunOne(const std::string& scenario, const Options& options) {
   }
 
   const SessionReport report = session.Run();
+
+  // Gated on the REPORT's stateful flag, not the requested one: replay mode
+  // never dedups, so printing zeros there would read as a measurement.
+  if (options.fingerprint_stats && !options.json && report.report.stateful) {
+    const systest::TestReport& r = report.report;
+    std::printf(
+        "fingerprint stats:\n"
+        "  distinct states     %llu\n"
+        "  pruned executions   %llu of %llu\n"
+        "  fingerprint hits    %llu\n"
+        "  fingerprint misses  %llu\n"
+        "  hit rate            %.2f%%\n",
+        static_cast<unsigned long long>(r.distinct_states),
+        static_cast<unsigned long long>(r.pruned_executions),
+        static_cast<unsigned long long>(r.executions),
+        static_cast<unsigned long long>(r.fingerprint_hits),
+        static_cast<unsigned long long>(r.fingerprint_misses),
+        r.FingerprintHitRate() * 100.0);
+  }
 
   if (!options.replay.empty()) {
     if (!report.replay_verified) return 1;  // reporter already explained
