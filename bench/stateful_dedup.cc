@@ -1,10 +1,16 @@
 // Stateful-exploration dedup bench: distinct-state discovery rate vs wall
 // clock, across all five case-study domains. For each domain's control
-// scenario the same budget is run twice — stateless (the baseline every PR 2
-// number was captured against) and stateful (fingerprint dedup + pruning) —
-// and the stateful row reports how many distinct program states the budget
-// actually covered, how many executions were pruned for reconverging to
-// known states, and the fingerprint hit rate.
+// scenario the same budget is run three times — stateless (the baseline
+// every PR 2 number was captured against), stateful (fingerprint dedup +
+// pruning over the default structural view) and stateful+payloads
+// (FingerprintPayload overrides and shared-state probes mixed in) — and the
+// stateful rows report how many distinct program states the budget actually
+// covered, how many executions were pruned for reconverging to known
+// states, and the fingerprint hit rate. Comparing /on to /payload shows how
+// payload-aware dedup shifts distinct-state discovery: domains whose
+// machines carry semantic state beyond their control state (samplerepl
+// replica counters, chaintable table contents) split structurally identical
+// states apart, lowering the hit rate and raising distinct-state counts.
 //
 // Usage: stateful_dedup [--json] [iterations-per-scenario]
 #include <chrono>
@@ -48,8 +54,11 @@ void RunDomain(const DomainRow& row, std::uint64_t iterations) {
       scenario.default_config ? scenario.default_config() : TestConfig{};
   config.iterations = iterations;
 
-  for (const bool stateful : {false, true}) {
+  enum class Mode { kOff, kOn, kPayload };
+  for (const Mode mode : {Mode::kOff, Mode::kOn, Mode::kPayload}) {
+    const bool stateful = mode != Mode::kOff;
     config.stateful = stateful;
+    config.fingerprint_payloads = mode == Mode::kPayload;
     TestingEngine engine(config, harness);
     const TestReport report = engine.Run();
     const double exec_per_sec =
@@ -62,8 +71,10 @@ void RunDomain(const DomainRow& row, std::uint64_t iterations) {
         report.total_seconds > 0
             ? report.distinct_states / report.total_seconds
             : 0.0;
-    const std::string name = std::string("stateful_dedup/") + row.domain +
-                             (stateful ? "/on" : "/off");
+    const std::string name =
+        std::string("stateful_dedup/") + row.domain +
+        (mode == Mode::kOff ? "/off"
+                            : mode == Mode::kOn ? "/on" : "/payload");
     if (bench::JsonMode()) {
       std::string extra = bench::DescribeConfig(config);
       if (stateful) {

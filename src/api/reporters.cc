@@ -72,6 +72,23 @@ void HumanReporter::OnFinish(const SessionReport& report) {
                    "without --stateful for deeper schedules.\n");
     }
   }
+  if (report.report.faults) {
+    const Runtime::FaultStats& f = report.report.injected_faults;
+    std::fprintf(out_,
+                 "faults: %llu crashes, %llu restarts, %llu drops, %llu "
+                 "duplications injected\n",
+                 static_cast<unsigned long long>(f.crashes),
+                 static_cast<unsigned long long>(f.restarts),
+                 static_cast<unsigned long long>(f.drops),
+                 static_cast<unsigned long long>(f.duplications));
+  }
+  if (report.report.bug_found &&
+      report.report.bug_trace.HasFaultDecisions()) {
+    // The failure schedule that produced the first bug, straight from its
+    // witness trace — replaying the trace re-applies exactly these faults.
+    std::fprintf(out_, "first-bug fault schedule: %s\n",
+                 report.report.bug_trace.DescribeFaults().c_str());
+  }
   if (verbose_ && report.report.bug_found) PrintBugTail(out_, report.report);
 }
 
@@ -139,6 +156,16 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     std::snprintf(rate, sizeof(rate), "%.4f", r.FingerprintHitRate());
     field("fingerprint_hit_rate", rate, false);
   }
+  if (r.faults) {
+    field("faults", "true", false);
+    field("injected_crashes", std::to_string(r.injected_faults.crashes),
+          false);
+    field("injected_restarts", std::to_string(r.injected_faults.restarts),
+          false);
+    field("injected_drops", std::to_string(r.injected_faults.drops), false);
+    field("injected_duplications",
+          std::to_string(r.injected_faults.duplications), false);
+  }
   if (r.bug_found) {
     field("bug_kind", std::string(ToString(r.bug_kind)), true);
     field("bug_message", r.bug_message, true);
@@ -146,6 +173,9 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     field("seconds_to_bug", std::to_string(r.seconds_to_bug), false);
     field("ndc", std::to_string(r.ndc), false);
     field("bug_steps", std::to_string(r.bug_steps), false);
+    if (r.bug_trace.HasFaultDecisions()) {
+      field("bug_fault_schedule", r.bug_trace.DescribeFaults(), true);
+    }
   }
   if (!report.workers.empty()) {
     field("winning_worker", std::to_string(report.winning_worker), false);
@@ -165,6 +195,9 @@ void JsonReporter::OnFinish(const SessionReport& report) {
               ",\"won\":" + (w.won ? "true" : "false") +
               (r.stateful ? ",\"pruned\":" + std::to_string(w.pruned_executions)
                           : std::string()) +
+              (r.faults ? ",\"injected_faults\":" +
+                              std::to_string(w.injected_faults.Total())
+                        : std::string()) +
               "}";
     }
     json += ']';

@@ -78,6 +78,22 @@ TestConfig TestSession::ResolveConfig() const {
     tc.fingerprint_payloads = *config_.fingerprint_payloads;
   }
   if (config_.max_visited) tc.max_visited = *config_.max_visited;
+  if (config_.prune_run) tc.prune_run = *config_.prune_run;
+  if (config_.max_crashes) tc.max_crashes = *config_.max_crashes;
+  if (config_.max_restarts) tc.max_restarts = *config_.max_restarts;
+  if (config_.drop_probability_den) {
+    tc.drop_probability_den = *config_.drop_probability_den;
+  }
+  if (config_.max_duplications) {
+    tc.max_duplications = *config_.max_duplications;
+  }
+  if (config_.fault_odds_den) tc.fault_odds_den = *config_.fault_odds_den;
+  if (config_.faults && !tc.FaultsEnabled()) {
+    // Arm-with-defaults: only when neither the scenario nor a specific
+    // override produced any fault budget.
+    tc.max_crashes = 1;
+    tc.max_restarts = 1;
+  }
   if (config_.stop_on_first_bug) tc.stop_on_first_bug = *config_.stop_on_first_bug;
   if (config_.readable_trace_on_bug) tc.readable_trace_on_bug = true;
   return tc;

@@ -60,6 +60,22 @@ struct SessionConfig {
   std::optional<bool> stateful;
   std::optional<bool> fingerprint_payloads;
   std::optional<std::uint64_t> max_visited;
+  /// Stateful prune-run length override (TestConfig::prune_run).
+  std::optional<std::uint64_t> prune_run;
+  /// Fault plane (TestConfig::{max_crashes, max_restarts,
+  /// drop_probability_den, max_duplications, fault_odds_den}): scheduler-
+  /// controlled crash/restart and message drop/duplication budgets. Unset
+  /// keeps the scenario's defaults (off for scenarios that don't opt in).
+  /// `faults` arms the plane non-destructively: if the resolved config still
+  /// has no fault budgets after scenario defaults and the specific overrides
+  /// below, crash/restart default to 1/1 — a scenario that ships its own
+  /// fault model (or a drop-only override) is left exactly as configured.
+  bool faults = false;
+  std::optional<std::uint64_t> max_crashes;
+  std::optional<std::uint64_t> max_restarts;
+  std::optional<std::uint64_t> drop_probability_den;
+  std::optional<std::uint64_t> max_duplications;
+  std::optional<std::uint64_t> fault_odds_den;
   /// Produce the readable execution log on a bug (TestReport::execution_log).
   bool readable_trace_on_bug = false;
 

@@ -50,6 +50,15 @@ class CounterWriter final : public systest::Machine {
     SetStart("Run");
   }
 
+  /// Stateful exploration payload: the writer's read-modify-write progress.
+  /// The shared table itself is hashed by a runtime-level fingerprint probe
+  /// (see the harness) — it is mutated from every writer's handlers, so no
+  /// single machine may own it per the FingerprintPayload contract.
+  void FingerprintPayload(systest::StateHasher& hasher) const override {
+    hasher.Mix(reading_ ? 1 : 0).Mix(done_).Mix(successes_);
+    hasher.Mix(seen_value_).Mix(seen_etag_);
+  }
+
  private:
   void Kick() { Send<OpTick>(Id()); }
 
@@ -100,6 +109,10 @@ class CounterAuditor final : public systest::Machine {
     SetStart("Collect");
   }
 
+  void FingerprintPayload(systest::StateHasher& hasher) const override {
+    hasher.Mix(pending_).Mix(total_);
+  }
+
  private:
   void OnDone(const WriterDone& done) {
     total_ += done.successes;
@@ -140,6 +153,18 @@ Scenario Counter(const char* name, const char* description, bool blind) {
       seed.row.key = kCounterKey;
       seed.row.properties = {{"v", "0"}};
       table->ExecuteWrite(seed);
+      // Table CONTENTS belong to no single machine (every writer mutates the
+      // shared table inside its own handlers), so they enter the execution
+      // fingerprint through a world-level probe instead of a
+      // FingerprintPayload override.
+      rt.AddFingerprintProbe([table](systest::StateHasher& hasher) {
+        const OpResult r = table->Retrieve(kCounterKey);
+        hasher.Mix(table->RowCount()).Mix(table->MutationCount());
+        if (r.code == TableCode::kOk) {
+          hasher.Mix(std::stoull(r.row->properties.at("v")));
+          hasher.Mix(r.row_etag);
+        }
+      });
       const systest::MachineId auditor =
           rt.CreateMachine<CounterAuditor>("Auditor", table, writers);
       for (std::size_t i = 0; i < writers; ++i) {

@@ -37,6 +37,17 @@ std::string TestReport::Summary() const {
                   FingerprintHitRate() * 100.0);
     out += stats;
   }
+  if (faults) {
+    char stats[128];
+    std::snprintf(
+        stats, sizeof(stats),
+        " [faults: crashes=%llu restarts=%llu drops=%llu dups=%llu]",
+        static_cast<unsigned long long>(injected_faults.crashes),
+        static_cast<unsigned long long>(injected_faults.restarts),
+        static_cast<unsigned long long>(injected_faults.drops),
+        static_cast<unsigned long long>(injected_faults.duplications));
+    out += stats;
+  }
   return out;
 }
 
@@ -70,6 +81,24 @@ void TestConfig::Validate() const {
     fail("stateful with max_visited == 0 (a frozen-empty visited set could "
          "never record a state, making stateful a silent no-op)");
   }
+  if (stateful && prune_run == 0) {
+    fail("stateful with prune_run == 0 (every execution would be pruned at "
+         "its first revisited state — including the initial state every "
+         "iteration shares)");
+  }
+  if (max_restarts > 0 && max_crashes == 0) {
+    fail("max_restarts > 0 with max_crashes == 0 (nothing can ever crash, "
+         "so no restart could ever fire)");
+  }
+  if (drop_probability_den == 1) {
+    fail("drop_probability_den == 1 (every message would be dropped and no "
+         "protocol could make progress; use 0 to disable drops)");
+  }
+  if (FaultsEnabled() && fault_odds_den < 2) {
+    fail("fault_odds_den < 2 with faults enabled (budgeted faults would all "
+         "fire at the first eligible point, exploring a single failure "
+         "schedule)");
+  }
 }
 
 RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
@@ -82,6 +111,11 @@ RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
   options.stateful = config.stateful;
   options.fingerprint_payloads = config.fingerprint_payloads;
   options.record_fingerprint_trail = config.record_fingerprint_trail;
+  options.max_crashes = config.max_crashes;
+  options.max_restarts = config.max_restarts;
+  options.drop_probability_den = config.drop_probability_den;
+  options.max_duplications = config.max_duplications;
+  options.fault_odds_den = config.fault_odds_den;
   return options;
 }
 
@@ -107,7 +141,8 @@ namespace {
 /// prior execution already explored. Pruned executions skip the quiescence /
 /// bounded-liveness property checks: they did not actually terminate.
 bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
-                              std::uint64_t max_steps, VisitedSet& visited,
+                              std::uint64_t max_steps,
+                              std::uint64_t prune_run, VisitedSet& visited,
                               ExecutionResult& result) {
   harness(runtime);
   // The post-setup initial state counts as visited too (every execution of a
@@ -129,7 +164,7 @@ bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
       known_run = 0;
     } else {
       ++result.fingerprint_hits;
-      if (++known_run >= kFingerprintPruneRun) {
+      if (++known_run >= prune_run) {
         result.pruned = true;
         return false;
       }
@@ -151,8 +186,9 @@ ExecutionResult RunOneExecution(const TestConfig& config,
   Runtime runtime(strategy, MakeRuntimeOptions(config, false));
   try {
     if (config.stateful && visited != nullptr) {
-      result.hit_step_bound = StepToCompletionStateful(
-          runtime, harness, config.max_steps, *visited, result);
+      result.hit_step_bound =
+          StepToCompletionStateful(runtime, harness, config.max_steps,
+                                   config.prune_run, *visited, result);
     } else {
       result.hit_step_bound =
           StepToCompletion(runtime, harness, config.max_steps);
@@ -163,6 +199,7 @@ ExecutionResult RunOneExecution(const TestConfig& config,
     result.bug_message = bug.what();
   }
   result.steps = runtime.Steps();
+  result.faults = runtime.GetFaultStats();
   result.trace = runtime.TakeTrace();  // O(1): the runtime dies right here
   if (config.stateful && config.record_fingerprint_trail) {
     result.fingerprint_trail = runtime.TakeFingerprintTrail();
@@ -197,6 +234,9 @@ TestReport TestingEngine::Run() {
       report.fingerprint_misses += result.fingerprint_misses;
       if (result.pruned) ++report.pruned_executions;
     }
+    if (config_.FaultsEnabled()) {
+      report.injected_faults += result.faults;
+    }
     if (on_iteration_) on_iteration_(iteration, result);
     if (result.bug_found) {
       if (!report.bug_found) {
@@ -224,6 +264,7 @@ TestReport TestingEngine::Run() {
     report.stateful = true;
     report.distinct_states = visited.Size();
   }
+  report.faults = config_.FaultsEnabled();
   return report;
 }
 
@@ -236,6 +277,12 @@ TestReport TestingEngine::Replay(const Trace& trace) {
   // Replay reproduces one recorded witness; it never dedups or prunes, even
   // when the config that FOUND the bug was stateful.
   options.stateful = false;
+  // The failure schedule comes from the trace itself — fault decisions are
+  // recorded with the step / delivery ordinal they fired at — so replay
+  // needs (and takes) no fault configuration: a fault-free trace replays
+  // with zero fault queries matched, a fault trace re-applies every recorded
+  // fault at its exact coordinate.
+  options.replay_faults = true;
   Runtime runtime(strategy, options);
   ++report.executions;
   const auto start = Clock::now();
@@ -254,6 +301,8 @@ TestReport TestingEngine::Replay(const Trace& trace) {
   report.total_steps = runtime.Steps();
   report.total_seconds = SecondsSince(start);
   report.execution_log = runtime.Log();
+  report.injected_faults = runtime.GetFaultStats();
+  report.faults = report.injected_faults.Total() > 0;
   return report;
 }
 

@@ -67,17 +67,54 @@ struct TestConfig {
   /// sharded set's count is maintained without a global lock, so a race can
   /// overshoot by at most one entry per worker.)
   std::uint64_t max_visited = 1u << 20;
+  /// With stateful: consecutive already-visited states after which an
+  /// execution is pruned. The default is the tuning kFingerprintPruneRun
+  /// shipped with; harnesses with long forced prefixes (deterministic setup
+  /// cascades every execution replays) raise it so executions are not
+  /// pruned before reaching fresh territory.
+  std::uint64_t prune_run = kFingerprintPruneRun;
   /// With stateful: record each execution's per-step fingerprint sequence
   /// into ExecutionResult::fingerprint_trail. Test/debug instrumentation —
   /// off by default so production stateful runs pay nothing for trails.
   bool record_fingerprint_trail = false;
 
+  // ---- Fault plane (README "Fault injection") ----
+  // Scheduler-controlled machine crash/restart and per-delivery message
+  // drop/duplication, decided by the active strategy at first-class choice
+  // points and recorded in the trace (format v2), so failure schedules are
+  // explored, budgeted and replayable exactly like scheduling decisions.
+  // All defaults off: fault-free runs are bit-for-bit unchanged.
+
+  /// Per-execution crash budget (machines opted in via
+  /// Runtime::SetCrashable). 0 disables crashes.
+  std::uint64_t max_crashes = 0;
+  /// Per-execution restart budget for crashed machines. 0 disables restarts
+  /// (crashes are then permanent for the execution).
+  std::uint64_t max_restarts = 0;
+  /// Per-delivery drop odds denominator: each machine-to-machine delivery
+  /// is dropped with probability 1/den. 0 disables drops.
+  std::uint64_t drop_probability_den = 0;
+  /// Per-execution duplication budget (a delivery enqueued twice). 0
+  /// disables duplication.
+  std::uint64_t max_duplications = 0;
+  /// Odds denominator for the budgeted rolls: while budget remains, a crash
+  /// or restart fires with probability 1/den per step and a duplication
+  /// with 1/den per delivery. Shapes WHEN faults land, not how many.
+  std::uint64_t fault_odds_den = 16;
+
+  /// Whether this config turns the fault plane on.
+  [[nodiscard]] bool FaultsEnabled() const noexcept {
+    return max_crashes > 0 || drop_probability_den > 0 ||
+           max_duplications > 0;
+  }
+
   /// Fails fast on configurations that would silently explore nothing:
   /// throws std::invalid_argument for zero iterations, zero max_steps, an
   /// empty strategy name, a negative time budget, a liveness temperature
   /// threshold above the step bound, fingerprint_payloads without stateful,
-  /// or stateful with max_visited == 0 (a frozen-empty visited set would
-  /// make stateful a silent no-op). TestSession calls this before running.
+  /// stateful with max_visited == 0 or prune_run == 0, restarts without
+  /// crashes, a drop denominator of 1 (every message dropped), or fault
+  /// odds below 2. TestSession calls this before running.
   void Validate() const;
 };
 
@@ -103,6 +140,11 @@ struct TestReport {
   std::uint64_t pruned_executions = 0; ///< executions early-terminated
   std::uint64_t fingerprint_hits = 0;  ///< states seen that were known
   std::uint64_t fingerprint_misses = 0;///< states seen that were novel
+
+  // Fault-plane aggregates (meaningful when `faults`): injected-fault
+  // totals summed over every execution of the run.
+  bool faults = false;                 ///< run had fault injection enabled
+  Runtime::FaultStats injected_faults;
 
   /// Fraction of observed states that were already visited (0 when the run
   /// was not stateful or observed nothing).
@@ -133,6 +175,9 @@ struct ExecutionResult {
   bool pruned = false;                  ///< early-terminated on known states
   std::uint64_t fingerprint_hits = 0;   ///< already-visited states touched
   std::uint64_t fingerprint_misses = 0; ///< novel states discovered
+
+  /// Faults injected into this execution (all-zero for fault-free runs).
+  Runtime::FaultStats faults;
   /// Post-step fingerprint sequence (moved out of the Runtime; empty unless
   /// TestConfig::record_fingerprint_trail). Deterministic for a given seed —
   /// prunes only truncate it.

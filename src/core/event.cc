@@ -1,5 +1,6 @@
 #include "core/event.h"
 
+#include <atomic>
 #include <cstdlib>
 
 #if defined(__GNUG__)
@@ -30,6 +31,33 @@ TypeInternTable& EventTypeTable() {
 TypeInternTable& MonitorTypeTable() {
   static TypeInternTable table;
   return table;
+}
+
+namespace {
+
+// Clone registry: dense, lock-free array indexed by EventTypeId. The
+// capacity bounds the number of distinct event TYPES in a process (not
+// instances); ids past the end simply have no clone and are never
+// duplicated.
+constexpr std::size_t kMaxCloneTypes = 4096;
+std::atomic<EventCloneFn> g_clone_fns[kMaxCloneTypes] = {};
+
+}  // namespace
+
+void RegisterEventClone(EventTypeId id, EventCloneFn fn) {
+  if (id < kMaxCloneTypes) {
+    g_clone_fns[id].store(fn, std::memory_order_relaxed);
+  }
+}
+
+EventCloneFn CloneFnFor(EventTypeId id) noexcept {
+  return id < kMaxCloneTypes ? g_clone_fns[id].load(std::memory_order_relaxed)
+                             : nullptr;
+}
+
+std::unique_ptr<const Event> CloneEvent(const Event& ev) {
+  const EventCloneFn fn = CloneFnFor(ev.TypeId());
+  return fn != nullptr ? fn(ev) : nullptr;
 }
 
 }  // namespace detail

@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <typeindex>
 #include <typeinfo>
 #include <unordered_map>
@@ -55,12 +56,37 @@ struct EventTypeStamp;
 
 }  // namespace detail
 
-/// Interned id of event type E. First call registers E; later calls are a
-/// guarded static read.
+class Event;
+
+namespace detail {
+
+/// Per-type copy used by the fault plane to duplicate a delivery. Returns a
+/// fresh most-derived copy of `ev`; never called for a type that did not
+/// register one.
+using EventCloneFn = std::unique_ptr<const Event> (*)(const Event& ev);
+
+/// Registers/queries the clone function of an interned event type. The
+/// registry is a lock-free dense array indexed by EventTypeId; registration
+/// happens as a side effect of EventTypeIdOf<E>'s one-time interning, so any
+/// type that ever flowed through MakeEvent/Send/On<E> is covered.
+void RegisterEventClone(EventTypeId id, EventCloneFn fn);
+[[nodiscard]] EventCloneFn CloneFnFor(EventTypeId id) noexcept;
+
+/// Copies `ev` via its registered clone function (nullptr when the type
+/// never registered one — e.g. a type with a non-copyable member, which the
+/// fault plane then simply never duplicates).
+[[nodiscard]] std::unique_ptr<const Event> CloneEvent(const Event& ev);
+
+template <typename E>
+EventTypeId InternEventType();
+
+}  // namespace detail
+
+/// Interned id of event type E. First call registers E (and, for copyable
+/// types, its duplication clone); later calls are a guarded static read.
 template <typename E>
 EventTypeId EventTypeIdOf() {
-  static const EventTypeId id =
-      detail::EventTypeTable().GetOrRegister(std::type_index(typeid(E)));
+  static const EventTypeId id = detail::InternEventType<E>();
   return id;
 }
 
@@ -77,7 +103,6 @@ EventTypeId MonitorTypeIdOf() {
 class Event {
  public:
   Event() = default;
-  Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
   Event(Event&&) = delete;
   Event& operator=(Event&&) = delete;
@@ -118,6 +143,13 @@ class Event {
   static void* operator new(std::size_t size);
   static void operator delete(void* ptr, std::size_t size) noexcept;
 
+ protected:
+  /// Copyable by derived event types only — the fault plane's duplication
+  /// clone copies the most-derived event through a per-type registered
+  /// function (see RegisterEventClone). Public copying stays unavailable so
+  /// an Event can never be sliced through the base.
+  Event(const Event&) = default;
+
  private:
   friend struct detail::EventTypeStamp;
 
@@ -136,6 +168,20 @@ struct EventTypeStamp {
     event.cached_type_id_ = id;
   }
 };
+
+template <typename E>
+EventTypeId InternEventType() {
+  const EventTypeId id =
+      EventTypeTable().GetOrRegister(std::type_index(typeid(E)));
+  if constexpr (std::is_copy_constructible_v<E>) {
+    RegisterEventClone(id, [](const Event& ev) -> std::unique_ptr<const Event> {
+      auto copy = std::make_unique<E>(static_cast<const E&>(ev));
+      EventTypeStamp::Set(*copy, ev.TypeId());
+      return copy;
+    });
+  }
+  return id;
+}
 
 }  // namespace detail
 

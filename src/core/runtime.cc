@@ -59,7 +59,13 @@ bool Machine::NondetBool() { return Rt().ChooseBool(); }
 Fingerprint Machine::ComputeStateFingerprint(bool payloads) const {
   StateHasher hasher;
   hasher.Mix(id_.value);
-  hasher.Mix((halted_ ? 2u : 0u) | (started_ ? 1u : 0u));
+  // The crashed bit keeps a crashed machine distinct from a merely idle one
+  // (fault-free runs hash 0 there, leaving their digests untouched). The
+  // restart COUNT is deliberately not mixed: a restarted machine that
+  // reconverged to a previously seen state/queue/member view IS the same
+  // program state — remaining fault budgets are hashed at the world level.
+  hasher.Mix((crashed_ ? 4u : 0u) | (halted_ ? 2u : 0u) |
+             (started_ ? 1u : 0u));
   // Dense state id; halted/pre-start machines have no current state.
   hasher.Mix(current_state_ != nullptr ? CurrentStateId()
                                        : ~std::uint64_t{0});
@@ -340,6 +346,39 @@ void Machine::DoHalt() {
   }
 }
 
+void Machine::DoCrash() {
+  // The hook runs first, on the pre-wipe state: it decides what the crash
+  // destroys (volatile members) and may Notify monitors that the node died.
+  OnCrash();
+  crashed_ = true;
+  pending_halt_ = false;
+  pending_raise_.reset();
+  pending_goto_.reset();
+  queue_.Clear();
+  waiting_types_.clear();
+  root_task_ = Task();
+  resume_point_ = {};
+  current_event_.reset();
+  current_state_ = nullptr;
+  started_ = false;
+  if (logging_) [[unlikely]] {
+    runtime_->LogLine("crash   ", debug_name_);
+  }
+}
+
+void Machine::DoRestart() {
+  crashed_ = false;
+  ++restart_count_;
+  // started_ is false since the crash, so the machine is enabled again and
+  // will run its start state's entry when next scheduled — exactly like a
+  // freshly created machine, except members hold the durable state OnCrash
+  // preserved.
+  OnRestart();
+  if (logging_) [[unlikely]] {
+    runtime_->LogLine("restart ", debug_name_, " -> ", start_state_);
+  }
+}
+
 // ===========================================================================
 // Monitor
 
@@ -424,7 +463,8 @@ void Monitor::HandleNotification(const Event& event) {
 Runtime::Runtime(SchedulingStrategy& strategy, RuntimeOptions options)
     : strategy_(strategy),
       options_(options),
-      strategy_builtin_(strategy.Builtin()) {
+      strategy_builtin_(strategy.Builtin()),
+      fault_mode_(options_.FaultInjectionEnabled() || options_.replay_faults) {
   // One up-front allocation instead of log2(steps) regrows per execution;
   // capped so huge step bounds don't preallocate tens of megabytes.
   trace_.Reserve(static_cast<std::size_t>(
@@ -535,8 +575,18 @@ void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
                        std::to_string(target.value) + " from '" +
                        (sender ? sender->DebugName() : "<harness>") + "'");
   }
-  if (machine->halted_) {
-    return;  // events to halted machines are silently dropped (P# semantics)
+  if (machine->halted_ || machine->crashed_) {
+    // Events to halted machines are silently dropped (P# semantics); crashed
+    // machines behave the same until a restart.
+    return;
+  }
+  if (fault_mode_ && sender != nullptr && sender != machine) [[unlikely]] {
+    // Message-fault choice point. Only machine-to-machine traffic between
+    // DISTINCT machines is eligible: harness setup sends are wiring, and
+    // self-sends are a machine's internal control flow, not the network.
+    if (ApplyDeliveryFault(*machine, *ev)) {
+      return;  // dropped
+    }
   }
   if (LoggingEnabled()) {
     LogLine("send    ", sender ? sender->DebugName() : "<harness>", " -> ",
@@ -546,6 +596,19 @@ void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
   machine->MarkEnabledDirty();
   if (options_.stateful) {
     MarkFingerprintDirty(*machine);
+  }
+}
+
+void Runtime::SetCrashable(MachineId id, bool crashable) {
+  Machine* machine = FindMachine(id);
+  if (machine == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   "SetCrashable on unknown machine id " +
+                       std::to_string(id.value));
+  }
+  if (machine->crashable_ != crashable) {
+    machine->crashable_ = crashable;
+    crashable_machines_ += crashable ? 1 : -1;
   }
 }
 
@@ -587,6 +650,12 @@ std::uint64_t Runtime::ChooseInt(std::uint64_t bound) {
 }
 
 bool Runtime::Step() {
+  if (fault_mode_) [[unlikely]] {
+    // Crash/restart choice point at the step boundary, BEFORE the enabled
+    // scan: a crash shrinks the enabled set, a restart can revive a
+    // quiescent world.
+    MaybeInjectFault();
+  }
   enabled_scratch_.clear();
   for (const auto& machine : machines_) {
     if (machine->CachedEnabled()) {
@@ -626,13 +695,170 @@ bool Runtime::Step() {
     MarkFingerprintDirty(*machine);
     RefreshFingerprint();
     if (options_.record_fingerprint_trail) {
-      fp_trail_.push_back(world_fp_);
+      fp_trail_.push_back(world_fp_ ^ SharedStateFingerprint());
     }
   }
   if (!monitors_.empty()) {
     UpdateMonitorTemperatures();
   }
   return true;
+}
+
+void Runtime::MaybeInjectFault() {
+  FaultContext ctx;
+  ctx.step = steps_;
+  ctx.odds_den = options_.fault_odds_den;
+  if (!options_.replay_faults) {
+    // Exploration: offer the strategy only what the budgets still allow.
+    // Candidate collection is skipped entirely when no machine qualifies, so
+    // scenarios with no SetCrashable opt-ins never pay for (or perturb RNG
+    // with) fault rolls.
+    if (fault_stats_.crashes < options_.max_crashes &&
+        crashable_machines_ > 0) {
+      crash_scratch_.clear();
+      for (const auto& machine : machines_) {
+        if (machine->crashable_ && !machine->crashed_ && !machine->halted_) {
+          crash_scratch_.push_back(machine->id_);
+        }
+      }
+      ctx.crashable = crash_scratch_;
+    }
+    if (fault_stats_.restarts < options_.max_restarts &&
+        crashed_machines_ > 0) {
+      restart_scratch_.clear();
+      for (const auto& machine : machines_) {
+        if (machine->crashed_) {
+          restart_scratch_.push_back(machine->id_);
+        }
+      }
+      ctx.restartable = restart_scratch_;
+    }
+    if (ctx.crashable.empty() && ctx.restartable.empty()) {
+      return;
+    }
+  }
+  const FaultDecision decision = strategy_.NextFault(ctx);
+  switch (decision.kind) {
+    case FaultDecision::Kind::kNone:
+      return;
+    case FaultDecision::Kind::kCrash:
+      ApplyCrash(decision.machine);
+      return;
+    case FaultDecision::Kind::kRestart:
+      ApplyRestart(decision.machine);
+      return;
+  }
+}
+
+void Runtime::ApplyCrash(MachineId id) {
+  Machine* machine = FindMachine(id);
+  if (machine == nullptr || machine->crashed_ || machine->halted_) {
+    // Under replay the trace disagrees with the world it is replayed
+    // against; during exploration the built-in default can't get here (its
+    // candidates are pre-filtered), so the fault came from a custom
+    // NextFault override that ignored ctx.crashable — a strategy bug, not a
+    // replay problem.
+    const std::string what = "crash of machine " + std::to_string(id.value) +
+                             " which is unknown, halted or already crashed";
+    if (options_.replay_faults) {
+      throw BugFound(BugKind::kReplayDivergence, "replay: " + what);
+    }
+    throw BugFound(BugKind::kHarnessError,
+                   "strategy '" + strategy_.Name() + "' chose a " + what +
+                       " (NextFault must pick from ctx.crashable)");
+  }
+  // Record before applying: OnCrash may Notify a monitor that immediately
+  // fails the execution, and the witness trace must still contain the crash
+  // that caused it.
+  trace_.RecordCrash(id.value, steps_);
+  ++fault_stats_.crashes;
+  ++crashed_machines_;
+  machine->DoCrash();
+  machine->MarkEnabledDirty();
+  if (options_.stateful) {
+    MarkFingerprintDirty(*machine);
+  }
+}
+
+void Runtime::ApplyRestart(MachineId id) {
+  Machine* machine = FindMachine(id);
+  if (machine == nullptr || !machine->crashed_) {
+    const std::string what = "restart of machine " + std::to_string(id.value) +
+                             " which is not crashed";
+    if (options_.replay_faults) {
+      throw BugFound(BugKind::kReplayDivergence, "replay: " + what);
+    }
+    throw BugFound(BugKind::kHarnessError,
+                   "strategy '" + strategy_.Name() + "' chose a " + what +
+                       " (NextFault must pick from ctx.restartable)");
+  }
+  trace_.RecordRestart(id.value, steps_);
+  ++fault_stats_.restarts;
+  --crashed_machines_;
+  machine->DoRestart();
+  machine->MarkEnabledDirty();
+  if (options_.stateful) {
+    MarkFingerprintDirty(*machine);
+  }
+}
+
+bool Runtime::ApplyDeliveryFault(Machine& target, const Event& ev) {
+  // The ordinal advances for EVERY eligible delivery while the fault plane
+  // is active, fault or not — it is the coordinate recorded decisions key
+  // on, so recording and replay must count identically.
+  const std::uint64_t ordinal = delivery_seq_++;
+  DeliveryFaultContext ctx;
+  ctx.ordinal = ordinal;
+  ctx.target = target.id_;
+  if (!options_.replay_faults) {
+    ctx.drop_allowed = options_.drop_probability_den > 0;
+    ctx.drop_den = options_.drop_probability_den;
+    ctx.duplicate_allowed =
+        fault_stats_.duplications < options_.max_duplications &&
+        detail::CloneFnFor(ev.TypeId()) != nullptr;
+    ctx.dup_den = options_.fault_odds_den;
+    if (!ctx.drop_allowed && !ctx.duplicate_allowed) {
+      return false;
+    }
+  }
+  switch (strategy_.NextDeliveryFault(ctx)) {
+    case DeliveryFault::kNone:
+      return false;
+    case DeliveryFault::kDrop:
+      trace_.RecordDrop(ordinal, target.id_.value);
+      ++fault_stats_.drops;
+      if (LoggingEnabled()) {
+        LogLine("drop    ", " -> ", target.DebugName(), " : ", ev.Name());
+      }
+      return true;
+    case DeliveryFault::kDuplicate: {
+      std::unique_ptr<const Event> clone = detail::CloneEvent(ev);
+      if (clone == nullptr) {
+        // Replay: the recording process could clone this type, so the
+        // replayed build diverged. Exploration: a custom NextDeliveryFault
+        // override forced a duplication the runtime never offered.
+        if (options_.replay_faults) {
+          throw BugFound(BugKind::kReplayDivergence,
+                         "replay: duplication of event " + ev.Name() +
+                             " with no registered clone");
+        }
+        throw BugFound(BugKind::kHarnessError,
+                       "strategy '" + strategy_.Name() +
+                           "' duplicated uncloneable event " + ev.Name() +
+                           " (honor ctx.duplicate_allowed)");
+      }
+      trace_.RecordDuplicate(ordinal, target.id_.value);
+      ++fault_stats_.duplications;
+      if (LoggingEnabled()) {
+        LogLine("dup     ", " -> ", target.DebugName(), " : ", ev.Name());
+      }
+      // The clone goes in here; the caller enqueues the original right
+      // after, so the queue ends up with two adjacent identical events.
+      target.queue_.PushBack(std::move(clone));
+      return false;
+    }
+  }
+  return false;
 }
 
 void Runtime::MarkFingerprintDirty(Machine& machine) {
@@ -654,9 +880,35 @@ void Runtime::RefreshFingerprint() {
   fp_dirty_ids_.clear();
 }
 
+Fingerprint Runtime::SharedStateFingerprint() const {
+  Fingerprint fp = 0;
+  if (options_.fingerprint_payloads && !fp_probes_.empty()) {
+    // Shared-state probes cannot be tracked per-machine, so they rehash on
+    // every read (opt-in, and the probed state is small by construction).
+    StateHasher hasher;
+    for (const auto& probe : fp_probes_) {
+      probe(hasher);
+    }
+    fp ^= hasher.Digest();
+  }
+  if (fault_mode_) {
+    // Remaining fault budgets are explorer state that changes which
+    // continuations exist from a program state: a world revisited with fewer
+    // crashes left is NOT the world whose continuations were already
+    // explored, so it must not prune against it. (Drops are probability-
+    // gated, not budgeted — past drops change no future capability.)
+    StateHasher hasher;
+    hasher.Mix(fault_stats_.crashes);
+    hasher.Mix(fault_stats_.restarts);
+    hasher.Mix(fault_stats_.duplications);
+    fp ^= hasher.Digest();
+  }
+  return fp;
+}
+
 Fingerprint Runtime::ExecutionFingerprint() {
   RefreshFingerprint();
-  return world_fp_;
+  return world_fp_ ^ SharedStateFingerprint();
 }
 
 Fingerprint Runtime::RecomputeExecutionFingerprint() const {
@@ -664,7 +916,7 @@ Fingerprint Runtime::RecomputeExecutionFingerprint() const {
   for (const auto& machine : machines_) {
     world ^= machine->ComputeStateFingerprint(options_.fingerprint_payloads);
   }
-  return world;
+  return world ^ SharedStateFingerprint();
 }
 
 void Runtime::UpdateMonitorTemperatures() {

@@ -184,6 +184,15 @@ class Machine {
   [[nodiscard]] MachineId Id() const noexcept { return id_; }
   [[nodiscard]] const std::string& DebugName() const noexcept { return debug_name_; }
   [[nodiscard]] bool Halted() const noexcept { return halted_; }
+  /// Crashed by the fault plane: inert like a halted machine (queue wiped,
+  /// deliveries dropped) but eligible for a scheduler-controlled restart.
+  [[nodiscard]] bool Crashed() const noexcept { return crashed_; }
+  /// Opted in as a crash candidate (Runtime::SetCrashable).
+  [[nodiscard]] bool Crashable() const noexcept { return crashable_; }
+  /// How many times the fault plane restarted this machine.
+  [[nodiscard]] std::uint64_t RestartCount() const noexcept {
+    return restart_count_;
+  }
   [[nodiscard]] const std::string& CurrentStateName() const;
   [[nodiscard]] std::size_t QueueLength() const noexcept { return queue_.Size(); }
   /// Compiled state declarations this instance runs on (shared per type
@@ -297,6 +306,20 @@ class Machine {
   template <typename... Es>
   [[nodiscard]] ReceiveAnyAwaiter<Es...> ReceiveAny();
 
+  // ---- Fault-plane hooks ----
+
+  /// Invoked when the fault plane crashes this machine, BEFORE the queue and
+  /// control state are wiped. The hook models what the crash destroys: reset
+  /// members standing in for volatile (in-memory) state here, and Notify any
+  /// monitor that needs to learn the node died. Members left untouched model
+  /// durable state that survives to a restart. Default: everything survives.
+  virtual void OnCrash() {}
+
+  /// Invoked when the fault plane restarts this machine, before the start
+  /// state's entry runs (at the machine's next scheduling). Members still
+  /// hold whatever OnCrash left — i.e. the durable state. Default: nothing.
+  virtual void OnRestart() {}
+
  private:
   friend class Runtime;
   template <typename E>
@@ -315,7 +338,7 @@ class Machine {
 
   // Step execution (used by the runtime).
   [[nodiscard]] bool IsEnabled() const {
-    if (halted_) return false;
+    if (halted_ || crashed_) return false;
     if (!started_) return true;
     if (!root_task_.Valid() &&
         (current_state_ == nullptr || current_state_->defers.Empty())) {
@@ -347,6 +370,12 @@ class Machine {
   void TransitionToState(const detail::CompiledState& next);
   void EnterState(const detail::CompiledState& next);
   void DoHalt();
+  /// Fault plane: OnCrash hook, then halt-style wipe with crashed_ (not
+  /// halted_) set, leaving the machine restartable.
+  void DoCrash();
+  /// Fault plane: clears crashed_ and re-arms the start state; the start
+  /// entry runs when the machine is next scheduled.
+  void DoRestart();
   const detail::CompiledState& FindState(const std::string& name) const;
   [[nodiscard]] bool HasMatchingQueuedEvent() const;
 
@@ -378,11 +407,14 @@ class Machine {
   bool pending_halt_ = false;
   bool started_ = false;
   bool halted_ = false;
+  bool crashed_ = false;    // fault plane: inert but restartable
+  bool crashable_ = false;  // fault plane: crash-candidate opt-in
   bool enabled_cache_ = false;
   bool enabled_dirty_ = true;
   bool fp_dirty_ = false;  // queued for contribution rehash (stateful only)
   bool logging_ = false;  // Runtime's options_.logging, cached at attach
 
+  std::uint64_t restart_count_ = 0;
   std::uint64_t transitions_taken_ = 0;
 };
 
@@ -576,6 +608,39 @@ struct RuntimeOptions {
   /// (FingerprintTrail). Test/debug instrumentation — production stateful
   /// runs keep it off so the step loop does no trail bookkeeping.
   bool record_fingerprint_trail = false;
+
+  // ---- Fault plane (see README "Fault injection") ----
+  // All defaults off: a fault-free execution takes one dead branch per step
+  // and is otherwise bit-for-bit what it always was.
+
+  /// Per-execution budget of machine crashes (halt-style wipe of a machine
+  /// Runtime::SetCrashable opted in, decided by the strategy at step
+  /// boundaries). 0 disables crashes.
+  std::uint64_t max_crashes = 0;
+  /// Per-execution budget of restarts of crashed machines (back to the start
+  /// state; members survive per Machine::OnCrash). 0 disables restarts.
+  std::uint64_t max_restarts = 0;
+  /// Per-delivery drop odds denominator: each machine-to-machine delivery is
+  /// dropped with probability 1/den. 0 disables drops.
+  std::uint64_t drop_probability_den = 0;
+  /// Per-execution budget of message duplications (the event is delivered
+  /// twice). 0 disables duplication.
+  std::uint64_t max_duplications = 0;
+  /// Odds denominator for the budgeted fault rolls (crash/restart per step,
+  /// duplication per delivery): each fires with probability 1/den while
+  /// budget remains.
+  std::uint64_t fault_odds_den = 16;
+  /// Replay mode: apply whatever fault decisions the ReplayStrategy reads
+  /// from its trace, ignoring the budgets above. Set by
+  /// TestingEngine::Replay so fault traces reproduce without any fault
+  /// configuration.
+  bool replay_faults = false;
+
+  /// Whether this options set turns the fault plane on for exploration.
+  [[nodiscard]] bool FaultInjectionEnabled() const noexcept {
+    return max_crashes > 0 || drop_probability_den > 0 ||
+           max_duplications > 0;
+  }
 };
 
 /// One serialized execution of a machine program. The TestingEngine creates a
@@ -656,6 +721,45 @@ class Runtime {
     AttachMonitor(std::move(monitor), std::move(debug_name),
                   MonitorTypeIdOf<M>());
     return ref;
+  }
+
+  /// Marks `id` as a crash candidate for the fault plane. Harnesses opt
+  /// machines in explicitly (usually the modeled nodes, not the monitors'
+  /// environment or the driver), so crash budgets never touch machines whose
+  /// failure is not part of the scenario's fault model. Callable during
+  /// setup or from machine handlers (for machines created mid-execution).
+  void SetCrashable(MachineId id, bool crashable = true);
+
+  /// Injected-fault counts for this execution.
+  struct FaultStats {
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t duplications = 0;
+
+    [[nodiscard]] std::uint64_t Total() const noexcept {
+      return crashes + restarts + drops + duplications;
+    }
+    FaultStats& operator+=(const FaultStats& other) noexcept {
+      crashes += other.crashes;
+      restarts += other.restarts;
+      drops += other.drops;
+      duplications += other.duplications;
+      return *this;
+    }
+    friend bool operator==(const FaultStats&, const FaultStats&) = default;
+  };
+  [[nodiscard]] const FaultStats& GetFaultStats() const noexcept {
+    return fault_stats_;
+  }
+
+  /// Registers a world-level fingerprint probe for shared state no single
+  /// machine owns (e.g. a table several machines mutate through a
+  /// shared_ptr). Probes are rehashed on EVERY fingerprint read — they
+  /// cannot be tracked incrementally — and are only consulted when
+  /// options_.fingerprint_payloads is on, like Machine::FingerprintPayload.
+  void AddFingerprintProbe(std::function<void(StateHasher&)> probe) {
+    fp_probes_.push_back(std::move(probe));
   }
 
   /// Sends an event from outside any machine (harness setup).
@@ -796,6 +900,20 @@ class Runtime {
   void UpdateMonitorTemperatures();
   [[noreturn]] void ThrowCascadeOverflow() const;
 
+  // Fault plane (called only when fault_mode_).
+  /// Crash/restart choice point at the current step boundary: collects
+  /// candidates under the remaining budgets (or defers entirely to the trace
+  /// under replay_faults), asks the strategy, applies + records the result.
+  void MaybeInjectFault();
+  void ApplyCrash(MachineId id);
+  void ApplyRestart(MachineId id);
+  /// Message-fault choice point for one delivery. Returns true when the
+  /// delivery was dropped (the caller then skips the enqueue); a duplication
+  /// enqueues the clone here and lets the caller enqueue the original.
+  bool ApplyDeliveryFault(Machine& target, const Event& ev);
+  /// XOR-mixin of probe digests and fault-budget counters (stateful only).
+  [[nodiscard]] Fingerprint SharedStateFingerprint() const;
+
   /// Queues `machine` for a contribution rehash at the next fingerprint
   /// refresh (stateful only; senders call this when they mutate a queue).
   void MarkFingerprintDirty(Machine& machine);
@@ -819,7 +937,18 @@ class Runtime {
   std::vector<Fingerprint> fp_contrib_;      // per machine, index = id - 1
   std::vector<std::uint64_t> fp_dirty_ids_;  // machines awaiting rehash
   std::vector<Fingerprint> fp_trail_;        // post-step world fingerprints
+  std::vector<std::function<void(StateHasher&)>> fp_probes_;
   Fingerprint world_fp_ = 0;
+  // Fault-plane state (inert unless fault_mode_).
+  /// FaultInjectionEnabled() || replay_faults, cached: the per-step and
+  /// per-delivery fault hooks are one dead branch when off.
+  const bool fault_mode_;
+  FaultStats fault_stats_;
+  std::uint64_t delivery_seq_ = 0;      // machine-to-machine delivery ordinal
+  std::size_t crashable_machines_ = 0;  // SetCrashable opt-ins
+  std::size_t crashed_machines_ = 0;    // currently crashed (restartable)
+  std::vector<MachineId> crash_scratch_;    // crash candidates, reused
+  std::vector<MachineId> restart_scratch_;  // restart candidates, reused
 };
 
 // ---- Machine members that need Runtime's definition ----

@@ -8,6 +8,37 @@
 namespace systest {
 
 // ---------------------------------------------------------------------------
+// SchedulingStrategy fault-choice defaults
+
+FaultDecision SchedulingStrategy::NextFault(const FaultContext& ctx) {
+  // Geometric fault placement from the strategy's own choice source: at each
+  // eligible step the fault fires with probability 1/odds_den, then a second
+  // draw picks the victim uniformly. Consuming NextInt keeps the decision
+  // inside the strategy's deterministic seed-derived stream, so the same
+  // seed places the same faults.
+  if (!ctx.crashable.empty() && NextInt(ctx.odds_den) == 0) {
+    return {FaultDecision::Kind::kCrash,
+            ctx.crashable[NextInt(ctx.crashable.size())]};
+  }
+  if (!ctx.restartable.empty() && NextInt(ctx.odds_den) == 0) {
+    return {FaultDecision::Kind::kRestart,
+            ctx.restartable[NextInt(ctx.restartable.size())]};
+  }
+  return {};
+}
+
+DeliveryFault SchedulingStrategy::NextDeliveryFault(
+    const DeliveryFaultContext& ctx) {
+  if (ctx.drop_allowed && NextInt(ctx.drop_den) == 0) {
+    return DeliveryFault::kDrop;
+  }
+  if (ctx.duplicate_allowed && NextInt(ctx.dup_den) == 0) {
+    return DeliveryFault::kDuplicate;
+  }
+  return DeliveryFault::kNone;
+}
+
+// ---------------------------------------------------------------------------
 // RandomStrategy
 
 void RandomStrategy::PrepareIteration(std::uint64_t iteration,
@@ -158,6 +189,41 @@ std::uint64_t ReplayStrategy::NextInt(std::uint64_t bound) {
                    "replay: integer choice bound mismatch");
   }
   return d.value;
+}
+
+FaultDecision ReplayStrategy::NextFault(const FaultContext& ctx) {
+  // Peek, don't take: a fault decision was only recorded when a fault
+  // actually fired, so at most step boundaries the next decision is the
+  // upcoming schedule/bool/int. The recorded step disambiguates a fault
+  // recorded for a LATER boundary from one due now.
+  if (cursor_ < trace_.Size()) {
+    const Decision& d = trace_.Decisions()[cursor_];
+    if (d.kind == Decision::Kind::kCrash && d.bound == ctx.step) {
+      ++cursor_;
+      return {FaultDecision::Kind::kCrash, MachineId{d.value}};
+    }
+    if (d.kind == Decision::Kind::kRestart && d.bound == ctx.step) {
+      ++cursor_;
+      return {FaultDecision::Kind::kRestart, MachineId{d.value}};
+    }
+  }
+  return {};
+}
+
+DeliveryFault ReplayStrategy::NextDeliveryFault(
+    const DeliveryFaultContext& ctx) {
+  if (cursor_ < trace_.Size()) {
+    const Decision& d = trace_.Decisions()[cursor_];
+    if (d.kind == Decision::Kind::kDrop && d.value == ctx.ordinal) {
+      ++cursor_;
+      return DeliveryFault::kDrop;
+    }
+    if (d.kind == Decision::Kind::kDuplicate && d.value == ctx.ordinal) {
+      ++cursor_;
+      return DeliveryFault::kDuplicate;
+    }
+  }
+  return DeliveryFault::kNone;
 }
 
 // ---------------------------------------------------------------------------

@@ -38,6 +38,41 @@ struct MachineId {
 /// bug, which is why only the built-ins' own constructors set it.
 enum class BuiltinStrategy : std::uint8_t { kOther = 0, kRandom, kPct };
 
+/// Outcome of the per-step crash/restart choice point (the fault plane's
+/// step-boundary fault action).
+struct FaultDecision {
+  enum class Kind : std::uint8_t { kNone, kCrash, kRestart };
+  Kind kind = Kind::kNone;
+  MachineId machine{};
+};
+
+/// Context for SchedulingStrategy::NextFault. The runtime populates the
+/// candidate spans only while the corresponding budget remains, so an empty
+/// span means "this fault kind is not available here". Under replay both
+/// spans are empty — the ReplayStrategy reads the decision from the trace.
+struct FaultContext {
+  std::span<const MachineId> crashable;    ///< crash candidates (sorted)
+  std::span<const MachineId> restartable;  ///< restart candidates (sorted)
+  std::uint64_t step = 0;       ///< 0-based step this boundary precedes
+  std::uint64_t odds_den = 16;  ///< suggested per-step fault odds (1/den)
+};
+
+/// Outcome of the per-delivery message-fault choice point.
+enum class DeliveryFault : std::uint8_t { kNone, kDrop, kDuplicate };
+
+/// Context for SchedulingStrategy::NextDeliveryFault. `ordinal` is the
+/// 0-based index of this machine-to-machine delivery within the execution —
+/// the stable coordinate fault decisions are recorded against, so replay can
+/// re-apply them without any fault configuration.
+struct DeliveryFaultContext {
+  std::uint64_t ordinal = 0;
+  MachineId target{};
+  bool drop_allowed = false;       ///< drop_probability_den is configured
+  bool duplicate_allowed = false;  ///< budget remains and the event is clonable
+  std::uint64_t drop_den = 0;      ///< per-delivery drop odds (1/den)
+  std::uint64_t dup_den = 0;       ///< per-delivery duplication odds (1/den)
+};
+
 /// Interface consulted by the runtime at every scheduling point.
 class SchedulingStrategy {
  public:
@@ -62,6 +97,21 @@ class SchedulingStrategy {
 
   /// Value in [0, bound) for a controlled integer choice. bound >= 1.
   virtual std::uint64_t NextInt(std::uint64_t bound) = 0;
+
+  /// Crash/restart choice point, consulted once per scheduling step while
+  /// the fault plane is active and budget remains. The default derives the
+  /// decision from the strategy's own choice source (NextInt), so EVERY
+  /// strategy — random, PCT, delay-bounded, round-robin, third-party —
+  /// explores failure interleavings without any code of its own; strategies
+  /// with smarter fault placement (e.g. pre-sampled crash points) override
+  /// it. ReplayStrategy overrides it to read the recorded failure schedule
+  /// from the trace.
+  virtual FaultDecision NextFault(const FaultContext& ctx);
+
+  /// Message-fault choice point, consulted once per machine-to-machine
+  /// delivery while the fault plane is active. Same override contract as
+  /// NextFault.
+  virtual DeliveryFault NextDeliveryFault(const DeliveryFaultContext& ctx);
 
   [[nodiscard]] virtual std::string Name() const = 0;
 
@@ -197,6 +247,14 @@ class ReplayStrategy final : public SchedulingStrategy {
   MachineId Next(std::span<const MachineId> enabled, std::uint64_t step) override;
   bool NextBool() override;
   std::uint64_t NextInt(std::uint64_t bound) override;
+  /// Trace-driven fault application: if the next recorded decision is a
+  /// crash/restart whose step matches ctx.step, consume and return it;
+  /// otherwise no fault fired here. Budgets and candidate lists are ignored
+  /// — the trace alone defines the failure schedule, which is what lets
+  /// `--replay` reproduce fault-found bugs without any --faults flags.
+  FaultDecision NextFault(const FaultContext& ctx) override;
+  /// Same, keyed on the recorded delivery ordinal.
+  DeliveryFault NextDeliveryFault(const DeliveryFaultContext& ctx) override;
   [[nodiscard]] std::string Name() const override { return "replay"; }
 
   /// True once every recorded decision has been consumed.

@@ -8,6 +8,24 @@
 
 namespace systest {
 
+namespace {
+
+/// Format tag of a value/bound decision kind ('i', 'c', 'r', 'd', 'u').
+char PairTagOf(Decision::Kind kind) {
+  switch (kind) {
+    case Decision::Kind::kInt: return 'i';
+    case Decision::Kind::kCrash: return 'c';
+    case Decision::Kind::kRestart: return 'r';
+    case Decision::Kind::kDrop: return 'd';
+    case Decision::Kind::kDuplicate: return 'u';
+    case Decision::Kind::kSchedule:
+    case Decision::Kind::kBool: break;
+  }
+  return '?';
+}
+
+}  // namespace
+
 std::string Trace::ToString() const {
   std::string out;
   out.reserve(decisions_.size() * 4);
@@ -23,10 +41,50 @@ std::string Trace::ToString() const {
         out += std::to_string(d.value);
         break;
       case Decision::Kind::kInt:
-        out.push_back('i');
+      case Decision::Kind::kCrash:
+      case Decision::Kind::kRestart:
+      case Decision::Kind::kDrop:
+      case Decision::Kind::kDuplicate:
+        out.push_back(PairTagOf(d.kind));
         out += std::to_string(d.value);
         out.push_back('/');
         out += std::to_string(d.bound);
+        break;
+    }
+  }
+  return out;
+}
+
+bool Trace::HasFaultDecisions() const noexcept {
+  for (const Decision& d : decisions_) {
+    if (d.IsFault()) return true;
+  }
+  return false;
+}
+
+std::string Trace::DescribeFaults() const {
+  std::string out;
+  for (const Decision& d : decisions_) {
+    if (!d.IsFault()) continue;
+    if (!out.empty()) out += "; ";
+    switch (d.kind) {
+      case Decision::Kind::kCrash:
+        out += "crash m" + std::to_string(d.value) + "@s" +
+               std::to_string(d.bound);
+        break;
+      case Decision::Kind::kRestart:
+        out += "restart m" + std::to_string(d.value) + "@s" +
+               std::to_string(d.bound);
+        break;
+      case Decision::Kind::kDrop:
+        out += "drop #" + std::to_string(d.value) + "->m" +
+               std::to_string(d.bound);
+        break;
+      case Decision::Kind::kDuplicate:
+        out += "dup #" + std::to_string(d.value) + "->m" +
+               std::to_string(d.bound);
+        break;
+      default:
         break;
     }
   }
@@ -68,13 +126,25 @@ Trace Trace::Parse(const std::string& text) {
       case 'b':
         trace.RecordBool(ParseNumber(token) != 0);
         break;
-      case 'i': {
+      case 'i':
+      case 'c':
+      case 'r':
+      case 'd':
+      case 'u': {
         const auto slash = token.find('/');
         if (slash == std::string_view::npos) {
-          throw std::invalid_argument("Trace::Parse: kInt missing bound");
+          throw std::invalid_argument(
+              std::string("Trace::Parse: tag '") + tag + "' missing '/'");
         }
-        trace.RecordInt(ParseNumber(token.substr(0, slash)),
-                        ParseNumber(token.substr(slash + 1)));
+        const std::uint64_t value = ParseNumber(token.substr(0, slash));
+        const std::uint64_t bound = ParseNumber(token.substr(slash + 1));
+        switch (tag) {
+          case 'i': trace.RecordInt(value, bound); break;
+          case 'c': trace.RecordCrash(value, bound); break;
+          case 'r': trace.RecordRestart(value, bound); break;
+          case 'd': trace.RecordDrop(value, bound); break;
+          case 'u': trace.RecordDuplicate(value, bound); break;
+        }
         break;
       }
       default:
@@ -87,14 +157,19 @@ Trace Trace::Parse(const std::string& text) {
 
 namespace {
 constexpr std::string_view kTraceMagic = "systest-trace";
-constexpr std::string_view kTraceVersion = "v1";
+// v1: schedule/bool/int decisions only (every pre-fault-plane file). v2:
+// fault decisions (c/r/d/u tags) may appear. The writer picks the LOWEST
+// version that can represent the trace, so fault-free traces remain
+// byte-identical to what v1 writers produced.
+constexpr std::string_view kTraceVersionV1 = "v1";
+constexpr std::string_view kTraceVersionV2 = "v2";
 }  // namespace
 
 std::string Trace::Serialize() const {
   std::string out;
   out += kTraceMagic;
   out += ' ';
-  out += kTraceVersion;
+  out += HasFaultDecisions() ? kTraceVersionV2 : kTraceVersionV1;
   out += ' ';
   out += std::to_string(decisions_.size());
   out += '\n';
@@ -109,7 +184,7 @@ Trace Trace::Deserialize(const std::string& text) {
   if (!(in >> magic >> version >> count_text) || magic != kTraceMagic) {
     throw std::invalid_argument("Trace::Deserialize: missing header");
   }
-  if (version != kTraceVersion) {
+  if (version != kTraceVersionV1 && version != kTraceVersionV2) {
     throw std::invalid_argument("Trace::Deserialize: unsupported version " +
                                 version);
   }
@@ -122,6 +197,11 @@ Trace Trace::Deserialize(const std::string& text) {
     throw std::invalid_argument(
         "Trace::Deserialize: decision count mismatch (header says " +
         count_text + ", parsed " + std::to_string(trace.Size()) + ")");
+  }
+  if (version == kTraceVersionV1 && trace.HasFaultDecisions()) {
+    throw std::invalid_argument(
+        "Trace::Deserialize: v1 header but fault decisions present (no v1 "
+        "writer ever produced these; the file is corrupt)");
   }
   return trace;
 }

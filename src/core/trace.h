@@ -1,11 +1,16 @@
 // SysTest systematic-testing framework.
 //
 // A Trace is the complete record of the nondeterministic choices made during
-// one serialized execution: which machine was scheduled at each step, and the
-// value of every controlled nondeterministic choice (NondetBool/NondetInt).
+// one serialized execution: which machine was scheduled at each step, the
+// value of every controlled nondeterministic choice (NondetBool/NondetInt),
+// and — when the fault plane is active — every injected fault (machine
+// crash/restart at a step boundary, message drop/duplication at a delivery).
 // Replaying a trace with ReplayStrategy reproduces the execution exactly —
 // this is the paper's "a bug is ... witnessed by a full system trace" and the
-// basis of its replay/debug loop (§1, §2).
+// basis of its replay/debug loop (§1, §2). Fault decisions are
+// self-describing (each carries the step or delivery ordinal it fired at),
+// so replay derives the complete failure schedule from the trace alone — no
+// fault configuration is needed to reproduce a fault-found bug.
 #pragma once
 
 #include <cstdint>
@@ -17,14 +22,26 @@ namespace systest {
 /// One recorded nondeterministic decision.
 struct Decision {
   enum class Kind : std::uint8_t {
-    kSchedule,  ///< value = id of the machine chosen to run this step
-    kBool,      ///< value = 0 or 1
-    kInt,       ///< value = chosen integer; bound records the choice range
+    kSchedule,   ///< value = id of the machine chosen to run this step
+    kBool,       ///< value = 0 or 1
+    kInt,        ///< value = chosen integer; bound records the choice range
+    // Fault-plane decisions (trace format v2). Only ever recorded when a
+    // fault actually fired, so fault-free traces contain none and stay in
+    // format v1.
+    kCrash,      ///< value = crashed machine id; bound = step it fired at
+    kRestart,    ///< value = restarted machine id; bound = step it fired at
+    kDrop,       ///< value = delivery ordinal dropped; bound = target id
+    kDuplicate,  ///< value = delivery ordinal duplicated; bound = target id
   };
 
   Kind kind{Kind::kSchedule};
   std::uint64_t value{0};
   std::uint64_t bound{0};  ///< for kInt: the exclusive upper bound requested
+
+  [[nodiscard]] bool IsFault() const noexcept {
+    return kind == Kind::kCrash || kind == Kind::kRestart ||
+           kind == Kind::kDrop || kind == Kind::kDuplicate;
+  }
 
   friend bool operator==(const Decision&, const Decision&) = default;
 };
@@ -47,6 +64,20 @@ class Trace {
   void RecordInt(std::uint64_t value, std::uint64_t bound) {
     decisions_.push_back({Decision::Kind::kInt, value, bound});
   }
+  void RecordCrash(std::uint64_t machine_id, std::uint64_t step) {
+    decisions_.push_back({Decision::Kind::kCrash, machine_id, step});
+  }
+  void RecordRestart(std::uint64_t machine_id, std::uint64_t step) {
+    decisions_.push_back({Decision::Kind::kRestart, machine_id, step});
+  }
+  void RecordDrop(std::uint64_t delivery_ordinal, std::uint64_t target_id) {
+    decisions_.push_back({Decision::Kind::kDrop, delivery_ordinal, target_id});
+  }
+  void RecordDuplicate(std::uint64_t delivery_ordinal,
+                       std::uint64_t target_id) {
+    decisions_.push_back(
+        {Decision::Kind::kDuplicate, delivery_ordinal, target_id});
+  }
 
   [[nodiscard]] std::size_t Size() const noexcept { return decisions_.size(); }
   [[nodiscard]] bool Empty() const noexcept { return decisions_.empty(); }
@@ -54,22 +85,36 @@ class Trace {
     return decisions_;
   }
 
-  /// Compact single-line text form, e.g. "s3;b1;i2/5;s1". Round-trips with
-  /// Parse; used to persist repro traces alongside bug reports.
+  /// True when the trace records at least one injected fault (the condition
+  /// under which Serialize emits format v2).
+  [[nodiscard]] bool HasFaultDecisions() const noexcept;
+
+  /// Human-readable one-line failure schedule, e.g.
+  /// "crash m3@s12; restart m3@s40; drop #7->m2; dup #9->m2". Empty when the
+  /// trace contains no fault decisions.
+  [[nodiscard]] std::string DescribeFaults() const;
+
+  /// Compact single-line text form, e.g. "s3;b1;i2/5;s1" (fault decisions
+  /// appear as "c<machine>/<step>", "r<machine>/<step>", "d<ordinal>/<target>"
+  /// and "u<ordinal>/<target>"). Round-trips with Parse; used to persist
+  /// repro traces alongside bug reports.
   [[nodiscard]] std::string ToString() const;
 
   /// Parses the ToString form. Throws std::invalid_argument on malformed
   /// input.
   static Trace Parse(const std::string& text);
 
-  /// Durable serialization: a versioned header line ("systest-trace v1 <n>")
-  /// followed by the compact ToString decision line. Round-trips with
+  /// Durable serialization: a versioned header line ("systest-trace v1 <n>",
+  /// or "systest-trace v2 <n>" when the trace records injected faults)
+  /// followed by the compact ToString decision line. Fault-free traces stay
+  /// in v1 byte-for-byte, so files written before the fault plane existed
+  /// and fault-off runs today are indistinguishable. Round-trips with
   /// Deserialize; this is the on-disk format written by
   /// `systest_run --trace-out` and consumed by `--replay`.
   [[nodiscard]] std::string Serialize() const;
 
-  /// Parses the Serialize form, validating version and decision count.
-  /// Throws std::invalid_argument on malformed input.
+  /// Parses the Serialize form (v1 or v2), validating version and decision
+  /// count. Throws std::invalid_argument on malformed input.
   static Trace Deserialize(const std::string& text);
 
   /// File wrappers over Serialize/Deserialize. Throw std::runtime_error on

@@ -39,6 +39,10 @@ std::vector<WorkerAssignment> PartitionBudget(const TestConfig& config,
     a.strategy_budget = config.strategy_budget;
     a.seed = config.seed + offset;
     a.iterations = base + (static_cast<std::uint64_t>(w) < remainder ? 1 : 0);
+    a.max_crashes = config.max_crashes;
+    a.max_restarts = config.max_restarts;
+    a.drop_probability_den = config.drop_probability_den;
+    a.max_duplications = config.max_duplications;
     offset += a.iterations;
     assignments.push_back(a);
   }
@@ -50,12 +54,16 @@ std::vector<WorkerAssignment> PartitionBudget(const TestConfig& config,
 std::string WorkerAssignment::Describe() const {
   // Use the strategy's own display name so plan descriptions can never
   // drift from the names workers report.
-  return "w" + std::to_string(worker) + " " +
-         StrategyRegistry::Instance()
-             .Create(strategy, seed, strategy_budget)
-             ->Name() +
-         " seeds=[" + std::to_string(seed) + "," +
-         std::to_string(seed + iterations) + ")";
+  std::string out = "w" + std::to_string(worker) + " " +
+                    StrategyRegistry::Instance()
+                        .Create(strategy, seed, strategy_budget)
+                        ->Name() +
+                    " seeds=[" + std::to_string(seed) + "," +
+                    std::to_string(seed + iterations) + ")";
+  if (FaultsEnabled()) {
+    out += " +faults";
+  }
+  return out;
 }
 
 ExplorationPlan ExplorationPlan::Shard(const TestConfig& config, int workers) {
@@ -69,6 +77,7 @@ ExplorationPlan ExplorationPlan::Portfolio(const TestConfig& config,
   ExplorationPlan plan;
   plan.workers_ = PartitionBudget(config, workers);
   constexpr std::size_t rotation = std::size(kPortfolio);
+  const bool faults = config.FaultsEnabled();
   for (WorkerAssignment& a : plan.workers_) {
     const PortfolioEntry& entry =
         kPortfolio[static_cast<std::size_t>(a.worker) % rotation];
@@ -76,6 +85,16 @@ ExplorationPlan ExplorationPlan::Portfolio(const TestConfig& config,
     // Budget 0 means "keep the configured budget" only for strategies that
     // use one; random ignores it either way.
     a.strategy_budget = entry.budget > 0 ? entry.budget : config.strategy_budget;
+    if (faults && a.worker % 2 == 1) {
+      // With faults configured, odd workers race FAULT-FREE: half the fleet
+      // hunts pure-ordering bugs at full schedule depth while the other half
+      // explores failure interleavings — a bug of either class wins the
+      // first-bug race.
+      a.max_crashes = 0;
+      a.max_restarts = 0;
+      a.drop_probability_den = 0;
+      a.max_duplications = 0;
+    }
   }
   return plan;
 }

@@ -45,12 +45,18 @@ std::string BreakdownTable(const std::vector<WorkerReport>& workers) {
         "[" + std::to_string(w.assignment.seed) + "," +
         std::to_string(w.assignment.seed + w.assignment.iterations) + ")";
     std::snprintf(line, sizeof(line),
-                  "  w%-5d  %-18s  %-20s  %10llu  %9llu  %s\n",
+                  "  w%-5d  %-18s  %-20s  %10llu  %9llu  %s",
                   w.assignment.worker, w.strategy_name.c_str(), seeds.c_str(),
                   static_cast<unsigned long long>(w.executions),
                   static_cast<unsigned long long>(w.steps),
                   w.won ? "WINNER" : (w.bug_found ? "yes" : "-"));
     out += line;
+    if (w.assignment.FaultsEnabled()) {
+      std::snprintf(line, sizeof(line), "  faults=%llu",
+                    static_cast<unsigned long long>(w.injected_faults.Total()));
+      out += line;
+    }
+    out += '\n';
   }
   return out;
 }
@@ -105,6 +111,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
         assignment.strategy, assignment.seed, assignment.strategy_budget);
     wr.strategy_name = strategy->Name();
 
+    // Plan shards carry their own fault budgets (portfolio races fault-free
+    // workers against fault-heavy ones), so each worker explores under the
+    // budgets of ITS assignment, not the fleet config's.
+    TestConfig worker_config = config_;
+    worker_config.max_crashes = assignment.max_crashes;
+    worker_config.max_restarts = assignment.max_restarts;
+    worker_config.drop_probability_den = assignment.drop_probability_den;
+    worker_config.max_duplications = assignment.max_duplications;
+
     const auto worker_start = Clock::now();
     for (std::uint64_t i = 0; i < assignment.iterations; ++i) {
       if (stop.load(std::memory_order_relaxed)) break;
@@ -113,13 +128,16 @@ ParallelTestReport ParallelTestingEngine::Run() {
         break;
       }
       ExecutionResult result =
-          RunOneExecution(config_, harness_, *strategy, i, visited.get());
+          RunOneExecution(worker_config, harness_, *strategy, i, visited.get());
       ++wr.executions;
       wr.steps += result.steps;
       if (config_.stateful) {
         wr.fingerprint_hits += result.fingerprint_hits;
         wr.fingerprint_misses += result.fingerprint_misses;
         if (result.pruned) ++wr.pruned_executions;
+      }
+      if (worker_config.FaultsEnabled()) {
+        wr.injected_faults += result.faults;
       }
       executions.fetch_add(1, std::memory_order_relaxed);
       steps.fetch_add(result.steps, std::memory_order_relaxed);
@@ -160,6 +178,12 @@ ParallelTestReport ParallelTestingEngine::Run() {
       agg.pruned_executions += w.pruned_executions;
       agg.fingerprint_hits += w.fingerprint_hits;
       agg.fingerprint_misses += w.fingerprint_misses;
+    }
+  }
+  if (config_.FaultsEnabled()) {
+    agg.faults = true;
+    for (const WorkerReport& w : report.workers) {
+      agg.injected_faults += w.injected_faults;
     }
   }
   agg.strategy_name =

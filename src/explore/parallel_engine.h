@@ -58,6 +58,8 @@ struct WorkerReport {
   std::uint64_t pruned_executions = 0;
   std::uint64_t fingerprint_hits = 0;
   std::uint64_t fingerprint_misses = 0;
+  /// Fault runs: faults this worker injected (summed over its executions).
+  Runtime::FaultStats injected_faults;
 };
 
 struct ParallelTestReport {

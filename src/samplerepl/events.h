@@ -52,6 +52,13 @@ struct NotifyStored final : systest::Event {
   std::uint64_t value;
 };
 
+/// A storage node crashed and lost its in-memory log (fault plane): whatever
+/// it had replicated is gone.
+struct NotifyNodeWiped final : systest::Event {
+  explicit NotifyNodeWiped(systest::MachineId node) : node(node) {}
+  systest::MachineId node;
+};
+
 /// Server issued an Ack to the client.
 struct NotifyAck final : systest::Event {};
 

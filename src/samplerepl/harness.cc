@@ -13,7 +13,9 @@ systest::Harness MakeHarness(const HarnessOptions& options) {
   return [options](systest::Runtime& rt) {
     rt.RegisterMonitor<ReplicaSafetyMonitor>("ReplicaSafetyMonitor",
                                              options.replica_target);
-    rt.RegisterMonitor<RequestLivenessMonitor>("RequestLivenessMonitor");
+    if (options.liveness_monitor) {
+      rt.RegisterMonitor<RequestLivenessMonitor>("RequestLivenessMonitor");
+    }
 
     const systest::MachineId server = rt.CreateMachine<ServerMachine>(
         "Server", options.replica_target, options.bugs);
@@ -25,6 +27,9 @@ systest::Harness MakeHarness(const HarnessOptions& options) {
     for (std::size_t i = 0; i < options.num_nodes; ++i) {
       const systest::MachineId node =
           rt.CreateMachine<StorageNodeMachine>("StorageNode", server);
+      if (options.crashable_nodes) {
+        rt.SetCrashable(node);
+      }
       // Each storage node's periodic sync is driven by a modeled timer.
       timers.push_back(rt.CreateMachine<systest::TimerMachine>(
           "SyncTimer", node, options.timer_rounds));

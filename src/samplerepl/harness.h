@@ -24,6 +24,16 @@ struct HarnessOptions {
   /// executions quiesce because the client cancels the timers after the last
   /// Ack.
   std::uint64_t timer_rounds = 0;
+  /// Fault plane: opt the storage nodes in as crash candidates
+  /// (Runtime::SetCrashable). Only meaningful when the engine runs with a
+  /// crash budget.
+  bool crashable_nodes = false;
+  /// Register the RequestLivenessMonitor. Crash scenarios turn it off:
+  /// under unrestricted crashes "every request is eventually acked" is not
+  /// a theorem (a dead quorum legitimately blocks progress), so keeping the
+  /// monitor would bury the crash-recovery SAFETY bug under expected
+  /// liveness reports.
+  bool liveness_monitor = true;
 };
 
 /// Builds the Fig. 2 harness. The returned callable populates a fresh

@@ -7,6 +7,7 @@ ReplicaSafetyMonitor::ReplicaSafetyMonitor(std::size_t replica_target)
   State("Tracking")
       .On<NotifyClientReq>(&ReplicaSafetyMonitor::OnClientReq)
       .On<NotifyStored>(&ReplicaSafetyMonitor::OnStored)
+      .On<NotifyNodeWiped>(&ReplicaSafetyMonitor::OnNodeWiped)
       .On<NotifyAck>(&ReplicaSafetyMonitor::OnAck);
   SetStart("Tracking");
 }
@@ -21,6 +22,13 @@ void ReplicaSafetyMonitor::OnStored(const NotifyStored& notification) {
   if (have_request_ && notification.value == latest_value_) {
     replicas_.insert(notification.node);
   }
+}
+
+void ReplicaSafetyMonitor::OnNodeWiped(const NotifyNodeWiped& notification) {
+  // A crashed node lost its in-memory log: it no longer holds the latest
+  // value, whatever the server's accounting says. This is the ground truth
+  // the samplerepl-node-crash scenario checks the server against.
+  replicas_.erase(notification.node);
 }
 
 void ReplicaSafetyMonitor::OnAck() {

@@ -19,6 +19,7 @@ class ReplicaSafetyMonitor final : public systest::Monitor {
  private:
   void OnClientReq(const NotifyClientReq& notification);
   void OnStored(const NotifyStored& notification);
+  void OnNodeWiped(const NotifyNodeWiped& notification);
   void OnAck();
 
   std::size_t replica_target_;

@@ -72,5 +72,39 @@ SYSTEST_REGISTER_SCENARIO(samplerepl_fixed) {
               "safety", ServerBugs{});
 }
 
+// Crash-recovery scenario (fault plane): the FIXED server under
+// scheduler-controlled storage-node crashes. The server's replica accounting
+// has no notion of node failure, so a node that crashes (losing its
+// in-memory log) after its sync was counted stays counted — the server acks
+// with fewer real replicas than the target. A genuine protocol flaw that
+// only failure interleavings expose; the witness trace carries the crash
+// schedule and replays without any fault flags.
+SYSTEST_REGISTER_SCENARIO(samplerepl_node_crash) {
+  Scenario s;
+  s.name = "samplerepl-node-crash";
+  s.description =
+      "sec. 2.2 example, fixed server under scheduler-controlled node "
+      "crashes: replica accounting ignores failures";
+  s.tags = {"samplerepl", "safety", "crash-recovery", "buggy"};
+  s.params = Params();
+  s.make = [](const ParamMap& params) {
+    HarnessOptions options = OptionsFrom(params);
+    options.bugs = ServerBugs{};  // both seeded bugs FIXED
+    options.crashable_nodes = true;
+    // Liveness is intentionally unmonitored: under unrestricted crashes a
+    // dead quorum legitimately blocks progress, and the interesting property
+    // here is the SAFETY of the ack.
+    options.liveness_monitor = false;
+    return MakeHarness(options);
+  };
+  s.default_config = [] {
+    systest::TestConfig config = DefaultConfig();
+    config.max_crashes = 1;
+    config.max_restarts = 1;
+    return config;
+  };
+  return s;
+}
+
 }  // namespace
 }  // namespace samplerepl

@@ -30,6 +30,18 @@ class ServerMachine final : public systest::Machine {
  public:
   ServerMachine(std::size_t replica_target, ServerBugs bugs);
 
+  /// Stateful exploration payload: the replication protocol's semantic state
+  /// — the outstanding value and both replica-counting views (ROADMAP
+  /// "replica counters" follow-up). Separates program states that share a
+  /// control state and queue but differ in replication progress.
+  void FingerprintPayload(systest::StateHasher& hasher) const override {
+    hasher.Mix(data_).Mix(has_data_ ? 1 : 0).Mix(num_replicas_);
+    hasher.Mix(replica_nodes_.size());
+    for (const systest::MachineId node : replica_nodes_) {
+      hasher.Mix(node.value);
+    }
+  }
+
   /// Wires up the storage nodes and client (the harness creates them after
   /// the server, so they are injected via an event).
   struct ConfigEvent final : systest::Event {

@@ -24,4 +24,10 @@ void StorageNodeMachine::OnTimeout(const systest::TimerTick& tick) {
   Send<systest::TickAck>(tick.timer);
 }
 
+void StorageNodeMachine::OnCrash() {
+  log_value_ = 0;
+  empty_ = true;
+  Notify<ReplicaSafetyMonitor, NotifyNodeWiped>(Id());
+}
+
 }  // namespace samplerepl

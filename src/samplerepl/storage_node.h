@@ -18,6 +18,17 @@ class StorageNodeMachine final : public systest::Machine {
  public:
   explicit StorageNodeMachine(systest::MachineId server);
 
+  /// Stateful exploration payload: the node's semantic state is its log.
+  void FingerprintPayload(systest::StateHasher& hasher) const override {
+    hasher.Mix(log_value_).Mix(empty_ ? 1 : 0);
+  }
+
+ protected:
+  /// Fault plane: the node stores in MEMORY (it is a modeled component), so
+  /// a crash loses the log. The safety monitor is told, since a wiped node
+  /// no longer holds a replica no matter what the server believes.
+  void OnCrash() override;
+
  private:
   void OnReplReq(const ReplReq& request);
   void OnTimeout(const systest::TimerTick& tick);

@@ -26,6 +26,9 @@ NodeId TestingDriverMachine::LaunchNode(bool with_extent) {
   }
   const systest::MachineId machine = Create<ExtentNodeMachine>(
       "ExtentNode", node, Id(), manager_machine_, initial);
+  if (options_.crashable_nodes) {
+    Rt().SetCrashable(machine);
+  }
   const systest::MachineId heartbeat_timer = Create<systest::TimerMachine>(
       "HeartbeatTimer", machine, /*max_rounds=*/0, kHeartbeatTimer);
   const systest::MachineId sync_timer = Create<systest::TimerMachine>(

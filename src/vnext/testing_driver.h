@@ -24,6 +24,11 @@ struct DriverOptions {
   std::size_t num_nodes = 3;         ///< initial Extent Nodes
   std::size_t initial_replicas = 3;  ///< how many of them hold the extent
   bool inject_failure = true;        ///< scenario 2 when true, scenario 1 when false
+  /// Fault plane: opt every launched EN in as a crash candidate
+  /// (Runtime::SetCrashable). Replaces the driver's hand-rolled FailureEvent
+  /// injection with scheduler-controlled crashes — set inject_failure=false
+  /// alongside so the only failures are the ones the strategy decides.
+  bool crashable_nodes = false;
   ExtentId extent = 1;
 };
 

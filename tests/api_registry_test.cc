@@ -82,7 +82,7 @@ TEST(ScenarioRegistry, TagFilteringSelectsByDomainAndDefectClass) {
   }
   EXPECT_EQ(samplerepl, (std::set<std::string>{
                             "samplerepl-safety", "samplerepl-liveness",
-                            "samplerepl-fixed"}));
+                            "samplerepl-fixed", "samplerepl-node-crash"}));
 
   for (const Scenario* s : registry.WithTag("buggy")) {
     EXPECT_FALSE(s->HasTag("fixed")) << s->name;

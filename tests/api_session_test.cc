@@ -451,10 +451,67 @@ TEST(SessionOverrides, StatefulKnobsFlowThroughResolveConfig) {
   config.stateful = true;
   config.fingerprint_payloads = true;
   config.max_visited = 1234;
+  config.prune_run = 3;
   const TestConfig tc = TestSession(config).ResolveConfig();
   EXPECT_TRUE(tc.stateful);
   EXPECT_TRUE(tc.fingerprint_payloads);
   EXPECT_EQ(tc.max_visited, 1234u);
+  EXPECT_EQ(tc.prune_run, 3u);
+}
+
+TEST(SessionOverrides, FaultKnobsFlowThroughResolveConfig) {
+  SessionConfig config;
+  config.scenario = "samplerepl-fixed";
+  config.max_crashes = 2;
+  config.max_restarts = 1;
+  config.drop_probability_den = 32;
+  config.max_duplications = 4;
+  config.fault_odds_den = 8;
+  const TestConfig tc = TestSession(config).ResolveConfig();
+  EXPECT_TRUE(tc.FaultsEnabled());
+  EXPECT_EQ(tc.max_crashes, 2u);
+  EXPECT_EQ(tc.max_restarts, 1u);
+  EXPECT_EQ(tc.drop_probability_den, 32u);
+  EXPECT_EQ(tc.max_duplications, 4u);
+  EXPECT_EQ(tc.fault_odds_den, 8u);
+  // And the crash-recovery scenario carries its own fault defaults.
+  SessionConfig scenario_default;
+  scenario_default.scenario = "samplerepl-node-crash";
+  const TestConfig sd = TestSession(scenario_default).ResolveConfig();
+  EXPECT_EQ(sd.max_crashes, 1u);
+  EXPECT_EQ(sd.max_restarts, 1u);
+}
+
+TEST(SessionReporters, FaultSessionEmitsInjectedFaultFieldsAndSchedule) {
+  systest::api::JsonReporter reporter(stdout);
+  SessionConfig config;
+  config.scenario = "samplerepl-node-crash";
+  config.iterations = 5'000;  // the seeded default finds the bug well within
+  TestSession session(config);
+  session.AddObserver(&reporter);
+  const SessionReport report = session.Run();
+  ASSERT_TRUE(report.report.bug_found);
+  EXPECT_TRUE(report.report.faults);
+  EXPECT_GT(report.report.injected_faults.crashes, 0u);
+  const std::string& json = reporter.Last();
+  EXPECT_NE(json.find("\"faults\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"injected_crashes\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"injected_restarts\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"injected_drops\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"injected_duplications\":"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"bug_fault_schedule\":\"crash m"), std::string::npos)
+      << json;
+
+  // Replay the fault witness through a session with NO fault configuration:
+  // the trace alone reproduces the violation.
+  SessionConfig replay;
+  replay.scenario = "samplerepl-node-crash";
+  replay.replay_trace = report.report.bug_trace;
+  const SessionReport replayed = TestSession(replay).Run();
+  EXPECT_TRUE(replayed.replay_verified);
+  EXPECT_EQ(replayed.report.bug_message, report.report.bug_message);
+  EXPECT_EQ(replayed.report.bug_trace, report.report.bug_trace);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,89 @@
+// Trace format v1 <-> v2 compatibility (fault plane satellite): v1 files
+// written before the fault plane existed still load; fault-free traces still
+// serialize as byte-identical v1 (the on-disk golden guard backing the PR 2
+// golden-trace tests); traces carrying fault decisions serialize as v2 and
+// round-trip; corrupt mixtures are rejected.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/trace.h"
+
+namespace {
+
+using systest::Decision;
+using systest::Trace;
+
+Trace FaultFreeTrace() {
+  Trace t;
+  t.RecordSchedule(1);
+  t.RecordBool(true);
+  t.RecordInt(2, 5);
+  t.RecordSchedule(3);
+  return t;
+}
+
+Trace FaultTrace() {
+  Trace t = FaultFreeTrace();
+  t.RecordCrash(2, 7);
+  t.RecordRestart(2, 11);
+  t.RecordDrop(4, 3);
+  t.RecordDuplicate(6, 1);
+  t.RecordSchedule(2);
+  return t;
+}
+
+TEST(TraceV2, HandWrittenV1FileStillLoads) {
+  // Byte-for-byte what a pre-fault-plane writer produced.
+  const std::string v1 = "systest-trace v1 4\ns1;b1;i2/5;s3\n";
+  const Trace loaded = Trace::Deserialize(v1);
+  EXPECT_EQ(loaded, FaultFreeTrace());
+  EXPECT_FALSE(loaded.HasFaultDecisions());
+  // And it re-serializes to the identical v1 bytes.
+  EXPECT_EQ(loaded.Serialize(), v1);
+}
+
+TEST(TraceV2, FaultFreeTraceSerializesAsV1Bytes) {
+  const std::string serialized = FaultFreeTrace().Serialize();
+  EXPECT_EQ(serialized, "systest-trace v1 4\ns1;b1;i2/5;s3\n");
+}
+
+TEST(TraceV2, FaultTraceSerializesAsV2AndRoundTrips) {
+  const Trace original = FaultTrace();
+  const std::string serialized = original.Serialize();
+  EXPECT_EQ(serialized.rfind("systest-trace v2 9", 0), 0u);
+  const Trace reloaded = Trace::Deserialize(serialized);
+  EXPECT_EQ(reloaded, original);
+  EXPECT_TRUE(reloaded.HasFaultDecisions());
+}
+
+TEST(TraceV2, FaultTagsParseAndPrint) {
+  const Trace t = FaultTrace();
+  const std::string text = t.ToString();
+  EXPECT_EQ(text, "s1;b1;i2/5;s3;c2/7;r2/11;d4/3;u6/1;s2");
+  EXPECT_EQ(Trace::Parse(text), t);
+  EXPECT_EQ(t.DescribeFaults(),
+            "crash m2@s7; restart m2@s11; drop #4->m3; dup #6->m1");
+  EXPECT_EQ(FaultFreeTrace().DescribeFaults(), "");
+}
+
+TEST(TraceV2, RejectsFaultDecisionsUnderV1Header) {
+  // No v1 writer ever produced fault tags; such a file is corrupt.
+  EXPECT_THROW(Trace::Deserialize("systest-trace v1 1\nc2/7\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceV2, RejectsUnknownVersionsAndBadTags) {
+  EXPECT_THROW(Trace::Deserialize("systest-trace v3 0\n\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Trace::Parse("c2"), std::invalid_argument);  // missing '/'
+  EXPECT_THROW(Trace::Parse("x2/7"), std::invalid_argument);
+}
+
+TEST(TraceV2, EmptyTraceStaysV1) {
+  EXPECT_EQ(Trace{}.Serialize(), "systest-trace v1 0\n\n");
+  EXPECT_EQ(Trace::Deserialize("systest-trace v1 0\n\n"), Trace{});
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include "api/strategy_registry.h"
 #include "core/systest.h"
 #include "explore/parallel_engine.h"
+#include "samplerepl/harness.h"
 
 namespace {
 
@@ -268,6 +269,69 @@ TEST(ParallelEngine, StatefulWorkersShareOneVisitedSet) {
   // be tiny even though 2000 executions were fingerprinted.
   EXPECT_LT(report.aggregate.distinct_states, 64u);
   EXPECT_GT(report.aggregate.fingerprint_hits, 0u);
+}
+
+// Parallel fault injection: the whole fleet explores crash/restart
+// schedules on the samplerepl crash-recovery scenario, the winning fault
+// trace is replayed on the calling thread, and per-worker fault counters
+// merge into the aggregate. This binary runs under TSan in CI, so this is
+// also the data-race guard for the fault plane's per-worker state.
+TEST(ParallelEngine, FaultInjectionAcrossWorkersReplaysWinningTrace) {
+  samplerepl::HarnessOptions hopts;
+  hopts.crashable_nodes = true;
+  hopts.liveness_monitor = false;
+  TestConfig config = samplerepl::DefaultConfig();
+  config.iterations = 20'000;
+  config.max_crashes = 1;
+  config.max_restarts = 1;
+  ParallelOptions options;
+  options.threads = 4;
+  ParallelTestingEngine engine(config, samplerepl::MakeHarness(hopts),
+                               options);
+  for (const WorkerAssignment& a : engine.Plan().Workers()) {
+    EXPECT_EQ(a.max_crashes, 1u);  // shards carry the fault budgets
+    EXPECT_TRUE(a.FaultsEnabled());
+  }
+  const ParallelTestReport report = engine.Run();
+  ASSERT_TRUE(report.aggregate.bug_found);
+  EXPECT_EQ(report.aggregate.bug_kind, BugKind::kSafety);
+  EXPECT_TRUE(report.replay_verified)
+      << "fault schedule did not reproduce on the calling thread";
+  EXPECT_TRUE(report.aggregate.faults);
+  EXPECT_GT(report.aggregate.injected_faults.crashes, 0u);
+  EXPECT_TRUE(report.aggregate.bug_trace.HasFaultDecisions());
+  std::uint64_t merged = 0;
+  for (const auto& w : report.workers) merged += w.injected_faults.crashes;
+  EXPECT_EQ(report.aggregate.injected_faults.crashes, merged);
+}
+
+// Portfolio with faults configured races fault-heavy workers against
+// fault-free ones.
+TEST(ExplorationPlan, PortfolioAlternatesFaultHeavyAndFaultFreeWorkers) {
+  TestConfig config = RaceConfig();
+  config.max_crashes = 2;
+  config.drop_probability_den = 8;
+  const ExplorationPlan plan = ExplorationPlan::Portfolio(config, 6);
+  int with_faults = 0;
+  int without = 0;
+  for (const WorkerAssignment& a : plan.Workers()) {
+    if (a.FaultsEnabled()) {
+      EXPECT_EQ(a.worker % 2, 0);
+      EXPECT_EQ(a.max_crashes, 2u);
+      EXPECT_EQ(a.drop_probability_den, 8u);
+      ++with_faults;
+    } else {
+      EXPECT_EQ(a.worker % 2, 1);
+      ++without;
+    }
+  }
+  EXPECT_EQ(with_faults, 3);
+  EXPECT_EQ(without, 3);
+  // Without faults configured, portfolio assigns none anywhere.
+  const ExplorationPlan plain = ExplorationPlan::Portfolio(RaceConfig(), 6);
+  for (const WorkerAssignment& a : plain.Workers()) {
+    EXPECT_FALSE(a.FaultsEnabled());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -61,6 +61,15 @@ struct Options {
   bool json = false;
   bool stateful = false;
   bool fingerprint_stats = false;  // implies --stateful
+  // Fault plane. Each budget flag overrides exactly the field it names and
+  // implies --faults; bare --faults arms crash/restart 1/1 only when the
+  // resolved config would otherwise have no faults. Replay needs NONE of
+  // these: the failure schedule is read from the trace.
+  bool faults = false;
+  long long max_crashes = -1;   // <0 = not set
+  long long max_restarts = -1;
+  long long drop_den = -1;
+  long long max_dups = -1;
 };
 
 void PrintUsage(const char* argv0) {
@@ -84,6 +93,16 @@ void PrintUsage(const char* argv0) {
       "  --time-budget <s>  wall-clock budget in seconds\n"
       "  --trace-out <f>    write the winning bug trace to <f>\n"
       "  --replay <f>       replay a saved trace instead of exploring\n"
+      "  --faults           enable scheduler-controlled fault injection;\n"
+      "                     arms crash/restart 1/1 only if neither the\n"
+      "                     scenario nor a flag below configures any fault\n"
+      "  --max-crashes <n>  per-execution machine-crash budget (implies\n"
+      "                     --faults)\n"
+      "  --max-restarts <n> per-execution restart budget (implies --faults)\n"
+      "  --drop-den <n>     drop each delivery with probability 1/n\n"
+      "                     (implies --faults)\n"
+      "  --max-dups <n>     per-execution message-duplication budget\n"
+      "                     (implies --faults)\n"
       "  --stateful         fingerprint visited program states and prune\n"
       "                     executions that reconverge to them\n"
       "  --fingerprint-stats  print the detailed dedup breakdown after the\n"
@@ -114,6 +133,24 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       options.verbose = true;
     } else if (arg == "--stateful") {
       options.stateful = true;
+    } else if (arg == "--faults") {
+      options.faults = true;
+    } else if (arg == "--max-crashes") {
+      if (!(value = need_value(i))) return false;
+      options.max_crashes = std::atoll(value);
+      options.faults = true;
+    } else if (arg == "--max-restarts") {
+      if (!(value = need_value(i))) return false;
+      options.max_restarts = std::atoll(value);
+      options.faults = true;
+    } else if (arg == "--drop-den") {
+      if (!(value = need_value(i))) return false;
+      options.drop_den = std::atoll(value);
+      options.faults = true;
+    } else if (arg == "--max-dups") {
+      if (!(value = need_value(i))) return false;
+      options.max_dups = std::atoll(value);
+      options.faults = true;
     } else if (arg == "--fingerprint-stats") {
       options.fingerprint_stats = true;
       options.stateful = true;
@@ -247,6 +284,27 @@ SessionConfig BuildSessionConfig(const std::string& scenario,
   if (options.budget >= 0) config.strategy_budget = options.budget;
   if (options.time_budget >= 0) config.time_budget_seconds = options.time_budget;
   if (options.stateful) config.stateful = true;
+  if (options.faults && options.replay.empty()) {
+    // Each flag overrides exactly the budget it names; scenarios that carry
+    // their own fault defaults keep everything untouched. Bare --faults only
+    // arms crash/restart 1/1 when the RESOLVED config would otherwise have
+    // no faults at all (SessionConfig::faults). Replay mode needs none of
+    // this — the trace is the schedule.
+    config.faults = true;
+    if (options.max_crashes >= 0) {
+      config.max_crashes = static_cast<std::uint64_t>(options.max_crashes);
+    }
+    if (options.max_restarts >= 0) {
+      config.max_restarts = static_cast<std::uint64_t>(options.max_restarts);
+    }
+    if (options.drop_den >= 0) {
+      config.drop_probability_den =
+          static_cast<std::uint64_t>(options.drop_den);
+    }
+    if (options.max_dups >= 0) {
+      config.max_duplications = static_cast<std::uint64_t>(options.max_dups);
+    }
+  }
   config.readable_trace_on_bug = options.verbose;
   config.replay_file = options.replay;
   return config;
