@@ -3,6 +3,7 @@
 #include <cinttypes>
 
 #include "core/bug.h"
+#include "obs/coverage.h"
 
 namespace systest::api {
 
@@ -58,9 +59,7 @@ void HumanReporter::OnFinish(const SessionReport& report) {
                      report.report.pruned_executions),
                  static_cast<unsigned long long>(report.report.executions),
                  report.report.FingerprintHitRate() * 100.0);
-    if (!report.report.bug_found && report.report.executions >= 10 &&
-        report.report.pruned_executions * 10 >=
-            report.report.executions * 9) {
+    if (report.report.VisitedSetSaturated()) {
       // Near-total pruning means the fingerprint view has saturated: the
       // budget is no longer reaching anything it can tell apart. Without a
       // payload hook that is NOT the same as semantic coverage.
@@ -88,6 +87,9 @@ void HumanReporter::OnFinish(const SessionReport& report) {
     // witness trace — replaying the trace re-applies exactly these faults.
     std::fprintf(out_, "first-bug fault schedule: %s\n",
                  report.report.bug_trace.DescribeFaults().c_str());
+  }
+  if (report.report.coverage != nullptr && !report.report.coverage->Empty()) {
+    std::fprintf(out_, "\n%s", report.report.coverage->Render().c_str());
   }
   if (verbose_ && report.report.bug_found) PrintBugTail(out_, report.report);
 }
@@ -155,6 +157,11 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.4f", r.FingerprintHitRate());
     field("fingerprint_hit_rate", rate, false);
+    // CI-detectable saturation warning: a smoke budget whose executions
+    // almost all prune is over-provisioned (or the fingerprint view needs
+    // payload hooks) — machine-readable counterpart of HumanReporter's note.
+    field("visited_set_saturated", r.VisitedSetSaturated() ? "true" : "false",
+          false);
   }
   if (r.faults) {
     field("faults", "true", false);
@@ -185,12 +192,15 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     for (const explore::WorkerReport& w : report.workers) {
       if (!first) json += ',';
       first = false;
+      char wall[32];
+      std::snprintf(wall, sizeof(wall), "%.6f", w.seconds);
       json += "{\"worker\":" + std::to_string(w.assignment.worker) +
               ",\"strategy\":\"" + JsonEscape(w.strategy_name) +
               "\",\"seed\":" + std::to_string(w.assignment.seed) +
               ",\"iterations\":" + std::to_string(w.assignment.iterations) +
               ",\"executions\":" + std::to_string(w.executions) +
               ",\"steps\":" + std::to_string(w.steps) +
+              ",\"seconds\":" + wall +
               ",\"bug_found\":" + (w.bug_found ? "true" : "false") +
               ",\"won\":" + (w.won ? "true" : "false") +
               (r.stateful ? ",\"pruned\":" + std::to_string(w.pruned_executions)
@@ -204,6 +214,9 @@ void JsonReporter::OnFinish(const SessionReport& report) {
   }
   if (report.mode == "replay") {
     field("replay_verified", report.replay_verified ? "true" : "false", false);
+  }
+  if (r.coverage != nullptr && !r.coverage->Empty()) {
+    json += ",\"coverage\":" + r.coverage->ToJson();
   }
   json += '}';
   last_ = std::move(json);

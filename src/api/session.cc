@@ -6,8 +6,13 @@
 #include <thread>
 #include <utility>
 
+#include <memory>
+
 #include "api/strategy_registry.h"
 #include "core/bug.h"
+#include "obs/campaign.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
 
 namespace systest::api {
 
@@ -137,6 +142,38 @@ SessionReport TestSession::Run() {
   start.mode = out.mode;
   start.threads = parallel ? threads : 1;
 
+  // Metrics plane: any of the observability switches arms it; replay mode
+  // never observes (a replay is one deterministic execution, not a
+  // campaign). The registry/metrics/monitor trio lives for this Run() only.
+  const bool metrics_on =
+      !replay && (config_.metrics || config_.progress ||
+                  !config_.metrics_out.empty() || config_.coverage);
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::CampaignMetrics> metrics;
+  std::unique_ptr<obs::CampaignMonitor> monitor;
+  if (metrics_on) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+    metrics = std::make_unique<obs::CampaignMetrics>(*registry);
+  }
+  // Builds and starts the sampling monitor once the worker count is known
+  // (the parallel engine resolves it).
+  auto start_monitor = [&](std::size_t workers) {
+    if (!metrics_on) return;
+    obs::MonitorOptions mopts;
+    mopts.interval_ms = config_.metrics_interval_ms;
+    mopts.jsonl_path = config_.metrics_out;
+    mopts.progress = config_.progress;
+    mopts.total_executions = tc.iterations;
+    mopts.workers = workers;
+    monitor = std::make_unique<obs::CampaignMonitor>(*metrics, mopts);
+    if (!observers_.empty()) {
+      monitor->SetSampleCallback([this](const obs::MetricsSample& sample) {
+        for (RunObserver* observer : observers_) observer->OnSnapshot(sample);
+      });
+    }
+    monitor->Start();
+  };
+
   if (replay) {
     const Trace trace = config_.replay_trace
                             ? *config_.replay_trace
@@ -152,6 +189,8 @@ SessionReport TestSession::Run() {
     options.threads = threads;
     options.portfolio = portfolio;
     options.verify_replay = config_.verify_replay;
+    options.metrics = metrics.get();
+    options.coverage = config_.coverage;
     std::mutex observer_mutex;
     if (!iteration_observers.empty()) {
       options.on_iteration = [&](int worker, std::uint64_t iteration,
@@ -168,6 +207,7 @@ SessionReport TestSession::Run() {
     start.plan = engine.Plan().Describe();
     out.plan = start.plan;
     for (RunObserver* observer : observers_) observer->OnStart(start);
+    start_monitor(static_cast<std::size_t>(engine.Threads()));
     explore::ParallelTestReport preport = engine.Run();
     out.report = std::move(preport.aggregate);
     out.workers = std::move(preport.workers);
@@ -177,6 +217,7 @@ SessionReport TestSession::Run() {
         config_.verify_replay && out.report.bug_found;
   } else {
     TestingEngine engine(tc, harness);
+    engine.SetObservability(metrics.get(), config_.coverage);
     if (!iteration_observers.empty()) {
       engine.SetIterationCallback(
           [&iteration_observers](std::uint64_t iteration,
@@ -188,7 +229,19 @@ SessionReport TestSession::Run() {
           });
     }
     for (RunObserver* observer : observers_) observer->OnStart(start);
+    start_monitor(/*workers=*/1);
     out.report = engine.Run();
+  }
+
+  if (monitor != nullptr) {
+    // Engines (and their workers) are done: the monitor's closing sample and
+    // the snapshot below are exact, and both happen before any OnBug /
+    // OnFinish reporting so reporters can consume them.
+    monitor->Stop();
+    out.samples = monitor->Samples();
+  }
+  if (registry != nullptr) {
+    out.metrics = registry->Snapshot();
   }
 
   if (out.report.bug_found) {

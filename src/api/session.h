@@ -26,6 +26,7 @@
 #include "core/engine.h"
 #include "core/trace.h"
 #include "explore/parallel_engine.h"
+#include "obs/monitor.h"
 
 namespace systest::api {
 
@@ -87,6 +88,25 @@ struct SessionConfig {
   /// Parallel modes: re-run the winning trace on the calling thread and
   /// record whether it reproduced (SessionReport::replay_verified).
   bool verify_replay = true;
+
+  // ---- Observability (README "Observability") ----
+  // The metrics plane activates when any of metrics/progress/metrics_out is
+  // set; replay mode never observes. Scheduling and traces are bit-for-bit
+  // identical with observability on or off.
+
+  /// Collect campaign metrics (and expose the final MetricsSnapshot via the
+  /// monitor's samples / RunObserver::OnSnapshot).
+  bool metrics = false;
+  /// Live single-line progress display on stderr (implies metrics).
+  bool progress = false;
+  /// Append a JSONL time-series sample every metrics_interval_ms to this
+  /// path (implies metrics). Empty = no file.
+  std::string metrics_out;
+  /// Sampling interval of the CampaignMonitor thread.
+  std::uint64_t metrics_interval_ms = 250;
+  /// Collect coverage heatmaps into TestReport::coverage (per-machine state
+  /// visits, per-event-type deliveries, fault placements; implies metrics).
+  bool coverage = false;
 };
 
 /// Aggregate outcome of a session, uniform across all four modes.
@@ -106,6 +126,11 @@ struct SessionReport {
   bool replay_verify_attempted = false;
   /// Parallel modes: human-readable exploration plan.
   std::string plan;
+  /// Final registry aggregation (empty unless the metrics plane was active).
+  /// Taken after every engine worker joined, so totals are exact.
+  obs::MetricsSnapshot metrics;
+  /// Monitor time-series retained in memory (empty unless metrics).
+  std::vector<obs::MetricsSample> samples;
 
   [[nodiscard]] std::string BreakdownTable() const {
     return explore::BreakdownTable(workers);
@@ -142,6 +167,11 @@ class RunObserver {
   /// don't need it (like the shipped reporters) must not pay for it.
   virtual void OnIteration(const IterationInfo& /*info*/) {}
   [[nodiscard]] virtual bool WantsIterations() const { return false; }
+  /// Telemetry stream: one call per CampaignMonitor sample, only when the
+  /// session's metrics plane is active. UNLIKE the other hooks this is
+  /// invoked on the MONITOR thread, concurrently with OnIteration — an
+  /// observer implementing both synchronizes its own state.
+  virtual void OnSnapshot(const obs::MetricsSample& /*sample*/) {}
   /// Invoked once when the session found a violation (the winning bug).
   virtual void OnBug(const TestReport& /*report*/) {}
   virtual void OnFinish(const SessionReport& /*report*/) {}

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/strategy_registry.h"
+#include "obs/campaign.h"
 
 namespace systest {
 
@@ -180,10 +181,15 @@ ExecutionResult RunOneExecution(const TestConfig& config,
                                 const Harness& harness,
                                 SchedulingStrategy& strategy,
                                 std::uint64_t iteration,
-                                VisitedSet* visited) {
+                                VisitedSet* visited, obs::WorkerObs* obs) {
   ExecutionResult result;
   strategy.PrepareIteration(iteration, config.max_steps);
-  Runtime runtime(strategy, MakeRuntimeOptions(config, false));
+  RuntimeOptions options = MakeRuntimeOptions(config, false);
+  if (obs != nullptr) {
+    obs->BeginExecution();
+    options.probe = &obs->probe;
+  }
+  Runtime runtime(strategy, options);
   try {
     if (config.stateful && visited != nullptr) {
       result.hit_step_bound =
@@ -200,6 +206,10 @@ ExecutionResult RunOneExecution(const TestConfig& config,
   }
   result.steps = runtime.Steps();
   result.faults = runtime.GetFaultStats();
+  if (obs != nullptr) {
+    // Flush while the runtime is still alive: coverage walks its machines.
+    obs->FlushExecution(runtime, result, visited);
+  }
   result.trace = runtime.TakeTrace();  // O(1): the runtime dies right here
   if (config.stateful && config.record_fingerprint_trail) {
     result.fingerprint_trail = runtime.TakeFingerprintTrail();
@@ -217,6 +227,12 @@ TestReport TestingEngine::Run() {
   report.strategy_name = strategy->Name();
   FingerprintSet visited(static_cast<std::size_t>(config_.max_visited));
   VisitedSet* visited_ptr = config_.stateful ? &visited : nullptr;
+  std::unique_ptr<obs::WorkerObs> worker_obs;
+  if (metrics_ != nullptr) {
+    worker_obs =
+        std::make_unique<obs::WorkerObs>(*metrics_, /*worker_index=*/0,
+                                         coverage_);
+  }
   const auto start = Clock::now();
 
   for (std::uint64_t iteration = 0; iteration < config_.iterations;
@@ -227,7 +243,8 @@ TestReport TestingEngine::Run() {
     }
     ++report.executions;
     ExecutionResult result =
-        RunOneExecution(config_, harness_, *strategy, iteration, visited_ptr);
+        RunOneExecution(config_, harness_, *strategy, iteration, visited_ptr,
+                        worker_obs.get());
     report.total_steps += result.steps;
     if (config_.stateful) {
       report.fingerprint_hits += result.fingerprint_hits;
@@ -265,6 +282,10 @@ TestReport TestingEngine::Run() {
     report.distinct_states = visited.Size();
   }
   report.faults = config_.FaultsEnabled();
+  if (worker_obs != nullptr && coverage_) {
+    report.coverage =
+        std::make_shared<obs::CoverageReport>(worker_obs->TakeCoverage());
+  }
   return report;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,12 @@
 #include "core/trace.h"
 
 namespace systest {
+
+namespace obs {
+class CampaignMetrics;   // obs/campaign.h
+struct WorkerObs;        // obs/campaign.h
+struct CoverageReport;   // obs/coverage.h
+}  // namespace obs
 
 /// A harness closes the system under test: it populates a fresh Runtime with
 /// the wrapped real components, the modeled environment and the monitors
@@ -146,6 +153,21 @@ struct TestReport {
   bool faults = false;                 ///< run had fault injection enabled
   Runtime::FaultStats injected_faults;
 
+  /// Merged coverage heatmap (obs/coverage.h). nullptr unless the run
+  /// collected coverage; shared so parallel aggregates and per-worker
+  /// reports can alias without copying.
+  std::shared_ptr<const obs::CoverageReport> coverage;
+
+  /// A stateful campaign whose recent executions almost all prune is
+  /// saturated: the visited set already covers the territory this strategy
+  /// and seed can reach, and further budget mostly re-treads it. Machine-
+  /// detectable (JsonReporter emits it) so CI can flag over-provisioned
+  /// smoke budgets.
+  [[nodiscard]] bool VisitedSetSaturated() const noexcept {
+    return stateful && !bug_found && executions >= 10 &&
+           pruned_executions * 10 >= executions * 9;
+  }
+
   /// Fraction of observed states that were already visited (0 when the run
   /// was not stateful or observed nothing).
   [[nodiscard]] double FingerprintHitRate() const noexcept {
@@ -206,11 +228,15 @@ bool StepToCompletion(Runtime& runtime, const Harness& harness,
 /// is checked against the set and the execution is pruned after
 /// kFingerprintPruneRun consecutive known states (the serial engine passes
 /// its private FingerprintSet; explore workers share a sharded set).
+/// A non-null `obs` attaches its ExecutionProbe to the runtime and flushes
+/// the finished execution into the campaign instruments (obs/campaign.h);
+/// scheduling is bit-for-bit identical either way.
 ExecutionResult RunOneExecution(const TestConfig& config,
                                 const Harness& harness,
                                 SchedulingStrategy& strategy,
                                 std::uint64_t iteration,
-                                VisitedSet* visited = nullptr);
+                                VisitedSet* visited = nullptr,
+                                obs::WorkerObs* obs = nullptr);
 
 /// Systematic testing engine. Thread-compatible; one engine per thread.
 class TestingEngine {
@@ -235,10 +261,21 @@ class TestingEngine {
     on_iteration_ = std::move(callback);
   }
 
+  /// Attaches campaign observability: with a non-null `metrics` every
+  /// execution flushes into its instruments; `coverage` additionally
+  /// collects the state-visit/delivery/fault heatmaps into
+  /// TestReport::coverage. Replay() never observes.
+  void SetObservability(obs::CampaignMetrics* metrics, bool coverage) {
+    metrics_ = metrics;
+    coverage_ = coverage;
+  }
+
  private:
   TestConfig config_;
   Harness harness_;
   IterationCallback on_iteration_;
+  obs::CampaignMetrics* metrics_ = nullptr;
+  bool coverage_ = false;
 };
 
 }  // namespace systest

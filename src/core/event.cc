@@ -15,12 +15,26 @@ EventTypeId TypeInternTable::GetOrRegister(std::type_index type) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] =
       ids_.try_emplace(type, static_cast<EventTypeId>(ids_.size() + 1));
+  if (inserted) {
+    std::string full = DemangleTypeName(type.name());
+    const auto pos = full.rfind("::");
+    names_.push_back(pos == std::string::npos ? std::move(full)
+                                              : full.substr(pos + 2));
+  }
   return it->second;
 }
 
 std::size_t TypeInternTable::Count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return ids_.size();
+}
+
+std::string TypeInternTable::NameOf(EventTypeId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (id == kInvalidEventTypeId || id > names_.size()) {
+    return "?";
+  }
+  return names_[id - 1];
 }
 
 TypeInternTable& EventTypeTable() {
@@ -156,6 +170,10 @@ EventTypeId Event::InternTypeId() const {
       detail::EventTypeTable().GetOrRegister(std::type_index(typeid(*this)));
   cached_type_id_ = id;
   return id;
+}
+
+std::string EventTypeName(EventTypeId id) {
+  return detail::EventTypeTable().NameOf(id);
 }
 
 std::string DemangleTypeName(const char* mangled) {

@@ -20,6 +20,7 @@
 #include <typeindex>
 #include <typeinfo>
 #include <unordered_map>
+#include <vector>
 
 namespace systest {
 
@@ -40,9 +41,15 @@ class TypeInternTable {
   EventTypeId GetOrRegister(std::type_index type);
   [[nodiscard]] std::size_t Count() const;
 
+  /// Short (namespace-stripped, demangled) name of an interned id; "?" for
+  /// ids this table never issued. Reverse lookup for observability — per-
+  /// event-type metrics and coverage heatmaps key on it.
+  [[nodiscard]] std::string NameOf(EventTypeId id) const;
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::type_index, EventTypeId> ids_;
+  std::vector<std::string> names_;  ///< index = id - 1
 };
 
 /// The process-wide event-type intern table.
@@ -184,6 +191,9 @@ EventTypeId InternEventType() {
 }
 
 }  // namespace detail
+
+/// Short name of an interned event type id (see TypeInternTable::NameOf).
+[[nodiscard]] std::string EventTypeName(EventTypeId id);
 
 /// Demangles a typeid name on GCC/Clang; returns the raw name elsewhere.
 std::string DemangleTypeName(const char* mangled);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/probe.h"
+
 namespace systest {
 
 // ===========================================================================
@@ -277,6 +279,10 @@ void Machine::TransitionToState(const detail::CompiledState& next) {
 void Machine::EnterState(const detail::CompiledState& next) {
   current_state_ = &next;
   ++transitions_taken_;
+  if (!state_visits_.empty()) [[unlikely]] {
+    // Coverage collection (sized at attach only when a coverage probe is on).
+    ++state_visits_[CurrentStateId()];
+  }
   if (next.entry.Valid()) {
     InvokeHandler(next.entry, nullptr);
   }
@@ -464,7 +470,8 @@ Runtime::Runtime(SchedulingStrategy& strategy, RuntimeOptions options)
     : strategy_(strategy),
       options_(options),
       strategy_builtin_(strategy.Builtin()),
-      fault_mode_(options_.FaultInjectionEnabled() || options_.replay_faults) {
+      fault_mode_(options_.FaultInjectionEnabled() || options_.replay_faults),
+      probe_(options_.probe) {
   // One up-front allocation instead of log2(steps) regrows per execution;
   // capped so huge step bounds don't preallocate tens of megabytes.
   trace_.Reserve(static_cast<std::size_t>(
@@ -503,6 +510,12 @@ MachineId Runtime::Attach(std::unique_ptr<Machine> machine,
       machine->decl_ = machine->owned_decl_.get();
     }
     machine->builder_states_.clear();
+  }
+  if (probe_ != nullptr && probe_->coverage) [[unlikely]] {
+    // Coverage heatmaps: a dense StateId-indexed visit array per machine.
+    // Sized here (decl_ is resolved by now); EnterState only counts when
+    // non-empty, so coverage-off runs never touch it.
+    machine->state_visits_.assign(machine->decl_->states.size(), 0);
   }
   machines_.push_back(std::move(machine));
   const MachineId id = machines_.back()->id_;
@@ -592,6 +605,11 @@ void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
     LogLine("send    ", sender ? sender->DebugName() : "<harness>", " -> ",
             machine->DebugName(), " : ", ev->Name());
   }
+  // No branch hint: when a probe is armed this is taken on EVERY delivery,
+  // and when it isn't the null check predicts perfectly on its own.
+  if (probe_ != nullptr) {
+    probe_->CountDelivery(ev->TypeId());
+  }
   machine->queue_.PushBack(std::move(ev));
   machine->MarkEnabledDirty();
   if (options_.stateful) {
@@ -664,6 +682,10 @@ bool Runtime::Step() {
   }
   if (enabled_scratch_.empty()) {
     return false;
+  }
+  // No branch hint — see DeliverEvent: armed probes take this every step.
+  if (probe_ != nullptr) {
+    probe_->CountEnabled(enabled_scratch_.size());
   }
   // The scheduling call dominates the step loop for the paper's two main
   // strategies; both classes are final, so the tagged casts below compile to
@@ -772,6 +794,9 @@ void Runtime::ApplyCrash(MachineId id) {
   // that caused it.
   trace_.RecordCrash(id.value, steps_);
   ++fault_stats_.crashes;
+  if (probe_ != nullptr) [[unlikely]] {
+    probe_->CountFault(obs::FaultKind::kCrash, steps_, options_.max_steps);
+  }
   ++crashed_machines_;
   machine->DoCrash();
   machine->MarkEnabledDirty();
@@ -794,6 +819,9 @@ void Runtime::ApplyRestart(MachineId id) {
   }
   trace_.RecordRestart(id.value, steps_);
   ++fault_stats_.restarts;
+  if (probe_ != nullptr) [[unlikely]] {
+    probe_->CountFault(obs::FaultKind::kRestart, steps_, options_.max_steps);
+  }
   --crashed_machines_;
   machine->DoRestart();
   machine->MarkEnabledDirty();
@@ -827,6 +855,9 @@ bool Runtime::ApplyDeliveryFault(Machine& target, const Event& ev) {
     case DeliveryFault::kDrop:
       trace_.RecordDrop(ordinal, target.id_.value);
       ++fault_stats_.drops;
+      if (probe_ != nullptr) [[unlikely]] {
+        probe_->CountFault(obs::FaultKind::kDrop, steps_, options_.max_steps);
+      }
       if (LoggingEnabled()) {
         LogLine("drop    ", " -> ", target.DebugName(), " : ", ev.Name());
       }
@@ -849,6 +880,12 @@ bool Runtime::ApplyDeliveryFault(Machine& target, const Event& ev) {
       }
       trace_.RecordDuplicate(ordinal, target.id_.value);
       ++fault_stats_.duplications;
+      if (probe_ != nullptr) [[unlikely]] {
+        probe_->CountFault(obs::FaultKind::kDuplicate, steps_,
+                           options_.max_steps);
+        // The clone is an extra enqueue the normal delivery path never sees.
+        probe_->CountDelivery(ev.TypeId());
+      }
       if (LoggingEnabled()) {
         LogLine("dup     ", " -> ", target.DebugName(), " : ", ev.Name());
       }

@@ -51,6 +51,10 @@ class Machine;
 class Monitor;
 class Runtime;
 
+namespace obs {
+struct ExecutionProbe;  // obs/probe.h — per-execution instrumentation sink
+}  // namespace obs
+
 /// Fluent builder used in machine constructors to declare a state's behavior.
 /// Inert (decl_ == nullptr) when the machine type's declarations are already
 /// compiled — see core/decl.h.
@@ -205,6 +209,15 @@ class Machine {
   /// vector). Only meaningful once the machine has entered a state.
   [[nodiscard]] detail::StateId CurrentStateId() const noexcept {
     return static_cast<detail::StateId>(current_state_ - decl_->states.data());
+  }
+
+  /// State-entry counts indexed by dense StateId (start entry, transitions
+  /// and restarts all count). Empty unless the owning Runtime was given a
+  /// coverage-collecting probe (RuntimeOptions::probe) — sized at attach, so
+  /// a non-empty vector always matches StateDecls()'s state count.
+  [[nodiscard]] const std::vector<std::uint64_t>& StateVisitCounts()
+      const noexcept {
+    return state_visits_;
   }
 
   /// This machine's contribution to the execution fingerprint: id, control
@@ -416,6 +429,9 @@ class Machine {
 
   std::uint64_t restart_count_ = 0;
   std::uint64_t transitions_taken_ = 0;
+  /// Coverage: entries per dense StateId; empty (and never touched) unless
+  /// the Runtime's probe collects coverage.
+  std::vector<std::uint64_t> state_visits_;
 };
 
 /// Awaitable returned by Machine::Receive<E>().
@@ -641,6 +657,15 @@ struct RuntimeOptions {
     return max_crashes > 0 || drop_probability_den > 0 ||
            max_duplications > 0;
   }
+
+  // ---- Observability (see README "Observability") ----
+
+  /// Per-execution instrumentation sink (obs/probe.h), owned by the engine's
+  /// worker and reset between executions. nullptr (the default) keeps every
+  /// instrumentation point one dead branch, mirroring the fault plane's
+  /// cheap-when-off pattern. The probe only observes — scheduling, traces
+  /// and replay are bit-for-bit identical with or without it.
+  obs::ExecutionProbe* probe = nullptr;
 };
 
 /// One serialized execution of a machine program. The TestingEngine creates a
@@ -943,6 +968,9 @@ class Runtime {
   /// FaultInjectionEnabled() || replay_faults, cached: the per-step and
   /// per-delivery fault hooks are one dead branch when off.
   const bool fault_mode_;
+  /// options_.probe, cached: instrumentation points are one dead null-check
+  /// when observability is off (same pattern as fault_mode_).
+  obs::ExecutionProbe* const probe_;
   FaultStats fault_stats_;
   std::uint64_t delivery_seq_ = 0;      // machine-to-machine delivery ordinal
   std::size_t crashable_machines_ = 0;  // SetCrashable opt-ins

@@ -8,6 +8,7 @@
 
 #include "api/strategy_registry.h"
 #include "explore/sharded_fingerprint_set.h"
+#include "obs/campaign.h"
 
 namespace systest::explore {
 
@@ -120,6 +121,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
     worker_config.drop_probability_den = assignment.drop_probability_den;
     worker_config.max_duplications = assignment.max_duplications;
 
+    // Per-worker observability handle on the worker's own stack: the probe
+    // and coverage accumulator are private (lock-free), only the flush into
+    // the shared sharded instruments crosses threads.
+    std::unique_ptr<obs::WorkerObs> worker_obs;
+    if (options_.metrics != nullptr) {
+      worker_obs = std::make_unique<obs::WorkerObs>(
+          *options_.metrics, static_cast<std::size_t>(w), options_.coverage);
+    }
+
     const auto worker_start = Clock::now();
     for (std::uint64_t i = 0; i < assignment.iterations; ++i) {
       if (stop.load(std::memory_order_relaxed)) break;
@@ -128,7 +138,8 @@ ParallelTestReport ParallelTestingEngine::Run() {
         break;
       }
       ExecutionResult result =
-          RunOneExecution(worker_config, harness_, *strategy, i, visited.get());
+          RunOneExecution(worker_config, harness_, *strategy, i, visited.get(),
+                          worker_obs.get());
       ++wr.executions;
       wr.steps += result.steps;
       if (config_.stateful) {
@@ -160,6 +171,10 @@ ParallelTestReport ParallelTestingEngine::Run() {
       }
     }
     wr.seconds = SecondsSince(worker_start);
+    if (worker_obs != nullptr && options_.coverage) {
+      wr.coverage =
+          std::make_shared<obs::CoverageReport>(worker_obs->TakeCoverage());
+    }
   };
 
   std::vector<std::thread> threads;
@@ -189,6 +204,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
   agg.strategy_name =
       (options_.portfolio ? std::string("portfolio") : config_.strategy.str()) +
       " x" + std::to_string(n);
+  if (options_.coverage) {
+    // The fleet heatmap is exactly the sum of the per-worker reports (Merge
+    // is commutative/associative over named machines and events).
+    auto merged = std::make_shared<obs::CoverageReport>();
+    for (const WorkerReport& w : report.workers) {
+      if (w.coverage != nullptr) merged->Merge(*w.coverage);
+    }
+    agg.coverage = std::move(merged);
+  }
 
   const int won = winner.load(std::memory_order_acquire);
   report.winning_worker = won;

@@ -43,6 +43,13 @@ struct ParallelOptions {
   std::function<void(int worker, std::uint64_t iteration,
                      const ExecutionResult& result)>
       on_iteration;
+  /// Campaign observability (obs/campaign.h): when non-null, every worker
+  /// flushes each execution into these shared sharded instruments (one TLS
+  /// shard per worker thread — workers never contend on a counter line).
+  obs::CampaignMetrics* metrics = nullptr;
+  /// With metrics: also collect per-worker coverage heatmaps, merged into
+  /// aggregate.coverage (and kept per worker in WorkerReport::coverage).
+  bool coverage = false;
 };
 
 /// Per-worker slice of the merged report — the per-strategy breakdown.
@@ -60,6 +67,9 @@ struct WorkerReport {
   std::uint64_t fingerprint_misses = 0;
   /// Fault runs: faults this worker injected (summed over its executions).
   Runtime::FaultStats injected_faults;
+  /// This worker's coverage slice (nullptr unless ParallelOptions::coverage).
+  /// aggregate.coverage is exactly the Merge of these, pinned by tests.
+  std::shared_ptr<const obs::CoverageReport> coverage;
 };
 
 struct ParallelTestReport {

@@ -1,0 +1,275 @@
+#include "obs/coverage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/event.h"
+#include "core/runtime.h"
+
+namespace systest::obs {
+
+namespace {
+
+void MergeMachine(std::vector<MachineCoverage>& into,
+                  std::unordered_map<std::string, std::size_t>* index,
+                  const MachineCoverage& from) {
+  MachineCoverage* target = nullptr;
+  if (index != nullptr) {
+    const auto [it, inserted] = index->try_emplace(from.machine, into.size());
+    if (inserted) {
+      into.push_back({from.machine, from.state_names, {}});
+    }
+    target = &into[it->second];
+  } else {
+    for (MachineCoverage& m : into) {
+      if (m.machine == from.machine) {
+        target = &m;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      into.push_back({from.machine, from.state_names, {}});
+      target = &into.back();
+    }
+  }
+  if (target->state_names.size() < from.state_names.size()) {
+    target->state_names = from.state_names;
+  }
+  if (target->state_visits.size() < from.state_visits.size()) {
+    target->state_visits.resize(from.state_visits.size(), 0);
+  }
+  for (std::size_t i = 0; i < from.state_visits.size(); ++i) {
+    target->state_visits[i] += from.state_visits[i];
+  }
+}
+
+}  // namespace
+
+std::uint64_t CoverageReport::TotalFaultPlacements() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& row : fault_placements) {
+    for (const std::uint64_t c : row) total += c;
+  }
+  return total;
+}
+
+void CoverageReport::Merge(const CoverageReport& other) {
+  executions += other.executions;
+  for (const MachineCoverage& m : other.machines) {
+    MergeMachine(machines, nullptr, m);
+  }
+  for (const auto& [name, count] : other.event_deliveries) {
+    auto it = std::find_if(event_deliveries.begin(), event_deliveries.end(),
+                           [&](const auto& e) { return e.first == name; });
+    if (it == event_deliveries.end()) {
+      event_deliveries.emplace_back(name, count);
+    } else {
+      it->second += count;
+    }
+  }
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    for (std::size_t d = 0; d < kStepDeciles; ++d) {
+      fault_placements[k][d] += other.fault_placements[k][d];
+    }
+  }
+  std::sort(machines.begin(), machines.end(),
+            [](const MachineCoverage& a, const MachineCoverage& b) {
+              return a.machine < b.machine;
+            });
+  std::sort(event_deliveries.begin(), event_deliveries.end());
+}
+
+std::vector<std::string> CoverageReport::UnvisitedStates() const {
+  std::vector<std::string> out;
+  for (const MachineCoverage& m : machines) {
+    for (std::size_t i = 0; i < m.state_names.size(); ++i) {
+      const std::uint64_t visits =
+          i < m.state_visits.size() ? m.state_visits[i] : 0;
+      if (visits == 0) {
+        out.push_back(m.machine + "." + m.state_names[i]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string CoverageReport::Render() const {
+  std::string out = "coverage (over " + std::to_string(executions) +
+                    " executions):\n";
+  char line[256];
+  for (const MachineCoverage& m : machines) {
+    out += "  machine " + m.machine + ":\n";
+    std::uint64_t peak = 1;
+    for (const std::uint64_t v : m.state_visits) peak = std::max(peak, v);
+    for (std::size_t i = 0; i < m.state_names.size(); ++i) {
+      const std::uint64_t visits =
+          i < m.state_visits.size() ? m.state_visits[i] : 0;
+      constexpr std::size_t kBarWidth = 10;
+      char bar[kBarWidth + 1];
+      const std::size_t filled =
+          visits == 0 ? 0
+                      : std::max<std::size_t>(
+                            1, static_cast<std::size_t>(visits * kBarWidth / peak));
+      for (std::size_t b = 0; b < kBarWidth; ++b) {
+        bar[b] = b < filled ? '#' : '.';
+      }
+      bar[kBarWidth] = '\0';
+      std::snprintf(line, sizeof(line), "    [%s]  %-20s %12llu%s\n", bar,
+                    m.state_names[i].c_str(),
+                    static_cast<unsigned long long>(visits),
+                    visits == 0 ? "  UNVISITED" : "");
+      out += line;
+    }
+  }
+  const std::vector<std::string> unvisited = UnvisitedStates();
+  if (!unvisited.empty()) {
+    out += "  unvisited declared states:";
+    for (const std::string& s : unvisited) {
+      out += ' ';
+      out += s;
+    }
+    out += '\n';
+  } else if (!machines.empty()) {
+    out += "  all declared states visited\n";
+  }
+  if (!event_deliveries.empty()) {
+    out += "  event deliveries:\n";
+    for (const auto& [name, count] : event_deliveries) {
+      std::snprintf(line, sizeof(line), "    %-28s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+      out += line;
+    }
+  }
+  if (TotalFaultPlacements() > 0) {
+    out += "  fault placements by step decile (0-9):\n";
+    for (std::size_t k = 0; k < kFaultKinds; ++k) {
+      std::uint64_t row_total = 0;
+      for (const std::uint64_t c : fault_placements[k]) row_total += c;
+      if (row_total == 0) continue;
+      std::snprintf(line, sizeof(line), "    %-10s [",
+                    FaultKindName(static_cast<FaultKind>(k)));
+      out += line;
+      for (std::size_t d = 0; d < kStepDeciles; ++d) {
+        std::snprintf(line, sizeof(line), "%s%llu", d == 0 ? "" : " ",
+                      static_cast<unsigned long long>(fault_placements[k][d]));
+        out += line;
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+std::string CoverageReport::ToJson() const {
+  auto escape = [](const std::string& text) {
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    return escaped;
+  };
+  std::string json = "{\"executions\":" + std::to_string(executions);
+  json += ",\"machines\":[";
+  for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+    const MachineCoverage& m = machines[mi];
+    if (mi > 0) json += ',';
+    json += "{\"machine\":\"" + escape(m.machine) + "\",\"states\":[";
+    for (std::size_t i = 0; i < m.state_names.size(); ++i) {
+      if (i > 0) json += ',';
+      const std::uint64_t visits =
+          i < m.state_visits.size() ? m.state_visits[i] : 0;
+      json += "{\"state\":\"" + escape(m.state_names[i]) +
+              "\",\"visits\":" + std::to_string(visits) + "}";
+    }
+    json += "]}";
+  }
+  json += "],\"unvisited_states\":[";
+  const std::vector<std::string> unvisited = UnvisitedStates();
+  for (std::size_t i = 0; i < unvisited.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"' + escape(unvisited[i]) + '"';
+  }
+  json += "],\"event_deliveries\":{";
+  for (std::size_t i = 0; i < event_deliveries.size(); ++i) {
+    if (i > 0) json += ',';
+    json += '"' + escape(event_deliveries[i].first) +
+            "\":" + std::to_string(event_deliveries[i].second);
+  }
+  json += "},\"fault_placements\":{";
+  bool first_kind = true;
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    if (!first_kind) json += ',';
+    first_kind = false;
+    json += '"';
+    json += FaultKindName(static_cast<FaultKind>(k));
+    json += "\":[";
+    for (std::size_t d = 0; d < kStepDeciles; ++d) {
+      if (d > 0) json += ',';
+      json += std::to_string(fault_placements[k][d]);
+    }
+    json += ']';
+  }
+  json += "}}";
+  return json;
+}
+
+void CoverageAccumulator::AddExecution(const Runtime& runtime,
+                                       const ExecutionProbe& probe) {
+  ++report_.executions;
+  const std::size_t machine_count = runtime.MachineCount();
+  for (std::size_t i = 1; i <= machine_count; ++i) {
+    const Machine* machine = runtime.FindMachine(MachineId{i});
+    if (machine == nullptr || machine->StateDecls() == nullptr) continue;
+    const std::vector<std::uint64_t>& visits = machine->StateVisitCounts();
+    if (visits.empty()) continue;  // coverage was off for this runtime
+    const auto [it, inserted] =
+        machine_index_.try_emplace(machine->DebugName(), report_.machines.size());
+    if (inserted) {
+      MachineCoverage cov;
+      cov.machine = machine->DebugName();
+      for (const systest::detail::CompiledState& state :
+           machine->StateDecls()->states) {
+        cov.state_names.push_back(state.name);
+      }
+      cov.state_visits.assign(cov.state_names.size(), 0);
+      report_.machines.push_back(std::move(cov));
+    }
+    MachineCoverage& cov = report_.machines[it->second];
+    if (cov.state_visits.size() < visits.size()) {
+      cov.state_visits.resize(visits.size(), 0);
+    }
+    for (std::size_t s = 0; s < visits.size(); ++s) {
+      cov.state_visits[s] += visits[s];
+    }
+  }
+  probe.ForEachDelivery([&](std::uint32_t id, std::uint64_t count) {
+    const auto [it, inserted] =
+        event_index_.try_emplace(id, report_.event_deliveries.size());
+    if (inserted) {
+      report_.event_deliveries.emplace_back(EventTypeName(id), 0);
+    }
+    report_.event_deliveries[it->second].second += count;
+  });
+  for (std::size_t k = 0; k < kFaultKinds; ++k) {
+    for (std::size_t d = 0; d < kStepDeciles; ++d) {
+      report_.fault_placements[k][d] += probe.fault_deciles[k][d];
+    }
+  }
+}
+
+CoverageReport CoverageAccumulator::TakeReport() {
+  std::sort(report_.machines.begin(), report_.machines.end(),
+            [](const MachineCoverage& a, const MachineCoverage& b) {
+              return a.machine < b.machine;
+            });
+  std::sort(report_.event_deliveries.begin(), report_.event_deliveries.end());
+  machine_index_.clear();
+  event_index_.clear();
+  return std::exchange(report_, CoverageReport{});
+}
+
+}  // namespace systest::obs

@@ -1,0 +1,97 @@
+// SysTest observability plane.
+//
+// Coverage heatmaps: the per-scenario end-of-run report of where a testing
+// budget actually went. Three views, all cheap to collect because the hot
+// identifiers are dense:
+//  * per-machine state-visit histograms — Machine::CurrentStateId() is an
+//    index into the compiled MachineDecl's state vector, so a visit count is
+//    a flat-array increment and an unvisited declared state (a state the
+//    harness models but the campaign never drove the machine into) is a
+//    zero in that array;
+//  * per-event-type delivery counts — interned EventTypeIds, named through
+//    the intern table's reverse lookup;
+//  * fault-placement heatmaps — injected fault kind x step-decile, showing
+//    which phase of executions the fault budgets actually perturb.
+//
+// Workers accumulate privately (no locks in the execution loop); reports
+// merge by named machine / named event, so the parallel engine's aggregate
+// is exactly the sum of its per-worker reports (pinned by tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/probe.h"
+
+namespace systest {
+class Runtime;
+}  // namespace systest
+
+namespace systest::obs {
+
+/// State-visit histogram of one machine (keyed by debug name, which is
+/// deterministic for a deterministic harness). `state_names` comes from the
+/// compiled declaration, index = dense StateId.
+struct MachineCoverage {
+  std::string machine;
+  std::vector<std::string> state_names;
+  std::vector<std::uint64_t> state_visits;  ///< same index space as names
+
+  [[nodiscard]] std::uint64_t TotalVisits() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t v : state_visits) total += v;
+    return total;
+  }
+};
+
+/// Mergeable end-of-run coverage report.
+struct CoverageReport {
+  std::uint64_t executions = 0;
+  std::vector<MachineCoverage> machines;  ///< sorted by machine name
+  /// (event type name, deliveries) sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> event_deliveries;
+  /// Injected-fault placements: [FaultKind][step decile].
+  std::uint64_t fault_placements[kFaultKinds][kStepDeciles] = {};
+
+  [[nodiscard]] bool Empty() const noexcept {
+    return executions == 0 && machines.empty() && event_deliveries.empty();
+  }
+  [[nodiscard]] std::uint64_t TotalFaultPlacements() const noexcept;
+
+  /// Adds `other` into this report (visit counts by machine+state name,
+  /// deliveries by event name, fault grids cell-wise). Commutative and
+  /// associative, so any merge order over worker reports agrees.
+  void Merge(const CoverageReport& other);
+
+  /// "machine.State" for every declared state with zero visits, sorted.
+  [[nodiscard]] std::vector<std::string> UnvisitedStates() const;
+
+  /// Human-readable heatmap (HumanReporter --coverage).
+  [[nodiscard]] std::string Render() const;
+
+  /// JSON object (JsonReporter's "coverage" field).
+  [[nodiscard]] std::string ToJson() const;
+};
+
+/// Per-worker accumulator: collects one execution at a time with hashed
+/// find-or-insert (no locks — each worker owns one), hands out the finished
+/// sorted report at the end.
+class CoverageAccumulator {
+ public:
+  /// Folds one completed execution in: walks `runtime`'s machines for their
+  /// state-visit arrays (sized by the Runtime when probe.coverage is set)
+  /// and consumes the probe's delivery/fault accumulators.
+  void AddExecution(const Runtime& runtime, const ExecutionProbe& probe);
+
+  /// Sorted, mergeable report; the accumulator is left empty.
+  [[nodiscard]] CoverageReport TakeReport();
+
+ private:
+  CoverageReport report_;
+  std::unordered_map<std::string, std::size_t> machine_index_;
+  std::unordered_map<std::uint32_t, std::size_t> event_index_;  // by type id
+};
+
+}  // namespace systest::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace systest::obs {
+
+namespace detail {
+
+std::uint32_t AssignShardIndex() noexcept {
+  // Round-robin over the shard space: with kShards >= worker-fleet size the
+  // assignment is collision-free in the common case, and merely contended
+  // (never wrong) otherwise.
+  static std::atomic<std::uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  const std::size_t buckets = BucketCount();
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(BucketCount(), 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const noexcept {
+  for (const MetricValue& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::ValueOf(std::string_view name,
+                                       std::uint64_t fallback) const noexcept {
+  const MetricValue* v = Find(name);
+  return v != nullptr ? v->value : fallback;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name), std::move(bounds))
+      .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.values.reserve(counters_.size() + gauges_.size() +
+                          histograms_.size());
+  // The three maps are each name-sorted; emit counters, then gauges, then
+  // histograms, then one stable merge by name for a deterministic snapshot.
+  for (const auto& [name, counter] : counters_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kCounter;
+    v.value = counter.Value();
+    snapshot.values.push_back(std::move(v));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kGauge;
+    v.value = gauge.Value();
+    snapshot.values.push_back(std::move(v));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = MetricValue::Kind::kHistogram;
+    v.bucket_bounds = histogram.UpperBounds();
+    v.bucket_counts = histogram.BucketCounts();
+    for (const std::uint64_t c : v.bucket_counts) v.value += c;
+    snapshot.values.push_back(std::move(v));
+  }
+  std::stable_sort(snapshot.values.begin(), snapshot.values.end(),
+                   [](const MetricValue& a, const MetricValue& b) {
+                     return a.name < b.name;
+                   });
+  return snapshot;
+}
+
+}  // namespace systest::obs

@@ -1,0 +1,197 @@
+// SysTest observability plane.
+//
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms shared
+// by every layer of a testing campaign (core runtime instrumentation, the
+// exploration engines, the session's CampaignMonitor). The design constraint
+// is the exploration inner loop: tens of thousands of executions per second
+// per worker must be able to publish progress without serializing on a lock
+// or bouncing one cache line between cores. Every instrument is therefore
+// sharded: writers pay one thread-local shard-index read plus one relaxed
+// atomic add on a cache line their shard effectively owns; readers (the
+// sampling monitor thread, end-of-run snapshots) aggregate across shards.
+// Totals are eventually consistent while workers run and exact once they
+// joined — exactly the semantics a progress display and a final report need.
+//
+// This header is self-contained (standard library only) so core/ can depend
+// on it without cycles.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace systest::obs {
+
+namespace detail {
+
+/// Stable per-thread shard index, assigned round-robin on first use. A plain
+/// trivially-destructible thread_local, so the hot-path read compiles to one
+/// TLS load with no init-guard call.
+[[nodiscard]] std::uint32_t AssignShardIndex() noexcept;
+
+inline std::uint32_t ThisThreadShard() noexcept {
+  thread_local const std::uint32_t shard = AssignShardIndex();
+  return shard;
+}
+
+/// Shards per instrument. Small enough that snapshot aggregation is a short
+/// strided scan, large enough that a typical worker fleet (hardware threads)
+/// rarely collides on one shard.
+inline constexpr std::uint32_t kShards = 16;
+
+}  // namespace detail
+
+/// Monotonic counter. Add() is wait-free: one TLS read + one relaxed
+/// fetch_add on this thread's shard line.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n) noexcept {
+    shards_[detail::ThisThreadShard() & (detail::kShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() noexcept { Add(1); }
+
+  /// Sum over all shards. Exact once writers are quiescent; a consistent
+  /// lower bound while they run.
+  [[nodiscard]] std::uint64_t Value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[detail::kShards];
+};
+
+/// Last-writer-wins gauge (e.g. visited-set occupancy). Not sharded: gauges
+/// are written once per execution at most, not once per step.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. `upper_bounds` are inclusive upper edges in
+/// ascending order; one implicit overflow bucket is appended, so a histogram
+/// with bounds {1, 2, 4} has four buckets: v<=1, v<=2, v<=4, v>4. Bucket
+/// counts are sharded like Counter; Record is a short linear scan (bucket
+/// lists are small by design) plus one relaxed add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(std::uint64_t value) noexcept {
+    AddToBucket(BucketOf(value), 1);
+  }
+
+  /// Index of the bucket `value` falls into (last index = overflow).
+  [[nodiscard]] std::size_t BucketOf(std::uint64_t value) const noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    return i;
+  }
+
+  /// Bulk merge: adds `n` to bucket `bucket`. Execution probes accumulate
+  /// plain per-execution bucket arrays and flush them here once per
+  /// execution, so the step loop never touches an atomic.
+  void AddToBucket(std::size_t bucket, std::uint64_t n) noexcept {
+    shards_[detail::ThisThreadShard() & (detail::kShards - 1)]
+        .buckets[bucket]
+        .fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& UpperBounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] std::size_t BucketCount() const noexcept {
+    return bounds_.size() + 1;
+  }
+  /// Aggregated per-bucket counts (same consistency as Counter::Value).
+  [[nodiscard]] std::vector<std::uint64_t> BucketCounts() const;
+  /// Total observations across all buckets.
+  [[nodiscard]] std::uint64_t Count() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+  };
+  std::vector<std::uint64_t> bounds_;
+  Shard shards_[detail::kShards];
+};
+
+/// One instrument's aggregated value at snapshot time.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t value = 0;  ///< counter total / gauge value / histogram count
+  // Histograms only:
+  std::vector<std::uint64_t> bucket_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+};
+
+/// Point-in-time aggregation of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;
+
+  [[nodiscard]] const MetricValue* Find(std::string_view name) const noexcept;
+  /// Counter/gauge convenience: the named value, or `fallback` when absent.
+  [[nodiscard]] std::uint64_t ValueOf(std::string_view name,
+                                      std::uint64_t fallback = 0) const noexcept;
+};
+
+/// Named instrument registry. Get* interns on first use (mutex-guarded) and
+/// returns a stable reference — hot-path callers resolve their instruments
+/// once and keep the pointer; the registry outlives every user in a session.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `upper_bounds` applies on first creation; later lookups of the same
+  /// name return the existing histogram regardless of the bounds passed.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<std::uint64_t> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: values never move, so returned references stay valid.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace systest::obs

@@ -1,0 +1,269 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace systest::obs {
+
+namespace {
+
+void AppendNumber(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out += buf;
+}
+
+std::string FormatRate(double rate) {
+  char buf[48];
+  if (rate >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", rate / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", rate);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSample::ToJsonLine() const {
+  std::string json = "{\"t_ms\":" + std::to_string(t_ms);
+  json += ",\"final\":";
+  json += final_sample ? "true" : "false";
+  json += ",\"executions\":" + std::to_string(executions);
+  json += ",\"steps\":" + std::to_string(steps);
+  json += ",\"deliveries\":" + std::to_string(deliveries);
+  json += ",\"distinct_states\":" + std::to_string(distinct_states);
+  json += ",\"pruned_executions\":" + std::to_string(pruned_executions);
+  json += ",\"fingerprint_hits\":" + std::to_string(fingerprint_hits);
+  json += ",\"fingerprint_misses\":" + std::to_string(fingerprint_misses);
+  json += ",\"bugs_found\":" + std::to_string(bugs_found);
+  json += ",\"faults\":" + std::to_string(faults);
+  json += ",\"exec_per_sec\":";
+  AppendNumber(json, exec_per_sec);
+  json += ",\"steps_per_sec\":";
+  AppendNumber(json, steps_per_sec);
+  json += ",\"states_per_sec\":";
+  AppendNumber(json, states_per_sec);
+  json += ",\"prune_fraction\":";
+  AppendNumber(json, prune_fraction);
+  json += ",\"eta_seconds\":";
+  AppendNumber(json, eta_seconds);
+  json += ",\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i > 0) json += ',';
+    json += "{\"worker\":" + std::to_string(workers[i].worker);
+    json += ",\"executions\":" + std::to_string(workers[i].executions);
+    json += ",\"exec_per_sec\":";
+    AppendNumber(json, workers[i].exec_per_sec);
+    json += '}';
+  }
+  json += "],\"histograms\":{";
+  bool first = true;
+  for (const MetricValue& v : snapshot.values) {
+    if (v.kind != MetricValue::Kind::kHistogram) continue;
+    if (v.value == 0) continue;  // keep lines short: skip untouched histograms
+    if (!first) json += ',';
+    first = false;
+    json += '"' + v.name + "\":[";
+    for (std::size_t i = 0; i < v.bucket_counts.size(); ++i) {
+      if (i > 0) json += ',';
+      json += std::to_string(v.bucket_counts[i]);
+    }
+    json += ']';
+  }
+  json += "}}";
+  return json;
+}
+
+CampaignMonitor::CampaignMonitor(CampaignMetrics& metrics,
+                                 MonitorOptions options)
+    : metrics_(metrics), options_(std::move(options)) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.interval_ms == 0) options_.interval_ms = 1;
+  worker_counters_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    worker_counters_.push_back(&metrics_.WorkerExecutions(w));
+  }
+  prev_worker_executions_.assign(options_.workers, 0);
+}
+
+CampaignMonitor::~CampaignMonitor() { Stop(); }
+
+void CampaignMonitor::SetSampleCallback(
+    std::function<void(const MetricsSample&)> callback) {
+  callback_ = std::move(callback);
+}
+
+void CampaignMonitor::Start() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return;
+    started_ = true;
+  }
+  if (!options_.jsonl_path.empty()) {
+    jsonl_ = std::fopen(options_.jsonl_path.c_str(), "w");
+    if (jsonl_ == nullptr) {
+      std::fprintf(stderr, "systest: cannot open metrics output '%s'\n",
+                   options_.jsonl_path.c_str());
+    }
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void CampaignMonitor::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // All workers have joined by the time the session stops the monitor, so
+  // this closing sample is exact.
+  EmitSample(TakeSample(/*final_sample=*/true));
+  if (progress_painted_) {
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    progress_painted_ = false;
+  }
+  if (jsonl_ != nullptr) {
+    std::fclose(jsonl_);
+    jsonl_ = nullptr;
+  }
+}
+
+std::vector<MetricsSample> CampaignMonitor::Samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_;
+}
+
+std::uint64_t CampaignMonitor::SampleCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_taken_;
+}
+
+void CampaignMonitor::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    EmitSample(TakeSample(/*final_sample=*/false));
+    lock.lock();
+  }
+}
+
+MetricsSample CampaignMonitor::TakeSample(bool final_sample) {
+  MetricsSample s;
+  s.final_sample = final_sample;
+  s.t_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  s.executions = metrics_.executions.Value();
+  s.steps = metrics_.steps.Value();
+  s.deliveries = metrics_.deliveries.Value();
+  s.distinct_states = metrics_.distinct_states.Value();
+  s.pruned_executions = metrics_.pruned_executions.Value();
+  s.fingerprint_hits = metrics_.fingerprint_hits.Value();
+  s.fingerprint_misses = metrics_.fingerprint_misses.Value();
+  s.bugs_found = metrics_.bugs_found.Value();
+  s.faults = metrics_.fault_crashes.Value() + metrics_.fault_restarts.Value() +
+             metrics_.fault_drops.Value() + metrics_.fault_duplications.Value();
+  s.snapshot = metrics_.Registry().Snapshot();
+
+  const std::uint64_t dt_ms = s.t_ms > prev_t_ms_ ? s.t_ms - prev_t_ms_ : 0;
+  const double dt = dt_ms / 1000.0;
+  if (dt > 0.0) {
+    s.exec_per_sec = (s.executions - prev_executions_) / dt;
+    s.steps_per_sec = (s.steps - prev_steps_) / dt;
+    s.states_per_sec =
+        s.distinct_states >= prev_states_
+            ? (s.distinct_states - prev_states_) / dt
+            : 0.0;
+  }
+  if (s.executions > 0) {
+    s.prune_fraction =
+        static_cast<double>(s.pruned_executions) / s.executions;
+  }
+  if (options_.total_executions > s.executions && s.exec_per_sec > 0.0) {
+    s.eta_seconds =
+        (options_.total_executions - s.executions) / s.exec_per_sec;
+  } else if (options_.total_executions != 0 &&
+             s.executions >= options_.total_executions) {
+    s.eta_seconds = 0.0;
+  }
+  s.workers.reserve(worker_counters_.size());
+  for (std::size_t w = 0; w < worker_counters_.size(); ++w) {
+    WorkerSample ws;
+    ws.worker = w;
+    ws.executions = worker_counters_[w]->Value();
+    if (dt > 0.0) {
+      ws.exec_per_sec = (ws.executions - prev_worker_executions_[w]) / dt;
+    }
+    prev_worker_executions_[w] = ws.executions;
+    s.workers.push_back(ws);
+  }
+  prev_t_ms_ = s.t_ms;
+  prev_executions_ = s.executions;
+  prev_steps_ = s.steps;
+  prev_states_ = s.distinct_states;
+  return s;
+}
+
+void CampaignMonitor::EmitSample(const MetricsSample& sample) {
+  if (jsonl_ != nullptr) {
+    const std::string line = sample.ToJsonLine();
+    std::fwrite(line.data(), 1, line.size(), jsonl_);
+    std::fputc('\n', jsonl_);
+    std::fflush(jsonl_);
+  }
+  if (options_.progress) RenderProgress(sample);
+  if (callback_) callback_(sample);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++samples_taken_;
+  if (ring_.size() >= options_.ring_capacity) {
+    ring_.erase(ring_.begin());
+  }
+  ring_.push_back(sample);
+}
+
+void CampaignMonitor::RenderProgress(const MetricsSample& sample) {
+  std::string line = "[systest] ";
+  line += std::to_string(sample.executions);
+  if (options_.total_executions != 0) {
+    line += '/' + std::to_string(options_.total_executions);
+  }
+  line += " exec (" + FormatRate(sample.exec_per_sec) + "/s)";
+  line += " | states " + std::to_string(sample.distinct_states) + " (" +
+          FormatRate(sample.states_per_sec) + "/s)";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " | prune %.1f%%",
+                sample.prune_fraction * 100.0);
+  line += buf;
+  line += " | faults " + std::to_string(sample.faults);
+  line += " | bugs " + std::to_string(sample.bugs_found);
+  if (sample.eta_seconds >= 0.0) {
+    std::snprintf(buf, sizeof(buf), " | ETA %.0fs", sample.eta_seconds);
+    line += buf;
+  }
+  for (const WorkerSample& w : sample.workers) {
+    line += " | w" + std::to_string(w.worker) + ' ' +
+            FormatRate(w.exec_per_sec) + "/s";
+  }
+  // Single-line repaint: CR, print, pad out any residue from a longer
+  // previous line.
+  static constexpr std::size_t kMinWidth = 100;
+  if (line.size() < kMinWidth) line.append(kMinWidth - line.size(), ' ');
+  std::fputc('\r', stderr);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+  progress_painted_ = true;
+}
+
+}  // namespace systest::obs

@@ -1,0 +1,133 @@
+// SysTest observability plane.
+//
+// CampaignMonitor: a sampling thread that turns the campaign's sharded
+// instruments into a time-series while the engines run. Every interval it
+// aggregates a MetricsSample (cumulative totals plus rates derived from the
+// previous sample), keeps it in a bounded in-memory ring, optionally appends
+// it as one JSON object per line to a JSONL file (--metrics-out), optionally
+// repaints a single-line TTY progress display on stderr (--progress), and
+// fans it out to observer callbacks (RunObserver::OnSnapshot). The monitor
+// only ever reads relaxed atomics — workers never block on it, and a sample
+// is a consistent-enough lower bound (exact after Stop(), which takes one
+// final sample with all workers joined).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/campaign.h"
+#include "obs/metrics.h"
+
+namespace systest::obs {
+
+/// One worker's slice of a sample.
+struct WorkerSample {
+  std::size_t worker = 0;
+  std::uint64_t executions = 0;
+  double exec_per_sec = 0.0;  ///< since the previous sample
+};
+
+/// One point of the campaign time-series. Totals are cumulative; *_per_sec
+/// rates cover the window since the previous sample.
+struct MetricsSample {
+  std::uint64_t t_ms = 0;  ///< milliseconds since monitor start
+  bool final_sample = false;
+
+  std::uint64_t executions = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t distinct_states = 0;
+  std::uint64_t pruned_executions = 0;
+  std::uint64_t fingerprint_hits = 0;
+  std::uint64_t fingerprint_misses = 0;
+  std::uint64_t bugs_found = 0;
+  std::uint64_t faults = 0;  ///< all kinds summed
+
+  double exec_per_sec = 0.0;
+  double steps_per_sec = 0.0;
+  double states_per_sec = 0.0;  ///< distinct-state discovery rate
+  double prune_fraction = 0.0;  ///< pruned / executions (cumulative)
+  double eta_seconds = -1.0;    ///< < 0 when unknown (no budget / no rate)
+
+  std::vector<WorkerSample> workers;
+
+  /// Full registry aggregation at sample time (histograms included).
+  MetricsSnapshot snapshot;
+
+  /// The JSONL representation (one line, no trailing newline).
+  [[nodiscard]] std::string ToJsonLine() const;
+};
+
+struct MonitorOptions {
+  std::uint64_t interval_ms = 250;
+  std::string jsonl_path;     ///< empty = no file output
+  bool progress = false;      ///< repaint a one-line display on stderr
+  std::size_t ring_capacity = 1024;
+  std::uint64_t total_executions = 0;  ///< campaign budget, for ETA (0 = none)
+  std::size_t workers = 0;             ///< per-worker rate lines when > 0
+};
+
+class CampaignMonitor {
+ public:
+  CampaignMonitor(CampaignMetrics& metrics, MonitorOptions options);
+  ~CampaignMonitor();
+  CampaignMonitor(const CampaignMonitor&) = delete;
+  CampaignMonitor& operator=(const CampaignMonitor&) = delete;
+
+  /// Observer fan-out, invoked on the monitor thread for every sample. Set
+  /// before Start().
+  void SetSampleCallback(std::function<void(const MetricsSample&)> callback);
+
+  void Start();
+  /// Takes one final (exact, post-join) sample, flushes the JSONL file,
+  /// finishes the progress line with a newline, joins the thread. Idempotent.
+  void Stop();
+
+  /// Copy of the retained ring (oldest first). Callable after Stop().
+  [[nodiscard]] std::vector<MetricsSample> Samples() const;
+
+  /// Total samples taken, including any the ring evicted.
+  [[nodiscard]] std::uint64_t SampleCount() const;
+
+ private:
+  void Loop();
+  MetricsSample TakeSample(bool final_sample);
+  void EmitSample(const MetricsSample& sample);
+  void RenderProgress(const MetricsSample& sample);
+
+  CampaignMetrics& metrics_;
+  MonitorOptions options_;
+  std::vector<Counter*> worker_counters_;
+
+  std::function<void(const MetricsSample&)> callback_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+
+  std::vector<MetricsSample> ring_;  ///< bounded; oldest evicted first
+  std::uint64_t samples_taken_ = 0;
+
+  std::chrono::steady_clock::time_point start_time_;
+  // Previous-sample state for rate derivation (monitor thread only).
+  std::uint64_t prev_t_ms_ = 0;
+  std::uint64_t prev_executions_ = 0;
+  std::uint64_t prev_steps_ = 0;
+  std::uint64_t prev_states_ = 0;
+  std::vector<std::uint64_t> prev_worker_executions_;
+
+  std::FILE* jsonl_ = nullptr;
+  bool progress_painted_ = false;
+};
+
+}  // namespace systest::obs

@@ -1,0 +1,161 @@
+// SysTest observability plane.
+//
+// ExecutionProbe: the per-execution scratch the core Runtime writes its
+// instrumentation into. Everything here is a PLAIN field — a Runtime is
+// single-threaded by construction, so the step loop pays ordinary increments
+// (no atomics, no TLS) and the owning worker flushes the probe into the
+// campaign-wide sharded instruments (obs/campaign.h) once per execution.
+// With no probe attached (RuntimeOptions::probe == nullptr, the default) the
+// instrumentation points are one dead pointer-null branch each, following
+// the fault plane's cheap-when-off pattern, and scheduling is bit-for-bit
+// unchanged either way: the probe only observes, it never consumes
+// randomness or perturbs a choice point.
+//
+// Self-contained (standard library only) so core/ can include it freely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace systest::obs {
+
+/// Inclusive upper edges of the enabled-set-size histogram (plus an implicit
+/// overflow bucket). Shared between the probe's plain per-execution array
+/// and the registry histogram it flushes into.
+inline constexpr std::uint64_t kEnabledSetBounds[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+inline constexpr std::size_t kEnabledSetBucketCount =
+    sizeof(kEnabledSetBounds) / sizeof(kEnabledSetBounds[0]) + 1;
+
+namespace detail {
+
+/// The per-step enabled-set counts are accumulated RAW (one slot per exact
+/// size, clamped into a shared tail slot) and folded into histogram buckets
+/// once per execution: the scheduling hot path is a branchless clamp + one
+/// increment, no bounds scan. Slot kEnabledRawSlots-1 holds every size past
+/// the last bound, i.e. exactly the overflow bucket.
+inline constexpr std::size_t kEnabledRawSlots =
+    static_cast<std::size_t>(kEnabledSetBounds[kEnabledSetBucketCount - 2]) + 2;
+
+/// Per-type delivery counts below this id use the fixed fast array.
+inline constexpr std::size_t kDeliveryFastSlots = 64;
+
+/// Bucket of an exact raw size (sizes >= kEnabledRawSlots-1 = overflow).
+constexpr std::size_t EnabledBucketOf(std::size_t size) noexcept {
+  std::size_t bucket = 0;
+  while (bucket + 1 < kEnabledSetBucketCount &&
+         size > kEnabledSetBounds[bucket]) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace detail
+
+/// Inclusive upper edges of the steps-per-execution histogram.
+inline constexpr std::uint64_t kExecutionStepsBounds[] = {10, 30, 100, 300, 1'000, 3'000, 10'000};
+inline constexpr std::size_t kExecutionStepsBucketCount =
+    sizeof(kExecutionStepsBounds) / sizeof(kExecutionStepsBounds[0]) + 1;
+
+/// Fault-placement heatmap axes: injected fault kind x step decile (which
+/// tenth of the step bound the fault landed in).
+enum class FaultKind : std::uint8_t { kCrash = 0, kRestart = 1, kDrop = 2, kDuplicate = 3 };
+inline constexpr std::size_t kFaultKinds = 4;
+inline constexpr std::size_t kStepDeciles = 10;
+
+[[nodiscard]] constexpr const char* FaultKindName(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+struct ExecutionProbe {
+  /// Also collect coverage inputs (per-machine state visits are accumulated
+  /// inside each Machine; this flag makes Attach size the visit arrays).
+  bool coverage = false;
+
+  // ---- Per-execution accumulators (reset per execution) ----
+  /// Deliveries (dup clones included) by interned EventTypeId. The first
+  /// kDeliveryFastSlots ids live in a fixed array so the per-delivery hot
+  /// path is one compare-against-immediate + one indexed increment; a
+  /// harness with more distinct event types than that (rare) spills the
+  /// tail ids into a grown vector. The execution's delivery total is
+  /// derived at flush time, never counted separately.
+  std::uint64_t deliveries_fast[detail::kDeliveryFastSlots] = {};
+  std::vector<std::uint64_t> deliveries_spill;
+  /// Enabled-set size per scheduling step, raw (see detail::kEnabledRawSlots;
+  /// bucketed by EnabledHistogram once per execution).
+  std::uint64_t enabled_raw[detail::kEnabledRawSlots] = {};
+  /// Fault placements: [kind][decile of the step bound].
+  std::uint64_t fault_deciles[kFaultKinds][kStepDeciles] = {};
+
+  void Reset() noexcept {
+    for (std::uint64_t& c : deliveries_fast) c = 0;
+    for (std::uint64_t& c : deliveries_spill) c = 0;
+    for (std::uint64_t& c : enabled_raw) c = 0;
+    for (auto& row : fault_deciles) {
+      for (std::uint64_t& c : row) c = 0;
+    }
+  }
+
+  void CountDelivery(std::uint32_t type_id) {
+    if (type_id < detail::kDeliveryFastSlots) [[likely]] {
+      ++deliveries_fast[type_id];
+      return;
+    }
+    const std::uint32_t spill = type_id - detail::kDeliveryFastSlots;
+    if (spill >= deliveries_spill.size()) [[unlikely]] {
+      deliveries_spill.resize(spill + 1, 0);
+    }
+    ++deliveries_spill[spill];
+  }
+
+  /// Invokes fn(EventTypeId, count) for every type with >= 1 delivery.
+  template <typename Fn>
+  void ForEachDelivery(Fn&& fn) const {
+    for (std::uint32_t id = 0; id < detail::kDeliveryFastSlots; ++id) {
+      if (deliveries_fast[id] != 0) fn(id, deliveries_fast[id]);
+    }
+    for (std::uint32_t i = 0; i < deliveries_spill.size(); ++i) {
+      if (deliveries_spill[i] != 0) {
+        fn(detail::kDeliveryFastSlots + i, deliveries_spill[i]);
+      }
+    }
+  }
+
+  void CountEnabled(std::size_t enabled) noexcept {
+    // Branchless clamp (compiles to a cmov) + one increment.
+    const std::size_t slot = enabled < detail::kEnabledRawSlots - 1
+                                 ? enabled
+                                 : detail::kEnabledRawSlots - 1;
+    ++enabled_raw[slot];
+  }
+
+  /// Folds the raw per-size counts into histogram buckets (flush time; the
+  /// caller owns the fixed bucket array so short executions don't pay an
+  /// allocation per flush).
+  void FoldEnabledHistogram(
+      std::uint64_t (&buckets)[kEnabledSetBucketCount]) const noexcept {
+    for (std::uint64_t& b : buckets) b = 0;
+    for (std::size_t size = 0; size + 1 < detail::kEnabledRawSlots; ++size) {
+      buckets[detail::EnabledBucketOf(size)] += enabled_raw[size];
+    }
+    buckets[kEnabledSetBucketCount - 1] +=
+        enabled_raw[detail::kEnabledRawSlots - 1];
+  }
+
+  void CountFault(FaultKind kind, std::uint64_t step,
+                  std::uint64_t max_steps) noexcept {
+    std::size_t decile =
+        max_steps == 0 ? 0
+                       : static_cast<std::size_t>(step * kStepDeciles / max_steps);
+    if (decile >= kStepDeciles) decile = kStepDeciles - 1;
+    ++fault_deciles[static_cast<std::size_t>(kind)][decile];
+  }
+};
+
+}  // namespace systest::obs

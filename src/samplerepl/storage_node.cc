@@ -9,6 +9,11 @@ StorageNodeMachine::StorageNodeMachine(systest::MachineId server)
   State("Running")
       .On<ReplReq>(&StorageNodeMachine::OnReplReq)
       .On<systest::TimerTick>(&StorageNodeMachine::OnTimeout);
+  // Deployment-fidelity state: a real storage node replays its on-disk log
+  // after a crash before serving again. The modeled node stores in memory
+  // (Fig. 2) and restarts straight into Running, so no harness ever drives
+  // this state — the coverage heatmap flags it as unvisited, by design.
+  State("Recovering");
   SetStart("Running");
 }
 

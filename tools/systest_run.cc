@@ -70,6 +70,12 @@ struct Options {
   long long max_restarts = -1;
   long long drop_den = -1;
   long long max_dups = -1;
+  // Observability (README "Observability"). Any of these arms the metrics
+  // plane for the session; replay runs never observe.
+  bool progress = false;               // live one-line telemetry on stderr
+  std::string metrics_out;             // JSONL time-series path
+  std::uint64_t metrics_interval = 0;  // ms; 0 = session default
+  bool coverage = false;               // end-of-run coverage heatmaps
 };
 
 void PrintUsage(const char* argv0) {
@@ -105,6 +111,16 @@ void PrintUsage(const char* argv0) {
       "                     (implies --faults)\n"
       "  --stateful         fingerprint visited program states and prune\n"
       "                     executions that reconverge to them\n"
+      "  --progress         live one-line progress telemetry on stderr\n"
+      "                     (exec/s, distinct states, prune %%, faults, ETA,\n"
+      "                     per-worker rates)\n"
+      "  --metrics-out <f>  append a JSONL metrics sample to <f> every\n"
+      "                     interval (with --all / --tag: one file per\n"
+      "                     scenario, name suffixed)\n"
+      "  --metrics-interval <ms>  sampling interval (default 250)\n"
+      "  --coverage         print/emit the end-of-run coverage heatmap\n"
+      "                     (state visits, unvisited declared states, event\n"
+      "                     deliveries, fault placements)\n"
       "  --fingerprint-stats  print the detailed dedup breakdown after the\n"
       "                     run (implies --stateful)\n"
       "  --json             machine-readable output (one JSON line per run)\n"
@@ -151,6 +167,16 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       if (!(value = need_value(i))) return false;
       options.max_dups = std::atoll(value);
       options.faults = true;
+    } else if (arg == "--progress") {
+      options.progress = true;
+    } else if (arg == "--coverage") {
+      options.coverage = true;
+    } else if (arg == "--metrics-out") {
+      if (!(value = need_value(i))) return false;
+      options.metrics_out = value;
+    } else if (arg == "--metrics-interval") {
+      if (!(value = need_value(i))) return false;
+      options.metrics_interval = std::strtoull(value, nullptr, 10);
     } else if (arg == "--fingerprint-stats") {
       options.fingerprint_stats = true;
       options.stateful = true;
@@ -307,11 +333,33 @@ SessionConfig BuildSessionConfig(const std::string& scenario,
   }
   config.readable_trace_on_bug = options.verbose;
   config.replay_file = options.replay;
+  config.progress = options.progress;
+  config.metrics_out = options.metrics_out;
+  if (options.metrics_interval > 0) {
+    config.metrics_interval_ms = options.metrics_interval;
+  }
+  config.coverage = options.coverage;
   return config;
 }
 
-int RunOne(const std::string& scenario, const Options& options) {
-  TestSession session(BuildSessionConfig(scenario, options));
+/// With --all / --tag sweeps, "m.jsonl" becomes "m.<scenario>.jsonl" so each
+/// scenario's time-series survives instead of the last run clobbering all.
+std::string PerScenarioPath(const std::string& path,
+                            const std::string& scenario) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + scenario;
+  }
+  return path.substr(0, dot) + "." + scenario + path.substr(dot);
+}
+
+int RunOne(const std::string& scenario, const Options& options,
+           bool multi_scenario) {
+  SessionConfig config = BuildSessionConfig(scenario, options);
+  if (multi_scenario && !config.metrics_out.empty()) {
+    config.metrics_out = PerScenarioPath(config.metrics_out, scenario);
+  }
+  TestSession session(std::move(config));
   systest::api::HumanReporter human(stdout, options.verbose);
   systest::api::JsonReporter json(stdout);
   if (options.json) {
@@ -408,7 +456,7 @@ int main(int argc, char** argv) {
       std::printf("=== %s ===\n", target.c_str());
     }
     try {
-      const int code = RunOne(target, options);
+      const int code = RunOne(target, options, targets.size() > 1);
       if (code != 0) exit_code = code;
     } catch (const std::exception& error) {
       std::fprintf(stderr, "error: %s\n", error.what());
