@@ -75,11 +75,13 @@ void HumanReporter::OnFinish(const SessionReport& report) {
     const Runtime::FaultStats& f = report.report.injected_faults;
     std::fprintf(out_,
                  "faults: %llu crashes, %llu restarts, %llu drops, %llu "
-                 "duplications injected\n",
+                 "duplications, %llu partitions, %llu heals injected\n",
                  static_cast<unsigned long long>(f.crashes),
                  static_cast<unsigned long long>(f.restarts),
                  static_cast<unsigned long long>(f.drops),
-                 static_cast<unsigned long long>(f.duplications));
+                 static_cast<unsigned long long>(f.duplications),
+                 static_cast<unsigned long long>(f.partitions),
+                 static_cast<unsigned long long>(f.heals));
   }
   if (report.report.bug_found &&
       report.report.bug_trace.HasFaultDecisions()) {
@@ -172,6 +174,9 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     field("injected_drops", std::to_string(r.injected_faults.drops), false);
     field("injected_duplications",
           std::to_string(r.injected_faults.duplications), false);
+    field("injected_partitions", std::to_string(r.injected_faults.partitions),
+          false);
+    field("injected_heals", std::to_string(r.injected_faults.heals), false);
   }
   if (r.bug_found) {
     field("bug_kind", std::string(ToString(r.bug_kind)), true);

@@ -93,9 +93,23 @@ TestConfig TestSession::ResolveConfig() const {
     tc.max_duplications = *config_.max_duplications;
   }
   if (config_.fault_odds_den) tc.fault_odds_den = *config_.fault_odds_den;
-  if (config_.faults && !tc.FaultsEnabled()) {
+  if (config_.max_partitions) tc.max_partitions = *config_.max_partitions;
+  if (config_.partition_heal_den) {
+    tc.partition_heal_den = *config_.partition_heal_den;
+  }
+  if (config_.fault_placement_points) {
+    tc.fault_placement_points = *config_.fault_placement_points;
+  }
+  if (config_.partitions && tc.max_partitions == 0) {
+    // Arm-with-defaults, partition flavor: one partition per execution
+    // unless the scenario or an override already budgets them.
+    tc.max_partitions = 1;
+  }
+  if (config_.faults && tc.max_crashes == 0 && tc.drop_probability_den == 0 &&
+      tc.max_duplications == 0) {
     // Arm-with-defaults: only when neither the scenario nor a specific
-    // override produced any fault budget.
+    // override produced any fault budget. Partition budgets are judged
+    // separately above, so `faults` + `partitions` arms both planes.
     tc.max_crashes = 1;
     tc.max_restarts = 1;
   }

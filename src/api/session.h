@@ -77,6 +77,15 @@ struct SessionConfig {
   std::optional<std::uint64_t> drop_probability_den;
   std::optional<std::uint64_t> max_duplications;
   std::optional<std::uint64_t> fault_odds_den;
+  /// Network partitions (TestConfig::{max_partitions, partition_heal_den})
+  /// and pre-sampled fault placement (TestConfig::fault_placement_points).
+  /// `partitions` mirrors `faults`: if the resolved config still has no
+  /// partition budget after scenario defaults and the overrides below,
+  /// max_partitions defaults to 1 (heal odds keep the scenario/default den).
+  bool partitions = false;
+  std::optional<std::uint64_t> max_partitions;
+  std::optional<std::uint64_t> partition_heal_den;
+  std::optional<int> fault_placement_points;
   /// Produce the readable execution log on a bug (TestReport::execution_log).
   bool readable_trace_on_bug = false;
 

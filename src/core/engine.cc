@@ -39,14 +39,17 @@ std::string TestReport::Summary() const {
     out += stats;
   }
   if (faults) {
-    char stats[128];
+    char stats[192];
     std::snprintf(
         stats, sizeof(stats),
-        " [faults: crashes=%llu restarts=%llu drops=%llu dups=%llu]",
+        " [faults: crashes=%llu restarts=%llu drops=%llu dups=%llu "
+        "partitions=%llu heals=%llu]",
         static_cast<unsigned long long>(injected_faults.crashes),
         static_cast<unsigned long long>(injected_faults.restarts),
         static_cast<unsigned long long>(injected_faults.drops),
-        static_cast<unsigned long long>(injected_faults.duplications));
+        static_cast<unsigned long long>(injected_faults.duplications),
+        static_cast<unsigned long long>(injected_faults.partitions),
+        static_cast<unsigned long long>(injected_faults.heals));
     out += stats;
   }
   return out;
@@ -95,10 +98,23 @@ void TestConfig::Validate() const {
     fail("drop_probability_den == 1 (every message would be dropped and no "
          "protocol could make progress; use 0 to disable drops)");
   }
+  if (partition_heal_den == 1) {
+    fail("partition_heal_den == 1 (every partition would heal on the very "
+         "next step, making partitions one-step blips; use 0 to disable "
+         "heals or >= 2 for a real outage window)");
+  }
   if (FaultsEnabled() && fault_odds_den < 2) {
     fail("fault_odds_den < 2 with faults enabled (budgeted faults would all "
          "fire at the first eligible point, exploring a single failure "
          "schedule)");
+  }
+  if (fault_placement_points < 0) {
+    fail("fault_placement_points is negative (use 0 for geometric placement)");
+  }
+  if (fault_placement_points > 0 && max_crashes == 0 && max_partitions == 0) {
+    fail("fault_placement_points > 0 with no crash or partition budget "
+         "(pre-sampled placement governs destructive faults only, so "
+         "nothing could ever fire at the sampled points)");
   }
 }
 
@@ -116,6 +132,8 @@ RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
   options.max_restarts = config.max_restarts;
   options.drop_probability_den = config.drop_probability_den;
   options.max_duplications = config.max_duplications;
+  options.max_partitions = config.max_partitions;
+  options.partition_heal_den = config.partition_heal_den;
   options.fault_odds_den = config.fault_odds_den;
   return options;
 }
@@ -183,6 +201,12 @@ ExecutionResult RunOneExecution(const TestConfig& config,
                                 std::uint64_t iteration,
                                 VisitedSet* visited, obs::WorkerObs* obs) {
   ExecutionResult result;
+  if (config.fault_placement_points > 0) {
+    // Arm pre-sampled fault placement before PrepareIteration samples the
+    // points (an int store per execution; strategies that don't sample stay
+    // on geometric placement).
+    strategy.SetFaultPlacementPoints(config.fault_placement_points);
+  }
   strategy.PrepareIteration(iteration, config.max_steps);
   RuntimeOptions options = MakeRuntimeOptions(config, false);
   if (obs != nullptr) {

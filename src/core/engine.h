@@ -104,15 +104,32 @@ struct TestConfig {
   /// Per-execution duplication budget (a delivery enqueued twice). 0
   /// disables duplication.
   std::uint64_t max_duplications = 0;
-  /// Odds denominator for the budgeted rolls: while budget remains, a crash
-  /// or restart fires with probability 1/den per step and a duplication
-  /// with 1/den per delivery. Shapes WHEN faults land, not how many.
+  /// Per-execution partition budget: the strategy may isolate a machine
+  /// opted in via Runtime::SetPartitionable (deliveries between it and any
+  /// other machine vanish) and heal it as a separate choice point. Recorded
+  /// as trace v3 decisions; 0 disables partitions.
+  std::uint64_t max_partitions = 0;
+  /// Per-step heal odds denominator while a partition is installed. 0
+  /// disables heals (partitions last the rest of the execution).
+  std::uint64_t partition_heal_den = 4;
+  /// Odds denominator for the budgeted rolls: while budget remains, a crash,
+  /// restart or partition fires with probability 1/den per step and a
+  /// duplication with 1/den per delivery. Shapes WHEN faults land, not how
+  /// many.
   std::uint64_t fault_odds_den = 16;
+  /// PCT-style pre-sampled fault placement: when > 0, each iteration
+  /// samples this many fault points uniformly from the step budget up front
+  /// (mirroring PCT's priority change points) and destructive faults
+  /// (crash, partition) fire only at those points instead of geometric
+  /// per-step odds — fault depth becomes bounded and systematic. Honored by
+  /// the built-in random/PCT/delay-bounded strategies; others keep the
+  /// geometric default. 0 = geometric placement.
+  int fault_placement_points = 0;
 
   /// Whether this config turns the fault plane on.
   [[nodiscard]] bool FaultsEnabled() const noexcept {
     return max_crashes > 0 || drop_probability_den > 0 ||
-           max_duplications > 0;
+           max_duplications > 0 || max_partitions > 0;
   }
 
   /// Fails fast on configurations that would silently explore nothing:
@@ -120,8 +137,10 @@ struct TestConfig {
   /// empty strategy name, a negative time budget, a liveness temperature
   /// threshold above the step bound, fingerprint_payloads without stateful,
   /// stateful with max_visited == 0 or prune_run == 0, restarts without
-  /// crashes, a drop denominator of 1 (every message dropped), or fault
-  /// odds below 2. TestSession calls this before running.
+  /// crashes, a drop denominator of 1 (every message dropped), a heal
+  /// denominator of 1 (every partition healed on the next step), fault
+  /// odds below 2, or pre-sampled fault placement with no fault budgets.
+  /// TestSession calls this before running.
   void Validate() const;
 };
 

@@ -594,6 +594,18 @@ void Runtime::DeliverEvent(MachineId target, std::unique_ptr<const Event> ev,
     return;
   }
   if (fault_mode_ && sender != nullptr && sender != machine) [[unlikely]] {
+    // Partition check FIRST, before the delivery-fault choice point: a
+    // delivery suppressed by an installed partition never consumes a
+    // delivery ordinal or a strategy draw. The partition schedule derives
+    // identically from the trace in record and replay, so both modes skip
+    // the same deliveries and the ordinal streams stay aligned.
+    if (sender->partitioned_ || machine->partitioned_) {
+      if (LoggingEnabled()) {
+        LogLine("part    ", sender->DebugName(), " x ", machine->DebugName(),
+                " : ", ev->Name());
+      }
+      return;  // dropped by the partition
+    }
     // Message-fault choice point. Only machine-to-machine traffic between
     // DISTINCT machines is eligible: harness setup sends are wiring, and
     // self-sends are a machine's internal control flow, not the network.
@@ -627,6 +639,19 @@ void Runtime::SetCrashable(MachineId id, bool crashable) {
   if (machine->crashable_ != crashable) {
     machine->crashable_ = crashable;
     crashable_machines_ += crashable ? 1 : -1;
+  }
+}
+
+void Runtime::SetPartitionable(MachineId id, bool partitionable) {
+  Machine* machine = FindMachine(id);
+  if (machine == nullptr) {
+    throw BugFound(BugKind::kHarnessError,
+                   "SetPartitionable on unknown machine id " +
+                       std::to_string(id.value));
+  }
+  if (machine->partitionable_ != partitionable) {
+    machine->partitionable_ = partitionable;
+    partitionable_machines_ += partitionable ? 1 : -1;
   }
 }
 
@@ -669,9 +694,9 @@ std::uint64_t Runtime::ChooseInt(std::uint64_t bound) {
 
 bool Runtime::Step() {
   if (fault_mode_) [[unlikely]] {
-    // Crash/restart choice point at the step boundary, BEFORE the enabled
-    // scan: a crash shrinks the enabled set, a restart can revive a
-    // quiescent world.
+    // Fault choice point (crash/restart/partition/heal) at the step
+    // boundary, BEFORE the enabled scan: a crash shrinks the enabled set,
+    // a restart can revive a quiescent world.
     MaybeInjectFault();
   }
   enabled_scratch_.clear();
@@ -730,11 +755,12 @@ void Runtime::MaybeInjectFault() {
   FaultContext ctx;
   ctx.step = steps_;
   ctx.odds_den = options_.fault_odds_den;
+  ctx.heal_den = options_.partition_heal_den;
   if (!options_.replay_faults) {
     // Exploration: offer the strategy only what the budgets still allow.
     // Candidate collection is skipped entirely when no machine qualifies, so
-    // scenarios with no SetCrashable opt-ins never pay for (or perturb RNG
-    // with) fault rolls.
+    // scenarios with no SetCrashable/SetPartitionable opt-ins never pay for
+    // (or perturb RNG with) fault rolls.
     if (fault_stats_.crashes < options_.max_crashes &&
         crashable_machines_ > 0) {
       crash_scratch_.clear();
@@ -755,7 +781,28 @@ void Runtime::MaybeInjectFault() {
       }
       ctx.restartable = restart_scratch_;
     }
-    if (ctx.crashable.empty() && ctx.restartable.empty()) {
+    if (fault_stats_.partitions < options_.max_partitions &&
+        partitionable_machines_ > 0) {
+      partition_scratch_.clear();
+      for (const auto& machine : machines_) {
+        if (machine->partitionable_ && !machine->partitioned_ &&
+            !machine->crashed_ && !machine->halted_) {
+          partition_scratch_.push_back(machine->id_);
+        }
+      }
+      ctx.partitionable = partition_scratch_;
+    }
+    if (options_.partition_heal_den > 0 && partitioned_machines_ > 0) {
+      heal_scratch_.clear();
+      for (const auto& machine : machines_) {
+        if (machine->partitioned_) {
+          heal_scratch_.push_back(machine->id_);
+        }
+      }
+      ctx.healable = heal_scratch_;
+    }
+    if (ctx.crashable.empty() && ctx.restartable.empty() &&
+        ctx.partitionable.empty() && ctx.healable.empty()) {
       return;
     }
   }
@@ -768,6 +815,12 @@ void Runtime::MaybeInjectFault() {
       return;
     case FaultDecision::Kind::kRestart:
       ApplyRestart(decision.machine);
+      return;
+    case FaultDecision::Kind::kPartition:
+      ApplyPartition(decision.machine);
+      return;
+    case FaultDecision::Kind::kHeal:
+      ApplyHeal(decision.machine);
       return;
   }
 }
@@ -827,6 +880,58 @@ void Runtime::ApplyRestart(MachineId id) {
   machine->MarkEnabledDirty();
   if (options_.stateful) {
     MarkFingerprintDirty(*machine);
+  }
+}
+
+void Runtime::ApplyPartition(MachineId id) {
+  Machine* machine = FindMachine(id);
+  if (machine == nullptr || machine->partitioned_ || machine->crashed_ ||
+      machine->halted_) {
+    const std::string what =
+        "partition of machine " + std::to_string(id.value) +
+        " which is unknown, halted, crashed or already partitioned";
+    if (options_.replay_faults) {
+      throw BugFound(BugKind::kReplayDivergence, "replay: " + what);
+    }
+    throw BugFound(BugKind::kHarnessError,
+                   "strategy '" + strategy_.Name() + "' chose a " + what +
+                       " (NextFault must pick from ctx.partitionable)");
+  }
+  trace_.RecordPartition(id.value, steps_);
+  ++fault_stats_.partitions;
+  if (probe_ != nullptr) [[unlikely]] {
+    probe_->CountFault(obs::FaultKind::kPartition, steps_, options_.max_steps);
+  }
+  ++partitioned_machines_;
+  // No per-machine fingerprint invalidation: the active partition set is
+  // world state, hashed on every read by SharedStateFingerprint.
+  machine->partitioned_ = true;
+  if (LoggingEnabled()) {
+    LogLine("part    ", machine->DebugName(), " isolated");
+  }
+}
+
+void Runtime::ApplyHeal(MachineId id) {
+  Machine* machine = FindMachine(id);
+  if (machine == nullptr || !machine->partitioned_) {
+    const std::string what = "heal of machine " + std::to_string(id.value) +
+                             " which is not partitioned";
+    if (options_.replay_faults) {
+      throw BugFound(BugKind::kReplayDivergence, "replay: " + what);
+    }
+    throw BugFound(BugKind::kHarnessError,
+                   "strategy '" + strategy_.Name() + "' chose a " + what +
+                       " (NextFault must pick from ctx.healable)");
+  }
+  trace_.RecordHeal(id.value, steps_);
+  ++fault_stats_.heals;
+  if (probe_ != nullptr) [[unlikely]] {
+    probe_->CountFault(obs::FaultKind::kHeal, steps_, options_.max_steps);
+  }
+  --partitioned_machines_;
+  machine->partitioned_ = false;
+  if (LoggingEnabled()) {
+    LogLine("heal    ", machine->DebugName(), " reconnected");
   }
 }
 
@@ -933,11 +1038,27 @@ Fingerprint Runtime::SharedStateFingerprint() const {
     // continuations exist from a program state: a world revisited with fewer
     // crashes left is NOT the world whose continuations were already
     // explored, so it must not prune against it. (Drops are probability-
-    // gated, not budgeted — past drops change no future capability.)
+    // gated, not budgeted — past drops change no future capability. Heals
+    // are odds-gated too, but the heal COUNT still matters through the
+    // partition budget asymmetry: consumed installs are hashed, and the
+    // active-partition set below distinguishes healed from still-isolated.)
     StateHasher hasher;
     hasher.Mix(fault_stats_.crashes);
     hasher.Mix(fault_stats_.restarts);
     hasher.Mix(fault_stats_.duplications);
+    hasher.Mix(fault_stats_.partitions);
+    // The active partition set is connectivity state no machine contribution
+    // sees (an isolated machine's own state/queue can match a connected
+    // one's exactly while its future deliveries all vanish), so it must
+    // distinguish the fingerprints. Mixed in id order for determinism.
+    if (partitioned_machines_ > 0) {
+      hasher.Mix(partitioned_machines_);
+      for (const auto& machine : machines_) {
+        if (machine->partitioned_) {
+          hasher.Mix(machine->id_.value);
+        }
+      }
+    }
     fp ^= hasher.Digest();
   }
   return fp;

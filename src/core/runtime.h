@@ -193,6 +193,13 @@ class Machine {
   [[nodiscard]] bool Crashed() const noexcept { return crashed_; }
   /// Opted in as a crash candidate (Runtime::SetCrashable).
   [[nodiscard]] bool Crashable() const noexcept { return crashable_; }
+  /// Opted in as a partition candidate (Runtime::SetPartitionable).
+  [[nodiscard]] bool Partitionable() const noexcept { return partitionable_; }
+  /// Currently isolated by an installed partition: the machine keeps
+  /// running, but every delivery between it and any OTHER machine is
+  /// silently dropped until the partition heals. Self-sends and harness
+  /// sends are exempt, like the rest of the delivery fault plane.
+  [[nodiscard]] bool Partitioned() const noexcept { return partitioned_; }
   /// How many times the fault plane restarted this machine.
   [[nodiscard]] std::uint64_t RestartCount() const noexcept {
     return restart_count_;
@@ -420,8 +427,10 @@ class Machine {
   bool pending_halt_ = false;
   bool started_ = false;
   bool halted_ = false;
-  bool crashed_ = false;    // fault plane: inert but restartable
-  bool crashable_ = false;  // fault plane: crash-candidate opt-in
+  bool crashed_ = false;        // fault plane: inert but restartable
+  bool crashable_ = false;      // fault plane: crash-candidate opt-in
+  bool partitionable_ = false;  // fault plane: partition-candidate opt-in
+  bool partitioned_ = false;    // fault plane: currently isolated
   bool enabled_cache_ = false;
   bool enabled_dirty_ = true;
   bool fp_dirty_ = false;  // queued for contribution rehash (stateful only)
@@ -642,9 +651,18 @@ struct RuntimeOptions {
   /// Per-execution budget of message duplications (the event is delivered
   /// twice). 0 disables duplication.
   std::uint64_t max_duplications = 0;
-  /// Odds denominator for the budgeted fault rolls (crash/restart per step,
-  /// duplication per delivery): each fires with probability 1/den while
-  /// budget remains.
+  /// Per-execution budget of network partitions: the strategy may isolate a
+  /// machine Runtime::SetPartitionable opted in (every delivery between it
+  /// and any other machine is silently dropped) and later heal it as a
+  /// separate choice point. 0 disables partitions.
+  std::uint64_t max_partitions = 0;
+  /// Per-step heal odds denominator: while a partition is installed, the
+  /// strategy heals it with probability 1/den per step. 0 disables heals
+  /// (installed partitions last until the execution ends).
+  std::uint64_t partition_heal_den = 4;
+  /// Odds denominator for the budgeted fault rolls (crash/restart/partition
+  /// per step, duplication per delivery): each fires with probability 1/den
+  /// while budget remains.
   std::uint64_t fault_odds_den = 16;
   /// Replay mode: apply whatever fault decisions the ReplayStrategy reads
   /// from its trace, ignoring the budgets above. Set by
@@ -655,7 +673,7 @@ struct RuntimeOptions {
   /// Whether this options set turns the fault plane on for exploration.
   [[nodiscard]] bool FaultInjectionEnabled() const noexcept {
     return max_crashes > 0 || drop_probability_den > 0 ||
-           max_duplications > 0;
+           max_duplications > 0 || max_partitions > 0;
   }
 
   // ---- Observability (see README "Observability") ----
@@ -755,21 +773,32 @@ class Runtime {
   /// setup or from machine handlers (for machines created mid-execution).
   void SetCrashable(MachineId id, bool crashable = true);
 
+  /// Marks `id` as a partition candidate for the fault plane, mirroring
+  /// SetCrashable: harnesses opt the modeled nodes in explicitly so
+  /// partition budgets never isolate drivers, clients, or environment
+  /// machines whose unreachability is not part of the scenario's fault
+  /// model.
+  void SetPartitionable(MachineId id, bool partitionable = true);
+
   /// Injected-fault counts for this execution.
   struct FaultStats {
     std::uint64_t crashes = 0;
     std::uint64_t restarts = 0;
     std::uint64_t drops = 0;
     std::uint64_t duplications = 0;
+    std::uint64_t partitions = 0;  ///< partition installs
+    std::uint64_t heals = 0;       ///< partition heals
 
     [[nodiscard]] std::uint64_t Total() const noexcept {
-      return crashes + restarts + drops + duplications;
+      return crashes + restarts + drops + duplications + partitions + heals;
     }
     FaultStats& operator+=(const FaultStats& other) noexcept {
       crashes += other.crashes;
       restarts += other.restarts;
       drops += other.drops;
       duplications += other.duplications;
+      partitions += other.partitions;
+      heals += other.heals;
       return *this;
     }
     friend bool operator==(const FaultStats&, const FaultStats&) = default;
@@ -932,11 +961,14 @@ class Runtime {
   void MaybeInjectFault();
   void ApplyCrash(MachineId id);
   void ApplyRestart(MachineId id);
+  void ApplyPartition(MachineId id);
+  void ApplyHeal(MachineId id);
   /// Message-fault choice point for one delivery. Returns true when the
   /// delivery was dropped (the caller then skips the enqueue); a duplication
   /// enqueues the clone here and lets the caller enqueue the original.
   bool ApplyDeliveryFault(Machine& target, const Event& ev);
-  /// XOR-mixin of probe digests and fault-budget counters (stateful only).
+  /// XOR-mixin of probe digests, fault-budget counters, and the active
+  /// partition set (stateful only).
   [[nodiscard]] Fingerprint SharedStateFingerprint() const;
 
   /// Queues `machine` for a contribution rehash at the next fingerprint
@@ -975,8 +1007,12 @@ class Runtime {
   std::uint64_t delivery_seq_ = 0;      // machine-to-machine delivery ordinal
   std::size_t crashable_machines_ = 0;  // SetCrashable opt-ins
   std::size_t crashed_machines_ = 0;    // currently crashed (restartable)
-  std::vector<MachineId> crash_scratch_;    // crash candidates, reused
-  std::vector<MachineId> restart_scratch_;  // restart candidates, reused
+  std::size_t partitionable_machines_ = 0;  // SetPartitionable opt-ins
+  std::size_t partitioned_machines_ = 0;    // currently isolated
+  std::vector<MachineId> crash_scratch_;      // crash candidates, reused
+  std::vector<MachineId> restart_scratch_;    // restart candidates, reused
+  std::vector<MachineId> partition_scratch_;  // partition candidates, reused
+  std::vector<MachineId> heal_scratch_;       // heal candidates, reused
 };
 
 // ---- Machine members that need Runtime's definition ----

@@ -10,19 +10,64 @@ namespace systest {
 // ---------------------------------------------------------------------------
 // SchedulingStrategy fault-choice defaults
 
+void SchedulingStrategy::SampleFaultPlacement(std::uint64_t max_steps) {
+  if (placement_points_ <= 0) return;
+  placement_armed_ = true;
+  fault_points_.clear();
+  fault_points_.reserve(static_cast<std::size_t>(placement_points_));
+  for (int i = 0; i < placement_points_; ++i) {
+    fault_points_.push_back(NextInt(std::max<std::uint64_t>(1, max_steps)));
+  }
+  std::sort(fault_points_.begin(), fault_points_.end());
+}
+
 FaultDecision SchedulingStrategy::NextFault(const FaultContext& ctx) {
-  // Geometric fault placement from the strategy's own choice source: at each
-  // eligible step the fault fires with probability 1/odds_den, then a second
-  // draw picks the victim uniformly. Consuming NextInt keeps the decision
-  // inside the strategy's deterministic seed-derived stream, so the same
-  // seed places the same faults.
-  if (!ctx.crashable.empty() && NextInt(ctx.odds_den) == 0) {
-    return {FaultDecision::Kind::kCrash,
-            ctx.crashable[NextInt(ctx.crashable.size())]};
+  // Destructive faults (crash, partition) come from one of two placement
+  // models; recovery actions (restart, heal) always roll per-step odds.
+  if (placement_armed_) {
+    // Pre-sampled placement: a destructive fault fires only when a sampled
+    // point is due. The point is consumed only once a candidate exists —
+    // a point landing before any machine opted in (or while every candidate
+    // is crashed) waits for the first eligible step instead of evaporating.
+    if (!fault_points_.empty() && ctx.step >= fault_points_.front()) {
+      const bool can_crash = !ctx.crashable.empty();
+      const bool can_partition = !ctx.partitionable.empty();
+      if (can_crash || can_partition) {
+        fault_points_.erase(fault_points_.begin());
+        const bool crash =
+            can_crash && (!can_partition || NextInt(2) == 0);
+        if (crash) {
+          return {FaultDecision::Kind::kCrash,
+                  ctx.crashable[NextInt(ctx.crashable.size())]};
+        }
+        return {FaultDecision::Kind::kPartition,
+                ctx.partitionable[NextInt(ctx.partitionable.size())]};
+      }
+    }
+  } else {
+    // Geometric placement from the strategy's own choice source: at each
+    // eligible step the fault fires with probability 1/odds_den, then a
+    // second draw picks the victim uniformly. Consuming NextInt keeps the
+    // decision inside the strategy's deterministic seed-derived stream, so
+    // the same seed places the same faults. Empty spans roll nothing, so a
+    // config without partitions draws exactly what it drew before they
+    // existed.
+    if (!ctx.crashable.empty() && NextInt(ctx.odds_den) == 0) {
+      return {FaultDecision::Kind::kCrash,
+              ctx.crashable[NextInt(ctx.crashable.size())]};
+    }
+    if (!ctx.partitionable.empty() && NextInt(ctx.odds_den) == 0) {
+      return {FaultDecision::Kind::kPartition,
+              ctx.partitionable[NextInt(ctx.partitionable.size())]};
+    }
   }
   if (!ctx.restartable.empty() && NextInt(ctx.odds_den) == 0) {
     return {FaultDecision::Kind::kRestart,
             ctx.restartable[NextInt(ctx.restartable.size())]};
+  }
+  if (!ctx.healable.empty() && NextInt(ctx.heal_den) == 0) {
+    return {FaultDecision::Kind::kHeal,
+            ctx.healable[NextInt(ctx.healable.size())]};
   }
   return {};
 }
@@ -42,9 +87,10 @@ DeliveryFault SchedulingStrategy::NextDeliveryFault(
 // RandomStrategy
 
 void RandomStrategy::PrepareIteration(std::uint64_t iteration,
-                                      std::uint64_t /*max_steps*/) {
+                                      std::uint64_t max_steps) {
   std::uint64_t state = base_seed_ + iteration;
   rng_.Reseed(SplitMix64(state));
+  SampleFaultPlacement(max_steps);
 }
 
 // ---------------------------------------------------------------------------
@@ -62,6 +108,7 @@ void PctStrategy::PrepareIteration(std::uint64_t iteration,
     change_points_.push_back(rng_.NextBelow(std::max<std::uint64_t>(1, max_steps)));
   }
   std::sort(change_points_.begin(), change_points_.end());
+  SampleFaultPlacement(max_steps);
 }
 
 std::uint64_t PctStrategy::PriorityOf(MachineId id) {
@@ -130,6 +177,7 @@ void DelayBoundedStrategy::PrepareIteration(std::uint64_t iteration,
     delay_points_.push_back(rng_.NextBelow(std::max<std::uint64_t>(1, max_steps)));
   }
   std::sort(delay_points_.begin(), delay_points_.end());
+  SampleFaultPlacement(max_steps);
 }
 
 MachineId DelayBoundedStrategy::Next(std::span<const MachineId> enabled,
@@ -205,6 +253,14 @@ FaultDecision ReplayStrategy::NextFault(const FaultContext& ctx) {
     if (d.kind == Decision::Kind::kRestart && d.bound == ctx.step) {
       ++cursor_;
       return {FaultDecision::Kind::kRestart, MachineId{d.value}};
+    }
+    if (d.kind == Decision::Kind::kPartition && d.bound == ctx.step) {
+      ++cursor_;
+      return {FaultDecision::Kind::kPartition, MachineId{d.value}};
+    }
+    if (d.kind == Decision::Kind::kHeal && d.bound == ctx.step) {
+      ++cursor_;
+      return {FaultDecision::Kind::kHeal, MachineId{d.value}};
     }
   }
   return {};

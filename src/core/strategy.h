@@ -38,23 +38,27 @@ struct MachineId {
 /// bug, which is why only the built-ins' own constructors set it.
 enum class BuiltinStrategy : std::uint8_t { kOther = 0, kRandom, kPct };
 
-/// Outcome of the per-step crash/restart choice point (the fault plane's
-/// step-boundary fault action).
+/// Outcome of the per-step fault choice point (the fault plane's
+/// step-boundary fault action): crash/restart a machine, or install/heal a
+/// network partition isolating one machine from the rest.
 struct FaultDecision {
-  enum class Kind : std::uint8_t { kNone, kCrash, kRestart };
+  enum class Kind : std::uint8_t { kNone, kCrash, kRestart, kPartition, kHeal };
   Kind kind = Kind::kNone;
   MachineId machine{};
 };
 
 /// Context for SchedulingStrategy::NextFault. The runtime populates the
 /// candidate spans only while the corresponding budget remains, so an empty
-/// span means "this fault kind is not available here". Under replay both
+/// span means "this fault kind is not available here". Under replay all
 /// spans are empty — the ReplayStrategy reads the decision from the trace.
 struct FaultContext {
-  std::span<const MachineId> crashable;    ///< crash candidates (sorted)
-  std::span<const MachineId> restartable;  ///< restart candidates (sorted)
+  std::span<const MachineId> crashable;      ///< crash candidates (sorted)
+  std::span<const MachineId> restartable;    ///< restart candidates (sorted)
+  std::span<const MachineId> partitionable;  ///< partition candidates (sorted)
+  std::span<const MachineId> healable;       ///< isolated machines (sorted)
   std::uint64_t step = 0;       ///< 0-based step this boundary precedes
   std::uint64_t odds_den = 16;  ///< suggested per-step fault odds (1/den)
+  std::uint64_t heal_den = 4;   ///< suggested per-step heal odds (1/den)
 };
 
 /// Outcome of the per-delivery message-fault choice point.
@@ -98,14 +102,17 @@ class SchedulingStrategy {
   /// Value in [0, bound) for a controlled integer choice. bound >= 1.
   virtual std::uint64_t NextInt(std::uint64_t bound) = 0;
 
-  /// Crash/restart choice point, consulted once per scheduling step while
-  /// the fault plane is active and budget remains. The default derives the
-  /// decision from the strategy's own choice source (NextInt), so EVERY
-  /// strategy — random, PCT, delay-bounded, round-robin, third-party —
-  /// explores failure interleavings without any code of its own; strategies
-  /// with smarter fault placement (e.g. pre-sampled crash points) override
-  /// it. ReplayStrategy overrides it to read the recorded failure schedule
-  /// from the trace.
+  /// Step-boundary fault choice point (crash/restart/partition/heal),
+  /// consulted once per scheduling step while the fault plane is active and
+  /// budget remains. The default derives the decision from the strategy's
+  /// own choice source (NextInt), so EVERY strategy — random, PCT,
+  /// delay-bounded, round-robin, third-party — explores failure
+  /// interleavings without any code of its own. With pre-sampled placement
+  /// armed (SetFaultPlacementPoints + a PrepareIteration that calls
+  /// SampleFaultPlacement), destructive faults (crash, partition) fire only
+  /// at the sampled points instead of geometric per-step odds.
+  /// ReplayStrategy overrides it to read the recorded failure schedule from
+  /// the trace.
   virtual FaultDecision NextFault(const FaultContext& ctx);
 
   /// Message-fault choice point, consulted once per machine-to-machine
@@ -115,12 +122,46 @@ class SchedulingStrategy {
 
   [[nodiscard]] virtual std::string Name() const = 0;
 
+  /// Pre-sampled fault placement (PCT-style, TestConfig::
+  /// fault_placement_points): when count > 0, the default NextFault stops
+  /// rolling geometric per-step odds for DESTRUCTIVE faults (crash,
+  /// partition) and fires them only at `count` points sampled uniformly
+  /// from the step budget each iteration — mirroring PCT's priority change
+  /// points, so fault depth is bounded and systematically explorable.
+  /// Recovery actions (restart, heal) keep their per-step odds. The
+  /// built-in random/PCT/delay-bounded strategies honor this by calling
+  /// SampleFaultPlacement from PrepareIteration; a strategy that never
+  /// samples stays on the geometric default.
+  void SetFaultPlacementPoints(int count) noexcept {
+    placement_points_ = count;
+  }
+  [[nodiscard]] int FaultPlacementPoints() const noexcept {
+    return placement_points_;
+  }
+
+  /// Remaining (sorted) pre-sampled fault points for the current iteration.
+  /// Exposed so tests can pin where placed faults fire for a given seed.
+  [[nodiscard]] std::span<const std::uint64_t> PlacedFaultPoints()
+      const noexcept {
+    return fault_points_;
+  }
+
  protected:
   /// For built-in constructors only: the tag promises the dynamic type.
   void TagBuiltin(BuiltinStrategy builtin) noexcept { builtin_ = builtin; }
 
+  /// Samples the configured number of placement points uniformly from
+  /// [0, max_steps), sorted ascending, using the strategy's own choice
+  /// stream (NextInt) — the same seed places the same faults. Call from
+  /// PrepareIteration AFTER reseeding. No-op (and no draws) when placement
+  /// is not configured, so default-off runs stay bit-identical.
+  void SampleFaultPlacement(std::uint64_t max_steps);
+
  private:
   BuiltinStrategy builtin_ = BuiltinStrategy::kOther;
+  int placement_points_ = 0;
+  bool placement_armed_ = false;  ///< a PrepareIteration sampled at least once
+  std::vector<std::uint64_t> fault_points_;
 };
 
 /// Uniformly random scheduling and choices.
@@ -248,10 +289,11 @@ class ReplayStrategy final : public SchedulingStrategy {
   bool NextBool() override;
   std::uint64_t NextInt(std::uint64_t bound) override;
   /// Trace-driven fault application: if the next recorded decision is a
-  /// crash/restart whose step matches ctx.step, consume and return it;
-  /// otherwise no fault fired here. Budgets and candidate lists are ignored
-  /// — the trace alone defines the failure schedule, which is what lets
-  /// `--replay` reproduce fault-found bugs without any --faults flags.
+  /// crash/restart/partition/heal whose step matches ctx.step, consume and
+  /// return it; otherwise no fault fired here. Budgets and candidate lists
+  /// are ignored — the trace alone defines the failure schedule, which is
+  /// what lets `--replay` reproduce fault-found bugs without any --faults
+  /// flags.
   FaultDecision NextFault(const FaultContext& ctx) override;
   /// Same, keyed on the recorded delivery ordinal.
   DeliveryFault NextDeliveryFault(const DeliveryFaultContext& ctx) override;

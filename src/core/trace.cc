@@ -10,7 +10,8 @@ namespace systest {
 
 namespace {
 
-/// Format tag of a value/bound decision kind ('i', 'c', 'r', 'd', 'u').
+/// Format tag of a value/bound decision kind ('i', 'c', 'r', 'd', 'u', 'p',
+/// 'h').
 char PairTagOf(Decision::Kind kind) {
   switch (kind) {
     case Decision::Kind::kInt: return 'i';
@@ -18,6 +19,8 @@ char PairTagOf(Decision::Kind kind) {
     case Decision::Kind::kRestart: return 'r';
     case Decision::Kind::kDrop: return 'd';
     case Decision::Kind::kDuplicate: return 'u';
+    case Decision::Kind::kPartition: return 'p';
+    case Decision::Kind::kHeal: return 'h';
     case Decision::Kind::kSchedule:
     case Decision::Kind::kBool: break;
   }
@@ -45,6 +48,8 @@ std::string Trace::ToString() const {
       case Decision::Kind::kRestart:
       case Decision::Kind::kDrop:
       case Decision::Kind::kDuplicate:
+      case Decision::Kind::kPartition:
+      case Decision::Kind::kHeal:
         out.push_back(PairTagOf(d.kind));
         out += std::to_string(d.value);
         out.push_back('/');
@@ -58,6 +63,13 @@ std::string Trace::ToString() const {
 bool Trace::HasFaultDecisions() const noexcept {
   for (const Decision& d : decisions_) {
     if (d.IsFault()) return true;
+  }
+  return false;
+}
+
+bool Trace::HasPartitionDecisions() const noexcept {
+  for (const Decision& d : decisions_) {
+    if (d.IsPartition()) return true;
   }
   return false;
 }
@@ -82,6 +94,14 @@ std::string Trace::DescribeFaults() const {
         break;
       case Decision::Kind::kDuplicate:
         out += "dup #" + std::to_string(d.value) + "->m" +
+               std::to_string(d.bound);
+        break;
+      case Decision::Kind::kPartition:
+        out += "part m" + std::to_string(d.value) + "@s" +
+               std::to_string(d.bound);
+        break;
+      case Decision::Kind::kHeal:
+        out += "heal m" + std::to_string(d.value) + "@s" +
                std::to_string(d.bound);
         break;
       default:
@@ -130,7 +150,9 @@ Trace Trace::Parse(const std::string& text) {
       case 'c':
       case 'r':
       case 'd':
-      case 'u': {
+      case 'u':
+      case 'p':
+      case 'h': {
         const auto slash = token.find('/');
         if (slash == std::string_view::npos) {
           throw std::invalid_argument(
@@ -144,6 +166,8 @@ Trace Trace::Parse(const std::string& text) {
           case 'r': trace.RecordRestart(value, bound); break;
           case 'd': trace.RecordDrop(value, bound); break;
           case 'u': trace.RecordDuplicate(value, bound); break;
+          case 'p': trace.RecordPartition(value, bound); break;
+          case 'h': trace.RecordHeal(value, bound); break;
         }
         break;
       }
@@ -158,18 +182,22 @@ Trace Trace::Parse(const std::string& text) {
 namespace {
 constexpr std::string_view kTraceMagic = "systest-trace";
 // v1: schedule/bool/int decisions only (every pre-fault-plane file). v2:
-// fault decisions (c/r/d/u tags) may appear. The writer picks the LOWEST
-// version that can represent the trace, so fault-free traces remain
-// byte-identical to what v1 writers produced.
+// fault decisions (c/r/d/u tags) may appear. v3: partition decisions (p/h
+// tags) may appear. The writer picks the LOWEST version that can represent
+// the trace, so fault-free traces remain byte-identical to what v1 writers
+// produced and partition-free fault traces to what v2 writers produced.
 constexpr std::string_view kTraceVersionV1 = "v1";
 constexpr std::string_view kTraceVersionV2 = "v2";
+constexpr std::string_view kTraceVersionV3 = "v3";
 }  // namespace
 
 std::string Trace::Serialize() const {
   std::string out;
   out += kTraceMagic;
   out += ' ';
-  out += HasFaultDecisions() ? kTraceVersionV2 : kTraceVersionV1;
+  out += HasPartitionDecisions() ? kTraceVersionV3
+         : HasFaultDecisions()   ? kTraceVersionV2
+                                 : kTraceVersionV1;
   out += ' ';
   out += std::to_string(decisions_.size());
   out += '\n';
@@ -184,7 +212,8 @@ Trace Trace::Deserialize(const std::string& text) {
   if (!(in >> magic >> version >> count_text) || magic != kTraceMagic) {
     throw std::invalid_argument("Trace::Deserialize: missing header");
   }
-  if (version != kTraceVersionV1 && version != kTraceVersionV2) {
+  if (version != kTraceVersionV1 && version != kTraceVersionV2 &&
+      version != kTraceVersionV3) {
     throw std::invalid_argument("Trace::Deserialize: unsupported version " +
                                 version);
   }
@@ -202,6 +231,12 @@ Trace Trace::Deserialize(const std::string& text) {
     throw std::invalid_argument(
         "Trace::Deserialize: v1 header but fault decisions present (no v1 "
         "writer ever produced these; the file is corrupt)");
+  }
+  if (version != kTraceVersionV3 && trace.HasPartitionDecisions()) {
+    throw std::invalid_argument(
+        "Trace::Deserialize: " + version +
+        " header but partition decisions present (no " + version +
+        " writer ever produced these; the file is corrupt)");
   }
   return trace;
 }

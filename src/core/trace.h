@@ -32,6 +32,13 @@ struct Decision {
     kRestart,    ///< value = restarted machine id; bound = step it fired at
     kDrop,       ///< value = delivery ordinal dropped; bound = target id
     kDuplicate,  ///< value = delivery ordinal duplicated; bound = target id
+    // Partition decisions (trace format v3). A partition isolates ONE
+    // machine from every other machine (group = {machine} vs rest); several
+    // concurrent partitions compose by isolating several machines. Only
+    // recorded when a partition actually fired, so partition-free traces
+    // stay in v1/v2.
+    kPartition,  ///< value = isolated machine id; bound = step it fired at
+    kHeal,       ///< value = healed machine id; bound = step it fired at
   };
 
   Kind kind{Kind::kSchedule};
@@ -40,7 +47,12 @@ struct Decision {
 
   [[nodiscard]] bool IsFault() const noexcept {
     return kind == Kind::kCrash || kind == Kind::kRestart ||
-           kind == Kind::kDrop || kind == Kind::kDuplicate;
+           kind == Kind::kDrop || kind == Kind::kDuplicate ||
+           kind == Kind::kPartition || kind == Kind::kHeal;
+  }
+
+  [[nodiscard]] bool IsPartition() const noexcept {
+    return kind == Kind::kPartition || kind == Kind::kHeal;
   }
 
   friend bool operator==(const Decision&, const Decision&) = default;
@@ -78,6 +90,12 @@ class Trace {
     decisions_.push_back(
         {Decision::Kind::kDuplicate, delivery_ordinal, target_id});
   }
+  void RecordPartition(std::uint64_t machine_id, std::uint64_t step) {
+    decisions_.push_back({Decision::Kind::kPartition, machine_id, step});
+  }
+  void RecordHeal(std::uint64_t machine_id, std::uint64_t step) {
+    decisions_.push_back({Decision::Kind::kHeal, machine_id, step});
+  }
 
   [[nodiscard]] std::size_t Size() const noexcept { return decisions_.size(); }
   [[nodiscard]] bool Empty() const noexcept { return decisions_.empty(); }
@@ -86,18 +104,23 @@ class Trace {
   }
 
   /// True when the trace records at least one injected fault (the condition
-  /// under which Serialize emits format v2).
+  /// under which Serialize emits format v2 or higher).
   [[nodiscard]] bool HasFaultDecisions() const noexcept;
 
+  /// True when the trace records at least one partition install/heal (the
+  /// condition under which Serialize emits format v3).
+  [[nodiscard]] bool HasPartitionDecisions() const noexcept;
+
   /// Human-readable one-line failure schedule, e.g.
-  /// "crash m3@s12; restart m3@s40; drop #7->m2; dup #9->m2". Empty when the
-  /// trace contains no fault decisions.
+  /// "crash m3@s12; restart m3@s40; drop #7->m2; dup #9->m2; part m4@s15;
+  /// heal m4@s33". Empty when the trace contains no fault decisions.
   [[nodiscard]] std::string DescribeFaults() const;
 
   /// Compact single-line text form, e.g. "s3;b1;i2/5;s1" (fault decisions
-  /// appear as "c<machine>/<step>", "r<machine>/<step>", "d<ordinal>/<target>"
-  /// and "u<ordinal>/<target>"). Round-trips with Parse; used to persist
-  /// repro traces alongside bug reports.
+  /// appear as "c<machine>/<step>", "r<machine>/<step>", "d<ordinal>/<target>",
+  /// "u<ordinal>/<target>", "p<machine>/<step>" and "h<machine>/<step>").
+  /// Round-trips with Parse; used to persist repro traces alongside bug
+  /// reports.
   [[nodiscard]] std::string ToString() const;
 
   /// Parses the ToString form. Throws std::invalid_argument on malformed
@@ -105,16 +128,18 @@ class Trace {
   static Trace Parse(const std::string& text);
 
   /// Durable serialization: a versioned header line ("systest-trace v1 <n>",
-  /// or "systest-trace v2 <n>" when the trace records injected faults)
-  /// followed by the compact ToString decision line. Fault-free traces stay
-  /// in v1 byte-for-byte, so files written before the fault plane existed
-  /// and fault-off runs today are indistinguishable. Round-trips with
-  /// Deserialize; this is the on-disk format written by
-  /// `systest_run --trace-out` and consumed by `--replay`.
+  /// "systest-trace v2 <n>" when the trace records injected faults, or
+  /// "systest-trace v3 <n>" when it records partitions) followed by the
+  /// compact ToString decision line. The writer picks the LOWEST version
+  /// that can represent the trace: fault-free traces stay in v1
+  /// byte-for-byte and partition-free fault traces stay in v2, so files
+  /// written by older writers and fault-off runs today are
+  /// indistinguishable. Round-trips with Deserialize; this is the on-disk
+  /// format written by `systest_run --trace-out` and consumed by `--replay`.
   [[nodiscard]] std::string Serialize() const;
 
-  /// Parses the Serialize form (v1 or v2), validating version and decision
-  /// count. Throws std::invalid_argument on malformed input.
+  /// Parses the Serialize form (v1, v2, or v3), validating version and
+  /// decision count. Throws std::invalid_argument on malformed input.
   static Trace Deserialize(const std::string& text);
 
   /// File wrappers over Serialize/Deserialize. Throw std::runtime_error on

@@ -43,6 +43,9 @@ std::vector<WorkerAssignment> PartitionBudget(const TestConfig& config,
     a.max_restarts = config.max_restarts;
     a.drop_probability_den = config.drop_probability_den;
     a.max_duplications = config.max_duplications;
+    a.max_partitions = config.max_partitions;
+    a.partition_heal_den = config.partition_heal_den;
+    a.fault_placement_points = config.fault_placement_points;
     offset += a.iterations;
     assignments.push_back(a);
   }
@@ -61,7 +64,7 @@ std::string WorkerAssignment::Describe() const {
                     " seeds=[" + std::to_string(seed) + "," +
                     std::to_string(seed + iterations) + ")";
   if (FaultsEnabled()) {
-    out += " +faults";
+    out += max_partitions > 0 ? " +faults +partitions" : " +faults";
   }
   return out;
 }
@@ -90,6 +93,17 @@ ExplorationPlan ExplorationPlan::Portfolio(const TestConfig& config,
       // hunts pure-ordering bugs at full schedule depth while the other half
       // explores failure interleavings — a bug of either class wins the
       // first-bug race.
+      a.max_crashes = 0;
+      a.max_restarts = 0;
+      a.drop_probability_den = 0;
+      a.max_duplications = 0;
+      a.max_partitions = 0;
+      a.fault_placement_points = 0;
+    } else if (faults && config.max_partitions > 0 && a.worker % 4 == 2) {
+      // When the config budgets partitions, every other faulted worker goes
+      // PARTITION-HEAVY: crash/drop/dup budgets zeroed so its whole fault
+      // budget drives partition-and-heal interleavings, the failure class
+      // the other faulted workers dilute across four fault kinds.
       a.max_crashes = 0;
       a.max_restarts = 0;
       a.drop_probability_den = 0;

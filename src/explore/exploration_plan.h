@@ -36,13 +36,16 @@ struct WorkerAssignment {
   std::uint64_t max_restarts = 0;
   std::uint64_t drop_probability_den = 0;
   std::uint64_t max_duplications = 0;
+  std::uint64_t max_partitions = 0;
+  std::uint64_t partition_heal_den = 4;
+  int fault_placement_points = 0;
 
   [[nodiscard]] bool FaultsEnabled() const noexcept {
     return max_crashes > 0 || drop_probability_den > 0 ||
-           max_duplications > 0;
+           max_duplications > 0 || max_partitions > 0;
   }
 
-  /// e.g. "w3 pct(5) seeds=[2032,2048) +faults".
+  /// e.g. "w3 pct(5) seeds=[2032,2048) +faults" or "... +partitions".
   [[nodiscard]] std::string Describe() const;
 };
 

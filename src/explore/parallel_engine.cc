@@ -120,6 +120,9 @@ ParallelTestReport ParallelTestingEngine::Run() {
     worker_config.max_restarts = assignment.max_restarts;
     worker_config.drop_probability_den = assignment.drop_probability_den;
     worker_config.max_duplications = assignment.max_duplications;
+    worker_config.max_partitions = assignment.max_partitions;
+    worker_config.partition_heal_den = assignment.partition_heal_den;
+    worker_config.fault_placement_points = assignment.fault_placement_points;
 
     // Per-worker observability handle on the worker's own stack: the probe
     // and coverage accumulator are private (lock-free), only the flush into

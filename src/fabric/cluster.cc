@@ -6,13 +6,17 @@ namespace fabric {
 
 FabricClusterMachine::FabricClusterMachine(std::size_t replica_count,
                                            FabricBugs bugs,
-                                           systest::MachineId driver)
-    : replica_count_(replica_count), bugs_(bugs), driver_(driver) {
+                                           systest::MachineId driver,
+                                           std::size_t initial_builds,
+                                           bool crashable_primary)
+    : replica_count_(replica_count), bugs_(bugs), driver_(driver),
+      initial_builds_(initial_builds), crashable_primary_(crashable_primary) {
   State("Managing")
       .OnEntry(&FabricClusterMachine::OnStart)
       .On<ClientOp>(&FabricClusterMachine::OnClientOp)
       .On<OpApplied>(&FabricClusterMachine::OnOpApplied)
       .On<InjectPrimaryFailure>(&FabricClusterMachine::OnInjectFailure)
+      .On<ReplicaCrashed>(&FabricClusterMachine::OnReplicaCrashed)
       .On<CopyDone>(&FabricClusterMachine::OnCopyDone)
       .On<AuditBarrier>(&FabricClusterMachine::OnAudit);
   SetStart("Managing");
@@ -30,7 +34,33 @@ void FabricClusterMachine::OnStart() {
       primary_ = replica;
     }
   }
+  // The reconfiguration: fresh idle secondaries join before the first client
+  // op, and the membership broadcast below reaches the primary ahead of any
+  // ForwardedOp (same-sender FIFO), so every acknowledged operation is also
+  // replicated to the joining nodes.
+  for (std::size_t i = 0; i < initial_builds_; ++i) {
+    const systest::MachineId fresh =
+        Create<ReplicaMachine>("Replica", Id(), ReplicaRole::kIdleSecondary);
+    replicas_[fresh] = ReplicaRole::kIdleSecondary;
+    pending_builds_.insert(fresh);
+  }
   BroadcastMembership();
+  for (const systest::MachineId building : pending_builds_) {
+    Send<BuildSecondary>(primary_, building);
+  }
+  UpdateCrashWindow();
+}
+
+void FabricClusterMachine::UpdateCrashWindow() {
+  if (!crashable_primary_ || !primary_.Valid()) {
+    return;
+  }
+  // The crash window IS the reconfiguration: the primary is a fault-plane
+  // candidate exactly while a build is pending. Opening/closing the window
+  // inside the handler that changes pending_builds_ is atomic with respect
+  // to fault choice points (they sit at step boundaries), so the primary can
+  // never crash after the drain of the pending set was reported.
+  Rt().SetCrashable(primary_, !pending_builds_.empty());
 }
 
 void FabricClusterMachine::BroadcastMembership() {
@@ -64,6 +94,24 @@ void FabricClusterMachine::OnInjectFailure(const InjectPrimaryFailure&) {
   Assert(primary_.Valid(), "failure injected with no primary");
   // Kill the primary process (P# halt semantics: its queue is dropped).
   Send(primary_, systest::MakeEvent<systest::HaltEvent>());
+  FailOverFromDeadPrimary();
+}
+
+void FabricClusterMachine::OnReplicaCrashed(const ReplicaCrashed& crashed) {
+  if (crashed.replica != primary_) {
+    return;  // only the primary is ever a crash candidate in this harness
+  }
+  FailOverFromDeadPrimary();
+  if (audit_pending_) {
+    // The primary died with the audit barrier (possibly) still in its queue
+    // — nobody has forwarded it down the replication stream. Re-forward to
+    // the new primary BEHIND the rebuild and resubmission sends above, so
+    // every report still covers the full acknowledged history.
+    Send<AuditBarrier>(primary_, audit_report_to_);
+  }
+}
+
+void FabricClusterMachine::FailOverFromDeadPrimary() {
   replicas_.erase(primary_);
   pending_builds_.erase(primary_);
   primary_ = systest::MachineId{};
@@ -115,6 +163,9 @@ void FabricClusterMachine::OnInjectFailure(const InjectPrimaryFailure&) {
   for (const auto& [op, delta] : outstanding_) {
     Send<ForwardedOp>(primary_, op, delta);
   }
+  // The replacement build (re-)opened the reconfiguration window: the NEW
+  // primary becomes the crash candidate until the builds drain.
+  UpdateCrashWindow();
 }
 
 void FabricClusterMachine::Promote(systest::MachineId replica) {
@@ -145,9 +196,16 @@ void FabricClusterMachine::OnCopyDone(const CopyDone& done) {
   }
   pending_builds_.erase(done.replica);
   Promote(done.replica);
+  UpdateCrashWindow();
+  if (initial_builds_ > 0 && pending_builds_.empty() && !reconfig_reported_) {
+    reconfig_reported_ = true;
+    Send<ReconfigDone>(driver_);
+  }
 }
 
 void FabricClusterMachine::OnAudit(const AuditBarrier& audit) {
+  audit_pending_ = true;
+  audit_report_to_ = audit.report_to;
   // The barrier travels THROUGH the primary's replication stream: the
   // primary reports after applying every forwarded/resubmitted operation and
   // passes the barrier to its targets behind its own replications, so each

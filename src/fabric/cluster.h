@@ -25,23 +25,43 @@ namespace fabric {
 
 class FabricClusterMachine final : public systest::Machine {
  public:
+  /// `initial_builds` idle secondaries are launched and built right at
+  /// startup — the "reconfiguration" of the crash-during-reconfig scenario;
+  /// the cluster sends ReconfigDone to the driver the first time the
+  /// pending-build set drains. With `crashable_primary` the current primary
+  /// is handed to the fault plane (Runtime::SetCrashable) exactly while a
+  /// build is pending, so a crash budget lands inside the reconfiguration
+  /// window; the cluster learns about the death asynchronously via
+  /// ReplicaCrashed and runs the same failover path as an injected failure.
   FabricClusterMachine(std::size_t replica_count, FabricBugs bugs,
-                       systest::MachineId driver);
+                       systest::MachineId driver,
+                       std::size_t initial_builds = 0,
+                       bool crashable_primary = false);
 
  private:
   void OnStart();
   void OnClientOp(const ClientOp& op);
   void OnOpApplied(const OpApplied& applied);
   void OnInjectFailure(const InjectPrimaryFailure& failure);
+  void OnReplicaCrashed(const ReplicaCrashed& crashed);
   void OnCopyDone(const CopyDone& done);
   void OnAudit(const AuditBarrier& audit);
 
   void BroadcastMembership();
   void Promote(systest::MachineId replica);
+  /// Shared failover: elect a new primary, launch + build a replacement for
+  /// the dead one, resubmit unacknowledged ops. The caller has already made
+  /// sure the current primary is dead (halted or crashed).
+  void FailOverFromDeadPrimary();
+  /// Keeps the fault plane's crash candidacy of the primary in sync with the
+  /// reconfiguration window (crashable iff a build is pending).
+  void UpdateCrashWindow();
 
   std::size_t replica_count_;
   FabricBugs bugs_;
   systest::MachineId driver_;
+  std::size_t initial_builds_;
+  bool crashable_primary_;
   systest::MachineId client_;
 
   std::map<systest::MachineId, ReplicaRole> replicas_;
@@ -51,6 +71,13 @@ class FabricClusterMachine final : public systest::Machine {
   /// Unacknowledged client operations, resubmitted to a new primary after
   /// failover (deduplication at the replicas makes this exactly-once).
   std::map<std::uint64_t, std::int64_t> outstanding_;
+  /// Set once the first drain of pending_builds_ was reported to the driver.
+  bool reconfig_reported_ = false;
+  /// An audit barrier was forwarded to the primary; if the fault plane kills
+  /// the primary with the barrier still in its queue, the failover path
+  /// re-forwards it to the new primary so the audit cannot get lost.
+  bool audit_pending_ = false;
+  systest::MachineId audit_report_to_;
 };
 
 }  // namespace fabric

@@ -142,6 +142,22 @@ struct ReplicateOp final : systest::Event {
 /// Driver -> cluster: fail the current primary now.
 struct InjectPrimaryFailure final : systest::Event {};
 
+/// Crashed replica -> cluster (sent from Machine::OnCrash, i.e. by the fault
+/// plane, not the driver): the replica's process died at a scheduler-chosen
+/// point. Unlike InjectPrimaryFailure this notification races everything
+/// else in flight — the cluster may learn about the death only after it
+/// already routed traffic (or the audit barrier) into the dead machine.
+struct ReplicaCrashed final : systest::Event {
+  explicit ReplicaCrashed(systest::MachineId replica) : replica(replica) {}
+  systest::MachineId replica;
+};
+
+/// Cluster -> driver: the reconfiguration completed — every secondary whose
+/// build was pending has been promoted (sent once, on the first time the
+/// pending-build set drains; only in harnesses that start with a build in
+/// flight).
+struct ReconfigDone final : systest::Event {};
+
 /// Cluster -> driver: failover finished (new primary elected, replacement
 /// secondary built and promoted).
 struct RepairComplete final : systest::Event {};

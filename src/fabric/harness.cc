@@ -136,6 +136,84 @@ class FailoverDriverMachine final : public systest::Machine {
   std::int64_t expected_total_ = 0;
 };
 
+/// Reconfig driver: no failure timer — the fault plane owns the crash (the
+/// cluster makes the primary crashable while the initial builds are
+/// pending). Audits once the client finished and the reconfiguration
+/// drained; every replica alive at that point (original set, added nodes,
+/// and any replacement launched after a crash) must report the client's
+/// acknowledged total.
+class ReconfigDriverMachine final : public systest::Machine {
+ public:
+  explicit ReconfigDriverMachine(ReconfigOptions options) : options_(options) {
+    State("Driving")
+        .OnEntry(&ReconfigDriverMachine::OnStart)
+        .On<RepairComplete>(&ReconfigDriverMachine::OnRepair)
+        .On<ReconfigDone>(&ReconfigDriverMachine::OnReconfigDone)
+        .On<ClientDone>(&ReconfigDriverMachine::OnClientDone)
+        .On<AuditReport>(&ReconfigDriverMachine::OnAuditReport);
+    SetStart("Driving");
+  }
+
+ private:
+  void OnStart() {
+    cluster_ = Create<FabricClusterMachine>(
+        "FabricCluster", options_.replicas, options_.bugs, Id(),
+        /*initial_builds=*/options_.added_nodes, /*crashable_primary=*/true);
+    Create<CounterClientMachine>("Client", cluster_, Id(), options_.client_ops,
+                                 options_.value_space);
+  }
+
+  void OnRepair(const RepairComplete&) {
+    // Promotions are counted by the cluster's own ReconfigDone (a crash adds
+    // a replacement build, so the count is schedule-dependent here).
+  }
+
+  void OnReconfigDone() {
+    reconfig_done_ = true;
+    MaybeAudit();
+  }
+
+  void OnClientDone(const ClientDone& done) {
+    expected_total_ = done.total;
+    client_done_ = true;
+    MaybeAudit();
+  }
+
+  void MaybeAudit() {
+    if (client_done_ && reconfig_done_ && !audit_sent_) {
+      audit_sent_ = true;
+      Send<AuditBarrier>(cluster_, Id());
+    }
+  }
+
+  void OnAuditReport(const AuditReport& report) {
+    Assert(report.total == expected_total_, [&] {
+      return "replica diverged after reconfig: reports " +
+             std::to_string(report.total) + " but the client accumulated " +
+             std::to_string(expected_total_);
+    });
+    // Replica count is crash-invariant: every crash launches exactly one
+    // replacement, so the audit always expects the original set plus the
+    // added nodes.
+    const int expected =
+        static_cast<int>(options_.replicas + options_.added_nodes);
+    if (++audit_reports_ == expected) {
+      Notify<ScenarioLivenessMonitor, NotifyScenarioDone>();
+      Halt();
+    }
+  }
+
+  ReconfigOptions options_;
+  systest::MachineId cluster_;
+  // With no added nodes there is no reconfiguration to wait for (and the
+  // cluster never reports one).
+  bool reconfig_done_ = options_.added_nodes == 0;
+  bool client_done_ = false;
+  bool audit_sent_ = false;
+  int audit_reports_ = 0;
+  std::int64_t expected_total_ = 0;
+};
+
 /// Delivers the aggregator's configuration from its own machine so that the
 /// delivery genuinely races the upstream records under the scheduler.
 class ConfigDeployerMachine final : public systest::Machine {
@@ -195,6 +273,13 @@ systest::Harness MakeFailoverHarness(const FailoverOptions& options) {
   return [options](systest::Runtime& rt) {
     rt.RegisterMonitor<ScenarioLivenessMonitor>("ScenarioLivenessMonitor");
     rt.CreateMachine<FailoverDriverMachine>("FailoverDriver", options);
+  };
+}
+
+systest::Harness MakeReconfigHarness(const ReconfigOptions& options) {
+  return [options](systest::Runtime& rt) {
+    rt.RegisterMonitor<ScenarioLivenessMonitor>("ScenarioLivenessMonitor");
+    rt.CreateMachine<ReconfigDriverMachine>("ReconfigDriver", options);
   };
 }
 

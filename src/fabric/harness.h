@@ -27,6 +27,24 @@ struct FailoverOptions {
 
 systest::Harness MakeFailoverHarness(const FailoverOptions& options);
 
+/// Crash-during-reconfig scenario (fault plane): the cluster starts with
+/// `added_nodes` fresh idle secondaries being built — a reconfiguration —
+/// and hands the PRIMARY to the fault plane exactly while a build is
+/// pending. The crash budget (TestConfig::max_crashes) decides whether and
+/// where the primary dies inside that window; the cluster learns about it
+/// only through a racing ReplicaCrashed notification. The audit runs once
+/// the client is done AND the reconfiguration drained, and expects
+/// replicas + added_nodes converged reports.
+struct ReconfigOptions {
+  FabricBugs bugs;
+  std::size_t replicas = 3;
+  int client_ops = 4;
+  std::uint64_t value_space = 3;
+  std::size_t added_nodes = 1;
+};
+
+systest::Harness MakeReconfigHarness(const ReconfigOptions& options);
+
 struct PipelineOptions {
   FabricBugs bugs;
   int records = 3;

@@ -30,6 +30,8 @@ ReplicaMachine::ReplicaMachine(systest::MachineId cluster,
   SetStart("Running");
 }
 
+void ReplicaMachine::OnCrash() { Send<ReplicaCrashed>(cluster_, Id()); }
+
 void ReplicaMachine::OnRole(const RoleEvent& role) { role_ = role.role; }
 
 void ReplicaMachine::OnMembership(const MembershipEvent& membership) {

@@ -22,6 +22,11 @@ class ReplicaMachine final : public systest::Machine {
   }
 
  private:
+  /// Fault-plane crash hook: tell the cluster this process died. The
+  /// notification is an ordinary racing event — the cluster keeps routing to
+  /// the dead replica until it processes it (crash-during-reconfig scenario).
+  void OnCrash() override;
+
   void OnRole(const RoleEvent& role);
   void OnMembership(const MembershipEvent& membership);
   void OnForwardedOp(const ForwardedOp& op);

@@ -92,6 +92,50 @@ SYSTEST_REGISTER_SCENARIO(fabric_failover_fixed) {
                   /*buggy=*/false);
 }
 
+// Production-shaped crash scenario (fault plane): a reconfiguration adds a
+// node to the replica set, and the PRIMARY is crashable exactly while the
+// build is in flight — the scheduler picks the crash point via the
+// TestConfig::max_crashes budget (SetCrashable + budgets, no failure timer).
+// With the promotion guard on this must converge under every placement; the
+// "buggy" param re-introduces the sec. 5 promote-during-copy bug, which the
+// crash-driven failover rediscovers.
+SYSTEST_REGISTER_SCENARIO(fabric_primary_crash_during_reconfig) {
+  Scenario s;
+  s.name = "fabric-primary-crash-during-reconfig";
+  s.description =
+      "sec. 5 Service Fabric reconfiguration (node add) with the primary "
+      "under scheduler-controlled crashes while the build is pending";
+  s.tags = {"fabric", "safety", "crash-recovery", "fixed"};
+  s.params = {
+      {"replicas", "replica count (default 3)"},
+      {"client-ops", "acknowledged counter operations (default 4)"},
+      {"value-space", "distinct operation values (default 3)"},
+      {"added-nodes", "idle secondaries built at start (default 1)"},
+      {"buggy", "re-introduce the promote-during-copy bug (default false)"},
+  };
+  s.make = [](const ParamMap& params) {
+    ReconfigOptions options;
+    options.replicas = params.GetUint("replicas", options.replicas);
+    options.client_ops =
+        static_cast<int>(params.GetUint("client-ops", options.client_ops));
+    options.value_space =
+        params.GetUint("value-space", options.value_space);
+    options.added_nodes =
+        params.GetUint("added-nodes", options.added_nodes);
+    options.bugs.promote_during_copy = params.GetBool("buggy", false);
+    return MakeReconfigHarness(options);
+  };
+  s.default_config = [] {
+    systest::TestConfig config = DefaultConfig();
+    // One fault-plane crash, permanent (the cluster launches a replacement;
+    // the replica process itself never comes back).
+    config.max_crashes = 1;
+    config.max_restarts = 0;
+    return config;
+  };
+  return s;
+}
+
 SYSTEST_REGISTER_SCENARIO(fabric_pipeline) {
   return Pipeline("fabric-pipeline",
                   "sec. 5 CScale-like pipeline, unguarded configuration "

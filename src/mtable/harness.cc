@@ -8,19 +8,65 @@ namespace mtable {
 
 namespace {
 
-/// Waits for every service and the migrator to finish, then asks the Tables
-/// machine to run the final verification.
+/// Launches the services and the migrator job, waits for every service and
+/// the migrator to finish, then asks the Tables machine to run the final
+/// verification. Owning the launches lets the driver model the job
+/// scheduler of the real system: when the fault plane kills a crashable
+/// migrator mid-move, the driver launches a FRESH migrator job, which must
+/// converge from whatever intermediate partition state the dead one left
+/// behind (the protocol's idempotence is exactly what this scenario tests).
 class CompletionDriver final : public systest::Machine {
  public:
-  CompletionDriver(systest::MachineId tables, int num_services)
-      : tables_(tables), services_left_(num_services) {
+  CompletionDriver(systest::MachineId tables, MigrationHarnessOptions options)
+      : tables_(tables), options_(std::move(options)),
+        services_left_(options_.num_services) {
     State("Waiting")
+        .OnEntry(&CompletionDriver::OnStart)
         .On<ServiceDone>(&CompletionDriver::OnServiceDone)
+        .On<MigratorCrashed>(&CompletionDriver::OnMigratorCrashed)
         .On<MigrationDone>(&CompletionDriver::OnMigrationDone);
     SetStart("Waiting");
   }
 
  private:
+  void OnStart() {
+    for (int i = 0; i < options_.num_services; ++i) {
+      ServiceOptions service_options;
+      service_options.index = i;
+      service_options.num_ops = options_.ops_per_service;
+      service_options.value_space = options_.value_space;
+      service_options.partitions = options_.partitions;
+      service_options.row_keys = options_.row_keys;
+      service_options.bugs = options_.bugs;
+      if (static_cast<std::size_t>(i) < options_.scripts.size()) {
+        service_options.script =
+            options_.scripts[static_cast<std::size_t>(i)];
+      }
+      services_.push_back(Create<ServiceMachine>("Service" + std::to_string(i),
+                                                 tables_, Id(),
+                                                 std::move(service_options)));
+    }
+    LaunchMigrator();
+  }
+
+  void LaunchMigrator() {
+    const systest::MachineId migrator = Create<MigratorMachine>(
+        "Migrator", tables_, Id(), services_, options_.partitions,
+        options_.bugs);
+    if (options_.crashable_migrator) {
+      Rt().SetCrashable(migrator);
+    }
+  }
+
+  void OnMigratorCrashed(const MigratorCrashed&) {
+    // A crashed job is gone for good (the Tables machine drops responses to
+    // it; services drop barrier acks to it); the replacement starts from the
+    // persisted partition states.
+    if (!migration_done_) {
+      LaunchMigrator();
+    }
+  }
+
   void OnServiceDone(const ServiceDone&) {
     --services_left_;
     MaybeVerify();
@@ -37,6 +83,8 @@ class CompletionDriver final : public systest::Machine {
   }
 
   systest::MachineId tables_;
+  MigrationHarnessOptions options_;
+  std::vector<systest::MachineId> services_;
   int services_left_;
   bool migration_done_ = false;
 };
@@ -61,27 +109,7 @@ systest::Harness MakeMigrationHarness(const MigrationHarnessOptions& options) {
 
     const systest::MachineId tables =
         rt.CreateMachine<TablesMachine>("Tables", std::move(initial));
-    const systest::MachineId driver = rt.CreateMachine<CompletionDriver>(
-        "CompletionDriver", tables, options.num_services);
-
-    std::vector<systest::MachineId> services;
-    for (int i = 0; i < options.num_services; ++i) {
-      ServiceOptions service_options;
-      service_options.index = i;
-      service_options.num_ops = options.ops_per_service;
-      service_options.value_space = options.value_space;
-      service_options.partitions = options.partitions;
-      service_options.row_keys = options.row_keys;
-      service_options.bugs = options.bugs;
-      if (static_cast<std::size_t>(i) < options.scripts.size()) {
-        service_options.script = options.scripts[static_cast<std::size_t>(i)];
-      }
-      services.push_back(rt.CreateMachine<ServiceMachine>(
-          "Service" + std::to_string(i), tables, driver,
-          std::move(service_options)));
-    }
-    rt.CreateMachine<MigratorMachine>("Migrator", tables, driver, services,
-                                      options.partitions, options.bugs);
+    rt.CreateMachine<CompletionDriver>("CompletionDriver", tables, options);
   };
 }
 

@@ -23,6 +23,13 @@ struct MigrationHarnessOptions {
   /// Optional per-service scripted operations (custom test cases). When a
   /// script is set for a service it overrides random generation.
   std::vector<std::vector<ScriptedOp>> scripts;
+  /// Hand the migrator job to the fault plane (Runtime::SetCrashable): the
+  /// TestConfig::max_crashes budget decides whether and where it dies
+  /// mid-move; the driver then launches a FRESH migrator job that must
+  /// converge from the dead one's intermediate partition state. The window
+  /// closes right before MigrationDone, so a completed migration is never
+  /// re-run.
+  bool crashable_migrator = false;
 };
 
 /// Builds the Fig. 12 harness: Tables machine (BTs + RT + checker), service

@@ -165,6 +165,8 @@ Task MigratorMachine::SweepTombstones() {
   }
 }
 
+void MigratorMachine::OnCrash() { Send<MigratorCrashed>(driver_); }
+
 Task MigratorMachine::Migrate() {
   for (const std::string& partition : partitions_) {
     co_await EnsurePartitionSwitched(partition);
@@ -173,6 +175,11 @@ Task MigratorMachine::Migrate() {
   // (observed state <= Populated) finishes before the sweep.
   co_await SettleAll();
   co_await SweepTombstones();
+  // Close the crash window in the same atomic segment that announces
+  // completion (a no-op when this job was never crashable): the fault plane
+  // can no longer kill a job whose MigrationDone is already on the wire, so
+  // the driver never launches a redundant replacement.
+  Rt().SetCrashable(Id(), false);
   Send<MigrationDone>(driver_);
 }
 

@@ -35,6 +35,10 @@ class MigratorMachine final : public BackendClientMachine {
                   std::vector<std::string> partitions, MTableBugs bugs);
 
  private:
+  /// Fault-plane crash hook: tell the driver this job died so it can launch
+  /// a replacement (crash-mid-move scenario).
+  void OnCrash() override;
+
   systest::Task Migrate();
   systest::Task SetState(const std::string& partition, PartitionState state);
   systest::TaskOf<PartitionState> ReadState(const std::string& partition);

@@ -236,6 +236,10 @@ struct ServiceDone final : systest::Event {
 /// Migrator -> driver: migration complete (all partitions switched, swept).
 struct MigrationDone final : systest::Event {};
 
+/// Crashed migrator -> driver (sent from Machine::OnCrash, i.e. by the fault
+/// plane): the migrator job died mid-move. The driver launches a fresh job.
+struct MigratorCrashed final : systest::Event {};
+
 /// Driver -> Tables machine: run the final whole-table verification.
 struct VerifyTables final : systest::Event {};
 

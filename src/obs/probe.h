@@ -59,8 +59,15 @@ inline constexpr std::size_t kExecutionStepsBucketCount =
 
 /// Fault-placement heatmap axes: injected fault kind x step decile (which
 /// tenth of the step bound the fault landed in).
-enum class FaultKind : std::uint8_t { kCrash = 0, kRestart = 1, kDrop = 2, kDuplicate = 3 };
-inline constexpr std::size_t kFaultKinds = 4;
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,
+  kRestart = 1,
+  kDrop = 2,
+  kDuplicate = 3,
+  kPartition = 4,
+  kHeal = 5,
+};
+inline constexpr std::size_t kFaultKinds = 6;
 inline constexpr std::size_t kStepDeciles = 10;
 
 [[nodiscard]] constexpr const char* FaultKindName(FaultKind kind) noexcept {
@@ -69,6 +76,8 @@ inline constexpr std::size_t kStepDeciles = 10;
     case FaultKind::kRestart: return "restart";
     case FaultKind::kDrop: return "drop";
     case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
   }
   return "?";
 }

@@ -30,6 +30,9 @@ systest::Harness MakeHarness(const HarnessOptions& options) {
       if (options.crashable_nodes) {
         rt.SetCrashable(node);
       }
+      if (options.partitionable_nodes) {
+        rt.SetPartitionable(node);
+      }
       // Each storage node's periodic sync is driven by a modeled timer.
       timers.push_back(rt.CreateMachine<systest::TimerMachine>(
           "SyncTimer", node, options.timer_rounds));

@@ -28,6 +28,12 @@ struct HarnessOptions {
   /// (Runtime::SetCrashable). Only meaningful when the engine runs with a
   /// crash budget.
   bool crashable_nodes = false;
+  /// Fault plane: opt the storage nodes in as partition candidates
+  /// (Runtime::SetPartitionable). While a node is isolated every delivery
+  /// between it and any other machine — store requests, sync responses, its
+  /// own timer's ticks — is silently dropped until the strategy heals it.
+  /// Only meaningful when the engine runs with a partition budget.
+  bool partitionable_nodes = false;
   /// Register the RequestLivenessMonitor. Crash scenarios turn it off:
   /// under unrestricted crashes "every request is eventually acked" is not
   /// a theorem (a dead quorum legitimately blocks progress), so keeping the

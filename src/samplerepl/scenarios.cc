@@ -106,5 +106,38 @@ SYSTEST_REGISTER_SCENARIO(samplerepl_node_crash) {
   return s;
 }
 
+// Partition scenario (fault plane): the FIXED server with the storage nodes
+// opted in as partition candidates. The strategy may isolate one node at any
+// step boundary (store requests, sync responses and even its own timer's
+// ticks are then dropped) and heal it at a later, separately chosen point.
+// Partitions can only REMOVE deliveries, so the fixed server must stay safe
+// under every placement: an Ack still requires the target number of genuine
+// store acknowledgements, and the safety monitor checks that ground truth.
+// Liveness is intentionally unmonitored — a partition the strategy never
+// heals legitimately blocks progress. The witness trace (v3) carries the
+// partition-and-heal schedule and replays without any fault flags.
+SYSTEST_REGISTER_SCENARIO(samplerepl_partition_heal) {
+  Scenario s;
+  s.name = "samplerepl-partition-heal";
+  s.description =
+      "sec. 2.2 example, fixed server under scheduler-controlled node "
+      "partition and heal";
+  s.tags = {"samplerepl", "safety", "partition", "fixed"};
+  s.params = Params();
+  s.make = [](const ParamMap& params) {
+    HarnessOptions options = OptionsFrom(params);
+    options.bugs = ServerBugs{};  // both seeded bugs FIXED
+    options.partitionable_nodes = true;
+    options.liveness_monitor = false;
+    return MakeHarness(options);
+  };
+  s.default_config = [] {
+    systest::TestConfig config = DefaultConfig();
+    config.max_partitions = 1;  // heal odds stay at the engine default
+    return config;
+  };
+  return s;
+}
+
 }  // namespace
 }  // namespace samplerepl

@@ -16,14 +16,12 @@ ExtentNodeMachine::ExtentNodeMachine(NodeId node, systest::MachineId driver,
       .Defer<systest::TimerTick>()
       .Defer<RepairRequestEvent>()
       .Defer<CopyRequestEvent>()
-      .Defer<CopyResponseEvent>()
-      .Defer<FailureEvent>();
+      .Defer<CopyResponseEvent>();
   State("Running")
       .On<systest::TimerTick>(&ExtentNodeMachine::OnTimerTick)
       .On<RepairRequestEvent>(&ExtentNodeMachine::OnRepairRequest)
       .On<CopyRequestEvent>(&ExtentNodeMachine::OnCopyRequest)
-      .On<CopyResponseEvent>(&ExtentNodeMachine::OnCopyResponse)
-      .On<FailureEvent>(&ExtentNodeMachine::OnFailure);
+      .On<CopyResponseEvent>(&ExtentNodeMachine::OnCopyResponse);
   SetStart("WaitingTimers");
 }
 
@@ -88,13 +86,15 @@ void ExtentNodeMachine::OnCopyResponse(const CopyResponseEvent& response) {
   // periodic sync report (§3).
 }
 
-void ExtentNodeMachine::OnFailure(const FailureEvent&) {
-  // Notify the liveness monitor, stop our timers, and terminate (Fig. 8's
-  // ProcessFailure).
+void ExtentNodeMachine::OnCrash() {
+  // Fig. 8's ProcessFailure, driven by the fault plane instead of a
+  // driver-injected FailureEvent: notify the liveness monitor, stop our
+  // timers, and tell the driver so it can launch a replacement EN. The
+  // runtime wipes our queue and drops all future deliveries to us.
   Notify<RepairMonitor, ENFailedEvent>(node_);
   if (heartbeat_timer_.Valid()) Send<systest::CancelTimer>(heartbeat_timer_);
   if (sync_timer_.Valid()) Send<systest::CancelTimer>(sync_timer_);
-  Halt();
+  Send<ENCrashedEvent>(driver_, node_);
 }
 
 }  // namespace vnext

@@ -33,7 +33,9 @@ class ExtentNodeMachine final : public systest::Machine {
   void OnRepairRequest(const RepairRequestEvent& request);
   void OnCopyRequest(const CopyRequestEvent& request);
   void OnCopyResponse(const CopyResponseEvent& response);
-  void OnFailure(const FailureEvent& failure);
+  /// Fault-plane crash hook (replaces the driver-injected FailureEvent):
+  /// Fig. 8's ProcessFailure, at a scheduler-chosen point.
+  void OnCrash() override;
 
   NodeId node_;
   systest::MachineId driver_;

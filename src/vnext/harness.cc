@@ -27,6 +27,12 @@ systest::TestConfig DefaultConfig(systest::StrategyName strategy) {
   config.strategy = strategy;
   config.strategy_budget = 2;  // the paper's PCT budget
   config.seed = 2016;
+  // Scenario 2 by default: the fault plane crashes one scheduler-chosen EN
+  // per execution (the ENs opt in via DriverOptions::crashable_nodes).
+  // Crashes are permanent; the driver launches a replacement EN instead.
+  // Scenario 1 (pure replication, no failure) is max_crashes = 0.
+  config.max_crashes = 1;
+  config.max_restarts = 0;
   return config;
 }
 

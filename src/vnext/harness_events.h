@@ -18,7 +18,6 @@ enum TimerTag : std::uint64_t {
   kRepairLoopTimer = 2,      ///< drives ExtentManager::ProcessRepairTick
   kHeartbeatTimer = 3,       ///< drives EN heartbeats
   kSyncReportTimer = 4,      ///< drives EN sync reports
-  kFailureTimer = 5,         ///< drives the TestingDriver's failure injection
 };
 
 /// EN machine -> ExtentManager machine: an inbound vNext wire message.
@@ -79,8 +78,15 @@ struct CopyResponseEvent final : systest::Event {
   bool success;
 };
 
-/// TestingDriver -> EN machine: fail now (paper Fig. 10).
-struct FailureEvent final : systest::Event {};
+/// Crashed EN -> TestingDriver (sent from Machine::OnCrash when the fault
+/// plane kills the node): the driver launches a replacement EN, completing
+/// the scenario-2 recovery loop of paper Fig. 10. The failure itself is
+/// scheduler-controlled (Runtime::SetCrashable + TestConfig::max_crashes),
+/// not a hand-rolled injection.
+struct ENCrashedEvent final : systest::Event {
+  explicit ENCrashedEvent(NodeId node) : node(node) {}
+  NodeId node;
+};
 
 /// Harness -> ExtentManager machine: wiring (who is the driver).
 struct MgrConfigEvent final : systest::Event {

@@ -15,8 +15,8 @@ DriverOptions OptionsFrom(const ParamMap& params) {
   options.num_nodes = params.GetUint("nodes", options.num_nodes);
   options.initial_replicas =
       params.GetUint("initial-replicas", options.initial_replicas);
-  options.inject_failure =
-      params.GetBool("inject-failure", options.inject_failure);
+  options.replace_crashed =
+      params.GetBool("replace-crashed", options.replace_crashed);
   options.manager.replica_target =
       params.GetUint("replica-target", options.manager.replica_target);
   return options;
@@ -26,7 +26,9 @@ std::vector<ParamSpec> Params() {
   return {
       {"nodes", "initial extent nodes (default 3)"},
       {"initial-replicas", "nodes holding the extent at start (default 3)"},
-      {"inject-failure", "fail one EN at a nondeterministic time (default true)"},
+      {"replace-crashed",
+       "launch a fresh EN when one crashes (default true; crash count is "
+       "TestConfig::max_crashes / --max-crashes)"},
       {"replica-target", "desired replicas per extent (default 3)"},
   };
 }
@@ -60,38 +62,33 @@ SYSTEST_REGISTER_SCENARIO(vnext_fixed) {
                 /*fixed=*/true);
 }
 
-// Crash-recovery scenario (fault plane): the FIXED extent-repair protocol,
-// but the EN failure is a scheduler-controlled crash (the driver's
-// hand-rolled FailureEvent/replacement-launch path is disabled), so the
-// crash can land at ANY protocol point — including mid-copy on the repair
-// source — against a fleet with one spare EN. The repair-completion liveness
-// monitor judges whether repair still converges under every crash
-// placement.
+// Crash-recovery scenario (fault plane): the FIXED extent-repair protocol
+// against a fleet with one PRE-PROVISIONED spare EN instead of the driver's
+// scenario-2 replacement launch — the crash can land at ANY protocol point,
+// including mid-copy on the repair source. The repair-completion liveness
+// monitor judges whether repair still converges under every crash placement.
 SYSTEST_REGISTER_SCENARIO(vnext_repair_under_crash) {
   Scenario s;
   s.name = "vnext-repair-under-crash";
   s.description =
       "sec. 3 vNext fixed repair protocol under scheduler-controlled EN "
-      "crashes (one spare EN, no hand-rolled failure injection)";
+      "crashes (one spare EN, no replacement launch)";
   s.tags = {"vnext", "liveness", "crash-recovery", "fixed"};
   s.params = Params();
   s.make = [](const ParamMap& params) {
     DriverOptions options = OptionsFrom(params);
     // This scenario's defaults differ from the struct's: one spare beyond
     // the replica target (so repair after a single crash is achievable and a
-    // stuck repair is a finding, not a resource shortage) and no hand-rolled
-    // failure injection. Explicit params still win.
+    // stuck repair is a finding, not a resource shortage) and no replacement
+    // launch on crash. Explicit params still win.
     if (!params.Has("nodes")) options.num_nodes = 4;
-    if (!params.Has("inject-failure")) options.inject_failure = false;
+    if (!params.Has("replace-crashed")) options.replace_crashed = false;
     options.manager.fix_stale_sync_report = true;
-    options.crashable_nodes = true;
     return MakeExtentRepairHarness(options);
   };
   s.default_config = [] {
-    systest::TestConfig config = DefaultConfig();
-    config.max_crashes = 1;
-    config.max_restarts = 0;  // crashes are permanent; the spare EN covers
-    return config;
+    // DefaultConfig already budgets max_crashes=1 / max_restarts=0.
+    return DefaultConfig();
   };
   return s;
 }

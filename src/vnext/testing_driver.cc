@@ -14,7 +14,7 @@ TestingDriverMachine::TestingDriverMachine(DriverOptions options)
       .On<MgrOutboundEvent>(&TestingDriverMachine::OnMgrOutbound)
       .On<CopyRequestEvent>(&TestingDriverMachine::OnCopyRequest)
       .On<CopyResponseEvent>(&TestingDriverMachine::OnCopyResponse)
-      .On<systest::TimerTick>(&TestingDriverMachine::OnFailureTick);
+      .On<ENCrashedEvent>(&TestingDriverMachine::OnNodeCrashed);
   SetStart("Driving");
 }
 
@@ -52,10 +52,6 @@ void TestingDriverMachine::OnStart() {
   for (std::size_t i = 0; i < options_.num_nodes; ++i) {
     LaunchNode(/*with_extent=*/i < options_.initial_replicas);
   }
-  if (options_.inject_failure) {
-    failure_timer_ = Create<systest::TimerMachine>(
-        "FailureTimer", Id(), /*max_rounds=*/0, kFailureTimer);
-  }
 }
 
 systest::MachineId TestingDriverMachine::MachineOf(NodeId node) {
@@ -88,21 +84,21 @@ void TestingDriverMachine::OnCopyResponse(const CopyResponseEvent& response) {
                           response.source, response.record, response.success);
 }
 
-void TestingDriverMachine::OnFailureTick(const systest::TimerTick& tick) {
-  Assert(tick.tag == kFailureTimer, "driver received a foreign timer tick");
-  Send<systest::TickAck>(tick.timer);
-  if (failure_injected_) {
-    return;  // a tick may already be queued when the timer is cancelled
+void TestingDriverMachine::OnNodeCrashed(const ENCrashedEvent& crashed) {
+  // The fault plane chose both the victim and the crash point; the driver
+  // only models the operator response — take the node off the live list and
+  // (scenario 2, §3.4) launch a fresh replacement EN.
+  const auto it = std::find(live_nodes_.begin(), live_nodes_.end(),
+                            crashed.node);
+  if (it == live_nodes_.end()) {
+    // A restarted EN crashing a second time: it was already replaced after
+    // its first crash, so there is nothing left to do.
+    return;
   }
-  failure_injected_ = true;
-  Send<systest::CancelTimer>(failure_timer_);
-  // Nondeterministically choose an EN and fail it (paper Fig. 10), then
-  // launch a fresh replacement EN (scenario 2, §3.4).
-  const std::size_t index = NondetInt(live_nodes_.size());
-  const NodeId victim = live_nodes_[index];
-  live_nodes_.erase(live_nodes_.begin() + static_cast<std::ptrdiff_t>(index));
-  Send<FailureEvent>(MachineOf(victim));
-  LaunchNode(/*with_extent=*/false);
+  live_nodes_.erase(it);
+  if (options_.replace_crashed) {
+    LaunchNode(/*with_extent=*/false);
+  }
 }
 
 }  // namespace vnext

@@ -1,11 +1,13 @@
 // SysTest — Azure Storage vNext case study (§3.4).
 //
-// TestingDriver: drives the testing scenarios, relays messages between
-// machines, and injects failures (paper Fig. 10). Scenario 1 launches one
-// ExtentManager and N ENs with the extent under-replicated and waits for
-// replication; scenario 2 starts fully replicated, fails a nondeterministically
-// chosen EN at a nondeterministic time, launches a replacement, and waits for
-// the extent to be repaired.
+// TestingDriver: drives the testing scenarios and relays messages between
+// machines (paper Fig. 10). Scenario 1 launches one ExtentManager and N ENs
+// with the extent under-replicated and waits for replication; scenario 2
+// starts fully replicated, lets the FAULT PLANE crash a scheduler-chosen EN
+// at a scheduler-chosen point (Runtime::SetCrashable +
+// TestConfig::max_crashes — the driver carries no failure injection of its
+// own), launches a replacement when told of the crash, and waits for the
+// extent to be repaired.
 #pragma once
 
 #include <cstddef>
@@ -23,12 +25,16 @@ struct DriverOptions {
   ExtentManagerOptions manager;
   std::size_t num_nodes = 3;         ///< initial Extent Nodes
   std::size_t initial_replicas = 3;  ///< how many of them hold the extent
-  bool inject_failure = true;        ///< scenario 2 when true, scenario 1 when false
-  /// Fault plane: opt every launched EN in as a crash candidate
-  /// (Runtime::SetCrashable). Replaces the driver's hand-rolled FailureEvent
-  /// injection with scheduler-controlled crashes — set inject_failure=false
-  /// alongside so the only failures are the ones the strategy decides.
-  bool crashable_nodes = false;
+  /// Opt every launched EN in as a fault-plane crash candidate
+  /// (Runtime::SetCrashable). Whether crashes actually happen is the
+  /// engine's call: scenario 2 is crashable_nodes=true plus max_crashes>=1
+  /// in the TestConfig (vnext::DefaultConfig budgets 1), scenario 1 is the
+  /// same harness with max_crashes=0.
+  bool crashable_nodes = true;
+  /// Launch a fresh, empty EN when a crashed EN reports in (the scenario-2
+  /// replacement launch of Fig. 10). Disable for fleets that pre-provision
+  /// a spare instead (vnext-repair-under-crash).
+  bool replace_crashed = true;
   ExtentId extent = 1;
 };
 
@@ -41,7 +47,7 @@ class TestingDriverMachine final : public systest::Machine {
   void OnMgrOutbound(const MgrOutboundEvent& outbound);
   void OnCopyRequest(const CopyRequestEvent& request);
   void OnCopyResponse(const CopyResponseEvent& response);
-  void OnFailureTick(const systest::TimerTick& tick);
+  void OnNodeCrashed(const ENCrashedEvent& crashed);
 
   /// Launches a modeled EN plus its heartbeat and sync timers; returns its
   /// node id.
@@ -53,8 +59,6 @@ class TestingDriverMachine final : public systest::Machine {
   std::map<NodeId, systest::MachineId> node_machines_;
   std::vector<NodeId> live_nodes_;
   systest::MachineId manager_machine_;
-  systest::MachineId failure_timer_;
-  bool failure_injected_ = false;
 };
 
 }  // namespace vnext

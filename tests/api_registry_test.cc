@@ -80,15 +80,18 @@ TEST(ScenarioRegistry, TagFilteringSelectsByDomainAndDefectClass) {
   for (const Scenario* s : registry.WithTag("samplerepl")) {
     samplerepl.insert(s->name);
   }
-  EXPECT_EQ(samplerepl, (std::set<std::string>{
-                            "samplerepl-safety", "samplerepl-liveness",
-                            "samplerepl-fixed", "samplerepl-node-crash"}));
+  EXPECT_EQ(samplerepl,
+            (std::set<std::string>{
+                "samplerepl-safety", "samplerepl-liveness", "samplerepl-fixed",
+                "samplerepl-node-crash", "samplerepl-partition-heal"}));
 
   for (const Scenario* s : registry.WithTag("buggy")) {
     EXPECT_FALSE(s->HasTag("fixed")) << s->name;
   }
   EXPECT_FALSE(registry.WithTag("buggy").empty());
   EXPECT_FALSE(registry.WithTag("liveness").empty());
+  EXPECT_FALSE(registry.WithTag("partition").empty());
+  EXPECT_FALSE(registry.WithTag("crash-recovery").empty());
   EXPECT_TRUE(registry.WithTag("no-such-tag").empty());
 }
 

@@ -75,7 +75,9 @@ TEST(TraceV2, RejectsFaultDecisionsUnderV1Header) {
 }
 
 TEST(TraceV2, RejectsUnknownVersionsAndBadTags) {
-  EXPECT_THROW(Trace::Deserialize("systest-trace v3 0\n\n"),
+  // v3 (partition decisions) is accepted since the partition plane landed;
+  // the first genuinely unknown version is v4.
+  EXPECT_THROW(Trace::Deserialize("systest-trace v4 0\n\n"),
                std::invalid_argument);
   EXPECT_THROW(Trace::Parse("c2"), std::invalid_argument);  // missing '/'
   EXPECT_THROW(Trace::Parse("x2/7"), std::invalid_argument);

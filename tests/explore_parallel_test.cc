@@ -305,6 +305,144 @@ TEST(ParallelEngine, FaultInjectionAcrossWorkersReplaysWinningTrace) {
   EXPECT_EQ(report.aggregate.injected_faults.crashes, merged);
 }
 
+// Parallel partition injection: a bug only a partition-and-heal schedule can
+// expose, hunted by the whole fleet, with the winning v3 trace replayed
+// bit-for-bit on the calling thread. This binary runs under TSan in CI, so
+// this is also the data-race guard for the partition plane's per-worker
+// state.
+//
+// Micro system: a Loader paces Pings to a partitionable Store via self-sent
+// Ticks, then sends a Probe; the Store replies with its count and the Loader
+// asserts nothing was lost. Only a partition installed during the ping
+// window AND healed before the probe can violate the assert, so the winning
+// trace is guaranteed to carry partition decisions.
+namespace partition_bug {
+
+struct Ping final : Event {};
+struct Tick final : Event {};
+struct Probe final : Event {};
+struct CountReply final : Event {
+  explicit CountReply(int count) : count(count) {}
+  int count;
+};
+
+class Store final : public Machine {
+ public:
+  explicit Store(MachineId loader) : loader_(loader) {
+    State("Run").On<Ping>(&Store::OnPing).On<Probe>(&Store::OnProbe);
+    SetStart("Run");
+  }
+
+ private:
+  void OnPing(const Ping&) { ++count_; }
+  void OnProbe(const Probe&) { Send<CountReply>(loader_, count_); }
+  MachineId loader_;
+  int count_ = 0;
+};
+
+class Loader final : public Machine {
+ public:
+  Loader(MachineId store, int pings) : store_(store), pings_(pings) {
+    State("Run")
+        .OnEntry(&Loader::Kick)
+        .On<Tick>(&Loader::OnTick)
+        .On<CountReply>(&Loader::OnReply);
+    SetStart("Run");
+  }
+
+ private:
+  void Kick() { Step(); }
+  void OnTick(const Tick&) { Step(); }
+  void Step() {
+    if (sent_ < pings_) {
+      Send<Ping>(store_);
+      ++sent_;
+      Send<Tick>(Id());
+    } else {
+      Send<Probe>(store_);
+    }
+  }
+  void OnReply(const CountReply& reply) {
+    Assert(reply.count == pings_, "partition lost a delivery");
+  }
+  MachineId store_;
+  int pings_;
+  int sent_ = 0;
+};
+
+Harness MakeHarness() {
+  return [](Runtime& rt) {
+    // The store is created first so the loader id exists for its reply; the
+    // harness wires the cycle with a forward id (ids are sequential from 1).
+    const MachineId store = rt.CreateMachine<Store>("Store", MachineId{2});
+    rt.CreateMachine<Loader>("Loader", store, 4);
+    rt.SetPartitionable(store);
+  };
+}
+
+}  // namespace partition_bug
+
+TEST(ParallelEngine, PartitionInjectionAcrossWorkersReplaysWinningTrace) {
+  TestConfig config;
+  config.iterations = 20'000;
+  config.max_steps = 200;
+  config.seed = 1;
+  config.strategy = "random";
+  config.max_partitions = 1;
+  ParallelOptions options;
+  options.threads = 4;
+  ParallelTestingEngine engine(config, partition_bug::MakeHarness(), options);
+  for (const WorkerAssignment& a : engine.Plan().Workers()) {
+    EXPECT_EQ(a.max_partitions, 1u);  // shards carry the partition budget
+    EXPECT_TRUE(a.FaultsEnabled());
+  }
+  const ParallelTestReport report = engine.Run();
+  ASSERT_TRUE(report.aggregate.bug_found);
+  EXPECT_EQ(report.aggregate.bug_kind, BugKind::kSafety);
+  EXPECT_TRUE(report.replay_verified)
+      << "partition schedule did not reproduce bit-for-bit on the calling "
+         "thread";
+  ASSERT_TRUE(report.aggregate.bug_trace.HasPartitionDecisions());
+  EXPECT_EQ(report.aggregate.bug_trace.Serialize().rfind("systest-trace v3 ",
+                                                         0),
+            0u);
+  EXPECT_GT(report.aggregate.injected_faults.partitions, 0u);
+  std::uint64_t merged = 0;
+  for (const auto& w : report.workers) merged += w.injected_faults.partitions;
+  EXPECT_EQ(report.aggregate.injected_faults.partitions, merged);
+
+  // Independent serial replay of the winning trace, NO fault configuration.
+  TestConfig replay_config = config;
+  replay_config.max_partitions = 0;
+  TestingEngine serial(replay_config, partition_bug::MakeHarness());
+  const TestReport replayed = serial.Replay(report.aggregate.bug_trace);
+  ASSERT_TRUE(replayed.bug_found);
+  EXPECT_EQ(replayed.bug_message, report.aggregate.bug_message);
+}
+
+// Portfolio with partitions budgeted dedicates every other faulted worker to
+// partition-and-heal schedules exclusively.
+TEST(ExplorationPlan, PortfolioDedicatesPartitionHeavyWorkers) {
+  TestConfig config = RaceConfig();
+  config.max_crashes = 2;
+  config.drop_probability_den = 8;
+  config.max_partitions = 1;
+  const ExplorationPlan plan = ExplorationPlan::Portfolio(config, 8);
+  for (const WorkerAssignment& a : plan.Workers()) {
+    if (a.worker % 2 == 1) {
+      EXPECT_FALSE(a.FaultsEnabled());  // fault-free half
+    } else if (a.worker % 4 == 2) {
+      // Partition-heavy: the whole fault budget drives partitions.
+      EXPECT_EQ(a.max_crashes, 0u);
+      EXPECT_EQ(a.drop_probability_den, 0u);
+      EXPECT_EQ(a.max_partitions, 1u);
+    } else {
+      EXPECT_EQ(a.max_crashes, 2u);  // mixed-fault workers keep everything
+      EXPECT_EQ(a.max_partitions, 1u);
+    }
+  }
+}
+
 // Portfolio with faults configured races fault-heavy workers against
 // fault-free ones.
 TEST(ExplorationPlan, PortfolioAlternatesFaultHeavyAndFaultFreeWorkers) {

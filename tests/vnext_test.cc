@@ -244,8 +244,8 @@ TEST(VNextSystematic, Scenario1ReplicationPasses) {
   // must go cold.
   DriverOptions options = FixedScenario();
   options.initial_replicas = 1;
-  options.inject_failure = false;
   TestConfig config = vnext::DefaultConfig("random");
+  config.max_crashes = 0;  // pure replication, no failure
   config.iterations = 300;
   const TestReport report =
       TestingEngine(config, MakeExtentRepairHarness(options)).Run();

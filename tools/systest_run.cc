@@ -70,6 +70,13 @@ struct Options {
   long long max_restarts = -1;
   long long drop_den = -1;
   long long max_dups = -1;
+  // Network partitions ride the same plane: bare --partitions arms a budget
+  // of 1 only when the resolved config has none; the budget/odds flags
+  // override exactly the field they name and imply --partitions.
+  bool partitions = false;
+  long long max_partitions = -1;
+  long long heal_den = -1;
+  long long fault_points = -1;  // pre-sampled fault placement points
   // Observability (README "Observability"). Any of these arms the metrics
   // plane for the session; replay runs never observe.
   bool progress = false;               // live one-line telemetry on stderr
@@ -109,6 +116,17 @@ void PrintUsage(const char* argv0) {
       "                     (implies --faults)\n"
       "  --max-dups <n>     per-execution message-duplication budget\n"
       "                     (implies --faults)\n"
+      "  --partitions       enable scheduler-controlled network partitions;\n"
+      "                     arms a budget of 1 only if neither the scenario\n"
+      "                     nor --max-partitions configures one\n"
+      "  --max-partitions <n>  per-execution partition budget (implies\n"
+      "                     --partitions)\n"
+      "  --heal-den <n>     heal each active partition with probability 1/n\n"
+      "                     per step; 0 = partitions never heal (implies\n"
+      "                     --partitions)\n"
+      "  --fault-points <n> pre-sample <n> destructive-fault placement points\n"
+      "                     from the step budget (PCT-style) instead of\n"
+      "                     geometric per-step odds\n"
       "  --stateful         fingerprint visited program states and prune\n"
       "                     executions that reconverge to them\n"
       "  --progress         live one-line progress telemetry on stderr\n"
@@ -167,6 +185,19 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       if (!(value = need_value(i))) return false;
       options.max_dups = std::atoll(value);
       options.faults = true;
+    } else if (arg == "--partitions") {
+      options.partitions = true;
+    } else if (arg == "--max-partitions") {
+      if (!(value = need_value(i))) return false;
+      options.max_partitions = std::atoll(value);
+      options.partitions = true;
+    } else if (arg == "--heal-den") {
+      if (!(value = need_value(i))) return false;
+      options.heal_den = std::atoll(value);
+      options.partitions = true;
+    } else if (arg == "--fault-points") {
+      if (!(value = need_value(i))) return false;
+      options.fault_points = std::atoll(value);
     } else if (arg == "--progress") {
       options.progress = true;
     } else if (arg == "--coverage") {
@@ -330,6 +361,22 @@ SessionConfig BuildSessionConfig(const std::string& scenario,
     if (options.max_dups >= 0) {
       config.max_duplications = static_cast<std::uint64_t>(options.max_dups);
     }
+  }
+  if (options.partitions && options.replay.empty()) {
+    // Same shape as the crash-plane flags: bare --partitions only arms a
+    // budget when the resolved config has none; replay derives the whole
+    // partition schedule from the trace.
+    config.partitions = true;
+    if (options.max_partitions >= 0) {
+      config.max_partitions =
+          static_cast<std::uint64_t>(options.max_partitions);
+    }
+    if (options.heal_den >= 0) {
+      config.partition_heal_den = static_cast<std::uint64_t>(options.heal_den);
+    }
+  }
+  if (options.fault_points >= 0 && options.replay.empty()) {
+    config.fault_placement_points = static_cast<int>(options.fault_points);
   }
   config.readable_trace_on_bug = options.verbose;
   config.replay_file = options.replay;
