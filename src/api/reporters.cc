@@ -71,6 +71,17 @@ void HumanReporter::OnFinish(const SessionReport& report) {
                    "without --stateful for deeper schedules.\n");
     }
   }
+  if (report.corpus_on) {
+    std::fprintf(out_,
+                 "corpus: %llu entries (%llu added, %llu loaded, %llu "
+                 "duplicates, %llu evicted, %llu sampled)\n",
+                 static_cast<unsigned long long>(report.corpus.entries),
+                 static_cast<unsigned long long>(report.corpus.added),
+                 static_cast<unsigned long long>(report.corpus.loaded),
+                 static_cast<unsigned long long>(report.corpus.duplicates),
+                 static_cast<unsigned long long>(report.corpus.evicted),
+                 static_cast<unsigned long long>(report.corpus.sampled));
+  }
   if (report.report.faults) {
     const Runtime::FaultStats& f = report.report.injected_faults;
     std::fprintf(out_,
@@ -164,6 +175,18 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     // payload hooks) — machine-readable counterpart of HumanReporter's note.
     field("visited_set_saturated", r.VisitedSetSaturated() ? "true" : "false",
           false);
+  }
+  if (report.corpus_on) {
+    // Flat corpus_* fields: CI greps these to assert the corpus was written
+    // and reloaded across runs.
+    field("corpus", "true", false);
+    field("corpus_entries", std::to_string(report.corpus.entries), false);
+    field("corpus_added", std::to_string(report.corpus.added), false);
+    field("corpus_loaded", std::to_string(report.corpus.loaded), false);
+    field("corpus_duplicates", std::to_string(report.corpus.duplicates),
+          false);
+    field("corpus_evicted", std::to_string(report.corpus.evicted), false);
+    field("corpus_sampled", std::to_string(report.corpus.sampled), false);
   }
   if (r.faults) {
     field("faults", "true", false);

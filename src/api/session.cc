@@ -115,6 +115,18 @@ TestConfig TestSession::ResolveConfig() const {
   }
   if (config_.stop_on_first_bug) tc.stop_on_first_bug = *config_.stop_on_first_bug;
   if (config_.readable_trace_on_bug) tc.readable_trace_on_bug = true;
+  const bool replay =
+      config_.replay_trace.has_value() || !config_.replay_file.empty();
+  const bool mutate = tc.strategy.str() == "mutate" ||
+                      tc.strategy.str().rfind("mutate(", 0) == 0;
+  if (!replay && (config_.corpus || !config_.corpus_dir.empty() ||
+                  (mutate && !portfolio))) {
+    // Arm the coverage-guided loop. Stateful is forced on: the corpus's
+    // interest signal IS the fingerprint-miss count, so a non-stateful
+    // corpus run could never feed (or meaningfully weight) anything.
+    tc.corpus_mutation = true;
+    tc.stateful = true;
+  }
   return tc;
 }
 
@@ -188,6 +200,20 @@ SessionReport TestSession::Run() {
     monitor->Start();
   };
 
+  // Coverage-guided exploration: the corpus lives for this Run(); with a
+  // corpus_dir it is pre-seeded from disk and persisted back after the
+  // engines finish. The scoped active-corpus handle is how the registry's
+  // "mutate" factory (fixed (seed, budget) signature) reaches it.
+  std::unique_ptr<corpus::TraceCorpus> corpus_store;
+  if (tc.corpus_mutation) {
+    corpus_store = std::make_unique<corpus::TraceCorpus>(
+        config_.corpus_max.value_or(corpus::TraceCorpus::kDefaultMaxEntries));
+    if (!config_.corpus_dir.empty()) {
+      corpus_store->LoadDir(config_.corpus_dir);
+    }
+  }
+  const corpus::ScopedActiveCorpus active_corpus(corpus_store.get());
+
   if (replay) {
     const Trace trace = config_.replay_trace
                             ? *config_.replay_trace
@@ -205,6 +231,7 @@ SessionReport TestSession::Run() {
     options.verify_replay = config_.verify_replay;
     options.metrics = metrics.get();
     options.coverage = config_.coverage;
+    options.corpus = corpus_store.get();
     std::mutex observer_mutex;
     if (!iteration_observers.empty()) {
       options.on_iteration = [&](int worker, std::uint64_t iteration,
@@ -232,6 +259,7 @@ SessionReport TestSession::Run() {
   } else {
     TestingEngine engine(tc, harness);
     engine.SetObservability(metrics.get(), config_.coverage);
+    engine.SetCorpus(corpus_store.get());
     if (!iteration_observers.empty()) {
       engine.SetIterationCallback(
           [&iteration_observers](std::uint64_t iteration,
@@ -256,6 +284,13 @@ SessionReport TestSession::Run() {
   }
   if (registry != nullptr) {
     out.metrics = registry->Snapshot();
+  }
+  if (corpus_store != nullptr) {
+    if (!config_.corpus_dir.empty()) {
+      corpus_store->SaveDir(config_.corpus_dir);
+    }
+    out.corpus_on = true;
+    out.corpus = corpus_store->Stats();
   }
 
   if (out.report.bug_found) {

@@ -25,6 +25,7 @@
 #include "api/scenario_registry.h"
 #include "core/engine.h"
 #include "core/trace.h"
+#include "corpus/trace_corpus.h"
 #include "explore/parallel_engine.h"
 #include "obs/monitor.h"
 
@@ -116,6 +117,24 @@ struct SessionConfig {
   /// Collect coverage heatmaps into TestReport::coverage (per-machine state
   /// visits, per-event-type deliveries, fault placements; implies metrics).
   bool coverage = false;
+
+  // ---- Coverage-guided exploration (README "Coverage-guided exploration") --
+  // The corpus arms when corpus_dir is set OR the strategy is "mutate"
+  // (serial/parallel) — portfolio mode needs corpus_dir (or corpus=true)
+  // since its strategy name stays "portfolio". Arming forces stateful
+  // exploration (the interest signal is the fingerprint-miss count) and, in
+  // portfolio mode, converts every third worker to the mutate strategy.
+  // Replay mode never arms.
+
+  /// Persist/load the trace corpus at this directory: entries saved by one
+  /// run are reloaded by the next, so campaigns resume with their corpus.
+  /// Empty = in-memory corpus only (still armed if strategy is "mutate").
+  std::string corpus_dir;
+  /// Arm the corpus without a directory or a "mutate" strategy override —
+  /// e.g. portfolio mode with an in-memory shared corpus.
+  bool corpus = false;
+  /// Cap on stored corpus entries (default TraceCorpus::kDefaultMaxEntries).
+  std::optional<std::uint64_t> corpus_max;
 };
 
 /// Aggregate outcome of a session, uniform across all four modes.
@@ -140,6 +159,10 @@ struct SessionReport {
   obs::MetricsSnapshot metrics;
   /// Monitor time-series retained in memory (empty unless metrics).
   std::vector<obs::MetricsSample> samples;
+  /// Coverage-guided exploration: true when the run fed a trace corpus;
+  /// `corpus` then carries its end-of-run counters (reporters surface them).
+  bool corpus_on = false;
+  corpus::CorpusStats corpus;
 
   [[nodiscard]] std::string BreakdownTable() const {
     return explore::BreakdownTable(workers);

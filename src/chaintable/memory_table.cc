@@ -2,6 +2,44 @@
 
 namespace chaintable {
 
+namespace {
+
+/// FNV-1a 64 over a byte range / a word, chained through `hash`.
+std::uint64_t FnvBytes(std::uint64_t hash, const char* data,
+                       std::size_t size) noexcept {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::uint64_t FnvString(std::uint64_t hash, const std::string& s) noexcept {
+  // Length first, so ("ab","c") and ("a","bc") hash differently.
+  const std::uint64_t n = s.size();
+  hash = FnvBytes(hash, reinterpret_cast<const char*>(&n), sizeof(n));
+  return FnvBytes(hash, s.data(), s.size());
+}
+
+std::uint64_t FnvWord(std::uint64_t hash, std::uint64_t value) noexcept {
+  return FnvBytes(hash, reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+}  // namespace
+
+std::uint64_t InMemoryChainTable::RowHash(const TableKey& key,
+                                          const Stored& stored) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  hash = FnvString(hash, key.partition);
+  hash = FnvString(hash, key.row);
+  for (const auto& [name, value] : stored.properties) {
+    hash = FnvString(hash, name);
+    hash = FnvString(hash, value);
+  }
+  return FnvWord(hash, stored.etag);
+}
+
 std::string_view ToString(TableCode code) noexcept {
   switch (code) {
     case TableCode::kOk:
@@ -69,7 +107,9 @@ OpResult InMemoryChainTable::ExecuteWrite(const WriteOp& op) {
         return result;
       }
       const Etag etag = NextEtag();
-      rows_.emplace(op.row.key, Stored{op.row.properties, etag});
+      const auto pos =
+          rows_.emplace(op.row.key, Stored{op.row.properties, etag}).first;
+      content_hash_ ^= RowHash(pos->first, pos->second);
       Bump();
       result.code = TableCode::kOk;
       result.etag = etag;
@@ -84,8 +124,10 @@ OpResult InMemoryChainTable::ExecuteWrite(const WriteOp& op) {
         result.code = TableCode::kConditionNotMet;
         return result;
       }
+      content_hash_ ^= RowHash(it->first, it->second);
       it->second.properties = op.row.properties;
       it->second.etag = NextEtag();
+      content_hash_ ^= RowHash(it->first, it->second);
       Bump();
       result.code = TableCode::kOk;
       result.etag = it->second.etag;
@@ -100,10 +142,12 @@ OpResult InMemoryChainTable::ExecuteWrite(const WriteOp& op) {
         result.code = TableCode::kConditionNotMet;
         return result;
       }
+      content_hash_ ^= RowHash(it->first, it->second);
       for (const auto& [name, value] : op.row.properties) {
         it->second.properties[name] = value;
       }
       it->second.etag = NextEtag();
+      content_hash_ ^= RowHash(it->first, it->second);
       Bump();
       result.code = TableCode::kOk;
       result.etag = it->second.etag;
@@ -113,9 +157,11 @@ OpResult InMemoryChainTable::ExecuteWrite(const WriteOp& op) {
       if (it == rows_.end()) {
         it = rows_.emplace(op.row.key, Stored{op.row.properties, 0}).first;
       } else {
+        content_hash_ ^= RowHash(it->first, it->second);
         it->second.properties = op.row.properties;
       }
       it->second.etag = NextEtag();
+      content_hash_ ^= RowHash(it->first, it->second);
       Bump();
       result.code = TableCode::kOk;
       result.etag = it->second.etag;
@@ -130,6 +176,7 @@ OpResult InMemoryChainTable::ExecuteWrite(const WriteOp& op) {
         result.code = TableCode::kConditionNotMet;
         return result;
       }
+      content_hash_ ^= RowHash(it->first, it->second);
       rows_.erase(it);
       Bump();
       result.code = TableCode::kOk;

@@ -33,6 +33,17 @@ class InMemoryChainTable final : public IChainTable {
   [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
   [[nodiscard]] bool Empty() const noexcept { return rows_.empty(); }
 
+  /// Order-independent 64-bit digest of the full table contents (every key,
+  /// its properties, its etag): the XOR of one FNV-1a hash per stored row.
+  /// Maintained DIFFERENTIALLY — each ExecuteWrite XORs the mutated row's
+  /// old hash out and its new hash in, so the digest is O(row) per write
+  /// and O(1) to read no matter how large the table grows. Feeds
+  /// fingerprint payloads (stateful exploration) without rehashing the
+  /// world on every scheduling step.
+  [[nodiscard]] std::uint64_t ContentHash() const noexcept {
+    return content_hash_;
+  }
+
  private:
   struct Stored {
     Properties properties;
@@ -51,10 +62,17 @@ class InMemoryChainTable final : public IChainTable {
     return condition == kAnyEtag || condition == stored.etag;
   }
 
+  /// One row's contribution to ContentHash(). XOR-combining per-row hashes
+  /// makes removal exact: XORing a row's hash a second time restores the
+  /// digest to its value before the row existed.
+  static std::uint64_t RowHash(const TableKey& key,
+                               const Stored& stored) noexcept;
+
   std::map<TableKey, Stored> rows_;
   Etag etag_counter_;
   Etag etag_stride_;
   std::uint64_t mutations_ = 0;
+  std::uint64_t content_hash_ = 0;
 };
 
 }  // namespace chaintable

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/strategy_registry.h"
+#include "corpus/trace_corpus.h"
 #include "obs/campaign.h"
 
 namespace systest {
@@ -116,6 +117,11 @@ void TestConfig::Validate() const {
          "(pre-sampled placement governs destructive faults only, so "
          "nothing could ever fire at the sampled points)");
   }
+  if (corpus_mutation && !stateful) {
+    fail("corpus_mutation without stateful (the corpus's interest signal is "
+         "the fingerprint-miss count, which only exists under stateful "
+         "exploration)");
+  }
 }
 
 RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
@@ -161,7 +167,8 @@ namespace {
 /// bounded-liveness property checks: they did not actually terminate.
 bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
                               std::uint64_t max_steps,
-                              std::uint64_t prune_run, VisitedSet& visited,
+                              std::uint64_t prune_run,
+                              std::uint64_t prune_holdoff, VisitedSet& visited,
                               ExecutionResult& result) {
   harness(runtime);
   // The post-setup initial state counts as visited too (every execution of a
@@ -183,7 +190,11 @@ bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
       known_run = 0;
     } else {
       ++result.fingerprint_hits;
-      if (++known_run >= prune_run) {
+      // Below the strategy's holdoff (a corpus prefix deliberately replaying
+      // known territory) revisits never accumulate toward pruning.
+      if (runtime.Steps() <= prune_holdoff) {
+        known_run = 0;
+      } else if (++known_run >= prune_run) {
         result.pruned = true;
         return false;
       }
@@ -216,9 +227,9 @@ ExecutionResult RunOneExecution(const TestConfig& config,
   Runtime runtime(strategy, options);
   try {
     if (config.stateful && visited != nullptr) {
-      result.hit_step_bound =
-          StepToCompletionStateful(runtime, harness, config.max_steps,
-                                   config.prune_run, *visited, result);
+      result.hit_step_bound = StepToCompletionStateful(
+          runtime, harness, config.max_steps, config.prune_run,
+          strategy.PruneHoldoffSteps(), *visited, result);
     } else {
       result.hit_step_bound =
           StepToCompletion(runtime, harness, config.max_steps);
@@ -277,6 +288,14 @@ TestReport TestingEngine::Run() {
     }
     if (config_.FaultsEnabled()) {
       report.injected_faults += result.faults;
+    }
+    if (corpus_ != nullptr && config_.stateful &&
+        (result.fingerprint_misses > 0 || result.bug_found)) {
+      // Feed BEFORE the bug block below moves the trace out. Heat = heatmap
+      // cells this execution visited first (0 without coverage collection).
+      corpus_->Add(result.trace, result.fingerprint_misses,
+                   worker_obs != nullptr ? worker_obs->LastNewStateCells()
+                                         : 0);
     }
     if (on_iteration_) on_iteration_(iteration, result);
     if (result.bug_found) {
@@ -348,6 +367,13 @@ TestReport TestingEngine::Replay(const Trace& trace) {
   report.execution_log = runtime.Log();
   report.injected_faults = runtime.GetFaultStats();
   report.faults = report.injected_faults.Total() > 0;
+  if (!report.bug_found) {
+    // Expose the re-recorded decision list on clean replays too, so callers
+    // (corpus tests, bit-for-bit verification) can compare it against the
+    // input trace instead of inferring fidelity from the absence of a
+    // divergence report.
+    report.bug_trace = runtime.GetTrace();
+  }
   return report;
 }
 

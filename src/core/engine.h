@@ -28,6 +28,10 @@ struct WorkerObs;        // obs/campaign.h
 struct CoverageReport;   // obs/coverage.h
 }  // namespace obs
 
+namespace corpus {
+class TraceCorpus;       // corpus/trace_corpus.h
+}  // namespace corpus
+
 /// A harness closes the system under test: it populates a fresh Runtime with
 /// the wrapped real components, the modeled environment and the monitors
 /// (the paper's three modeling artifacts, §1).
@@ -125,6 +129,13 @@ struct TestConfig {
   /// the built-in random/PCT/delay-bounded strategies; others keep the
   /// geometric default. 0 = geometric placement.
   int fault_placement_points = 0;
+
+  /// Coverage-guided exploration (corpus/trace_corpus.h): marks this run as
+  /// corpus-fed. Portfolio plans convert some workers to the "mutate"
+  /// strategy when set; requires stateful, because the corpus's interest
+  /// signal IS the fingerprint-miss count. Arming is normally done by
+  /// TestSession when a corpus dir or the mutate strategy is requested.
+  bool corpus_mutation = false;
 
   /// Whether this config turns the fault plane on.
   [[nodiscard]] bool FaultsEnabled() const noexcept {
@@ -289,12 +300,18 @@ class TestingEngine {
     coverage_ = coverage;
   }
 
+  /// Attaches a trace corpus (borrowed): every stateful execution that
+  /// discovered at least one new state (or found a bug) feeds its trace
+  /// back in, closing the coverage-guided loop. Replay() never feeds.
+  void SetCorpus(corpus::TraceCorpus* corpus) { corpus_ = corpus; }
+
  private:
   TestConfig config_;
   Harness harness_;
   IterationCallback on_iteration_;
   obs::CampaignMetrics* metrics_ = nullptr;
   bool coverage_ = false;
+  corpus::TraceCorpus* corpus_ = nullptr;
 };
 
 }  // namespace systest

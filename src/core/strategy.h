@@ -122,6 +122,18 @@ class SchedulingStrategy {
 
   [[nodiscard]] virtual std::string Name() const = 0;
 
+  /// Steps (from the start of the execution) during which the stateful
+  /// engine must NOT count consecutive known states toward pruning. Default
+  /// 0: pruning behaves exactly as before for every existing strategy.
+  /// Corpus-guided strategies (corpus/mutation_strategy.h) return the length
+  /// of the trace prefix they are deliberately replaying — the prefix walks
+  /// through already-visited states by construction, and pruning it would
+  /// kill the execution before its mutation ever diverged. Read by the
+  /// engine AFTER PrepareIteration (the prefix is chosen there).
+  [[nodiscard]] virtual std::uint64_t PruneHoldoffSteps() const noexcept {
+    return 0;
+  }
+
   /// Pre-sampled fault placement (PCT-style, TestConfig::
   /// fault_placement_points): when count > 0, the default NextFault stops
   /// rolling geometric per-step odds for DESTRUCTIVE faults (crash,

@@ -1,0 +1,251 @@
+// SysTest coverage-guided exploration — MutationStrategy implementation.
+
+#include "corpus/mutation_strategy.h"
+
+#include <algorithm>
+
+#include "api/strategy_registry.h"
+
+namespace systest::corpus {
+
+void MutationStrategy::PrepareIteration(std::uint64_t iteration,
+                                        std::uint64_t max_steps) {
+  std::uint64_t state = base_seed_ + iteration;
+  rng_.Reseed(SplitMix64(state));
+  prefix_.clear();
+  cursor_ = 0;
+  prefix_active_ = false;
+  mutator_ = Mutator::kNone;
+  holdoff_steps_ = 0;
+  avoid_machine_ = 0;
+  avoid_remaining_ = 0;
+  pending_fault_ = false;
+  // Placement points (if configured) are sampled from the reseeded stream
+  // BEFORE the prefix exists, so the NextInt draws below go to the rng.
+  SampleFaultPlacement(max_steps);
+
+  if (corpus_ == nullptr || corpus_->Size() == 0) return;
+  auto sampled = corpus_->Sample(rng_.Next(), rng_.Next());
+  if (!sampled.has_value() || sampled->Empty()) return;
+  const std::vector<Decision>& decisions = sampled->Decisions();
+
+  switch (rng_.NextBelow(3)) {
+    case 0: {  // splice: prefix up to a random cut, fresh random tail after
+      mutator_ = Mutator::kSplice;
+      const std::size_t cut = static_cast<std::size_t>(
+          rng_.NextBelow(decisions.size() + 1));
+      prefix_.assign(decisions.begin(), decisions.begin() + cut);
+      break;
+    }
+    case 1: {  // fault toggle: keep the whole prefix, flip one fault
+      mutator_ = Mutator::kFaultToggle;
+      prefix_ = decisions;
+      std::vector<std::size_t> fault_at;
+      for (std::size_t i = 0; i < prefix_.size(); ++i) {
+        if (prefix_[i].IsFault()) fault_at.push_back(i);
+      }
+      if (!fault_at.empty() && rng_.NextBool()) {
+        // Remove: the schedule up to the removed fault replays unchanged,
+        // then the execution diverges into the fault-free continuation.
+        prefix_.erase(prefix_.begin() + static_cast<std::ptrdiff_t>(
+                          fault_at[rng_.NextBelow(fault_at.size())]));
+      } else {
+        // Add: plan one extra crash/partition at a random step; it fires
+        // through NextFault only when the runtime offers candidates of that
+        // kind (budget remains), so budgets are never exceeded.
+        pending_fault_ = true;
+        pending_is_partition_ = rng_.NextBool();
+        pending_step_ = rng_.NextBelow(std::max<std::uint64_t>(1, max_steps));
+      }
+      break;
+    }
+    default: {  // delay: cut at a scheduling decision, dodge its machine
+      mutator_ = Mutator::kDelay;
+      std::vector<std::size_t> sched_at;
+      for (std::size_t i = 0; i < decisions.size(); ++i) {
+        if (decisions[i].kind == Decision::Kind::kSchedule) {
+          sched_at.push_back(i);
+        }
+      }
+      if (sched_at.empty()) {
+        prefix_.clear();
+        break;
+      }
+      const std::size_t cut = sched_at[rng_.NextBelow(sched_at.size())];
+      prefix_.assign(decisions.begin(),
+                     decisions.begin() + static_cast<std::ptrdiff_t>(cut));
+      avoid_machine_ = decisions[cut].value;
+      avoid_remaining_ = 1 + rng_.NextBelow(4);
+      break;
+    }
+  }
+
+  prefix_active_ = !prefix_.empty();
+  if (prefix_active_) {
+    holdoff_steps_ = static_cast<std::uint64_t>(
+        std::count_if(prefix_.begin(), prefix_.end(), [](const Decision& d) {
+          return d.kind == Decision::Kind::kSchedule;
+        }));
+  }
+}
+
+const Decision* MutationStrategy::PeekKind(Decision::Kind kind) {
+  while (prefix_active_) {
+    if (cursor_ >= prefix_.size()) {
+      prefix_active_ = false;
+      break;
+    }
+    const Decision& d = prefix_[cursor_];
+    if (d.IsFault()) {
+      // A fault decision still parked here when a non-fault choice point
+      // fires can never fire again (its step / delivery ordinal has passed,
+      // or this run's fault plane never queried it). Skip it and keep
+      // replaying — dropping one fault is itself a useful mutation.
+      ++cursor_;
+      continue;
+    }
+    if (d.kind != kind) {
+      Diverge();
+      break;
+    }
+    return &d;
+  }
+  return nullptr;
+}
+
+void MutationStrategy::ConsumePrefix() {
+  if (++cursor_ >= prefix_.size()) prefix_active_ = false;
+}
+
+void MutationStrategy::Diverge() noexcept { prefix_active_ = false; }
+
+MachineId MutationStrategy::Next(std::span<const MachineId> enabled,
+                                 std::uint64_t /*step*/) {
+  if (const Decision* d = PeekKind(Decision::Kind::kSchedule)) {
+    const MachineId id{d->value};
+    if (std::binary_search(enabled.begin(), enabled.end(), id)) {
+      ConsumePrefix();
+      return id;
+    }
+    Diverge();  // mutation changed the enabled set: random tail from here
+  }
+  if (avoid_remaining_ > 0) {
+    --avoid_remaining_;
+    if (enabled.size() > 1) {
+      std::size_t pick = static_cast<std::size_t>(
+          rng_.NextBelow(enabled.size()));
+      if (enabled[pick].value == avoid_machine_) {
+        pick = (pick + 1) % enabled.size();
+      }
+      return enabled[pick];
+    }
+  }
+  return enabled[rng_.NextBelow(enabled.size())];
+}
+
+bool MutationStrategy::NextBool() {
+  if (const Decision* d = PeekKind(Decision::Kind::kBool)) {
+    const bool value = d->value != 0;
+    ConsumePrefix();
+    return value;
+  }
+  return rng_.NextBool();
+}
+
+std::uint64_t MutationStrategy::NextInt(std::uint64_t bound) {
+  if (const Decision* d = PeekKind(Decision::Kind::kInt)) {
+    if (d->bound == bound && d->value < bound) {
+      const std::uint64_t value = d->value;
+      ConsumePrefix();
+      return value;
+    }
+    Diverge();
+  }
+  return rng_.NextBelow(bound);
+}
+
+FaultDecision MutationStrategy::NextFault(const FaultContext& ctx) {
+  // The fault-toggle "add" fires as soon as its planned step is due AND the
+  // runtime offers a candidate of the planned kind — candidate spans are
+  // only populated while budget remains, so picking from them can neither
+  // exceed a budget nor name an ineligible machine.
+  if (pending_fault_ && ctx.step >= pending_step_) {
+    if (pending_is_partition_ && !ctx.partitionable.empty()) {
+      pending_fault_ = false;
+      return {FaultDecision::Kind::kPartition,
+              ctx.partitionable[rng_.NextBelow(ctx.partitionable.size())]};
+    }
+    if (!pending_is_partition_ && !ctx.crashable.empty()) {
+      pending_fault_ = false;
+      return {FaultDecision::Kind::kCrash,
+              ctx.crashable[rng_.NextBelow(ctx.crashable.size())]};
+    }
+    // No candidate yet (budget-gated or everyone already down): keep the
+    // plan armed for the next boundary.
+  }
+  if (prefix_active_ && cursor_ < prefix_.size()) {
+    // Same peek-and-match as ReplayStrategy, with one extra check: the
+    // recorded machine must be in the matching candidate span. The mutated
+    // execution runs under real budgets (not replay_faults), and the runtime
+    // treats a fault naming an ineligible machine as a strategy bug — so a
+    // recorded fault this run cannot apply is consumed and dropped instead.
+    const Decision& d = prefix_[cursor_];
+    const auto eligible = [](std::span<const MachineId> candidates,
+                             std::uint64_t machine) {
+      return std::binary_search(candidates.begin(), candidates.end(),
+                                MachineId{machine});
+    };
+    if (d.kind == Decision::Kind::kCrash && d.bound == ctx.step) {
+      ConsumePrefix();
+      if (eligible(ctx.crashable, d.value)) {
+        return {FaultDecision::Kind::kCrash, MachineId{d.value}};
+      }
+    } else if (d.kind == Decision::Kind::kRestart && d.bound == ctx.step) {
+      ConsumePrefix();
+      if (eligible(ctx.restartable, d.value)) {
+        return {FaultDecision::Kind::kRestart, MachineId{d.value}};
+      }
+    } else if (d.kind == Decision::Kind::kPartition && d.bound == ctx.step) {
+      ConsumePrefix();
+      if (eligible(ctx.partitionable, d.value)) {
+        return {FaultDecision::Kind::kPartition, MachineId{d.value}};
+      }
+    } else if (d.kind == Decision::Kind::kHeal && d.bound == ctx.step) {
+      ConsumePrefix();
+      if (eligible(ctx.healable, d.value)) {
+        return {FaultDecision::Kind::kHeal, MachineId{d.value}};
+      }
+    }
+  }
+  // While the prefix governs, its recorded schedule IS the failure schedule:
+  // no extra geometric faults. After divergence the default takes over.
+  if (prefix_active_) return {};
+  return SchedulingStrategy::NextFault(ctx);
+}
+
+DeliveryFault MutationStrategy::NextDeliveryFault(
+    const DeliveryFaultContext& ctx) {
+  if (prefix_active_ && cursor_ < prefix_.size()) {
+    const Decision& d = prefix_[cursor_];
+    if (d.kind == Decision::Kind::kDrop && d.value == ctx.ordinal) {
+      ConsumePrefix();
+      if (ctx.drop_allowed) return DeliveryFault::kDrop;
+    } else if (d.kind == Decision::Kind::kDuplicate &&
+               d.value == ctx.ordinal) {
+      ConsumePrefix();
+      if (ctx.duplicate_allowed) return DeliveryFault::kDuplicate;
+    }
+  }
+  if (prefix_active_) return DeliveryFault::kNone;
+  return SchedulingStrategy::NextDeliveryFault(ctx);
+}
+
+SYSTEST_REGISTER_STRATEGY(
+    mutate, "mutate",
+    "corpus-guided: replay an interesting trace prefix, then splice / toggle "
+    "a fault / insert a delay (pure random until the corpus has entries)",
+    [](std::uint64_t seed, int /*budget*/) {
+      return std::make_unique<MutationStrategy>(seed, ActiveCorpus());
+    });
+
+}  // namespace systest::corpus

@@ -1,0 +1,108 @@
+// SysTest coverage-guided exploration — the "mutate" scheduling strategy.
+//
+// MutationStrategy closes the fuzzer loop over the TraceCorpus: each
+// iteration it samples a stored trace energy-weighted, replays its decision
+// prefix up to a seed-chosen divergence point, then applies ONE mutator:
+//
+//   splice        cut the prefix at a random decision and continue with a
+//                 fresh random tail
+//   fault-toggle  keep the whole prefix but flip the failure schedule —
+//                 remove one recorded fault, or plan an extra crash/partition
+//                 at a random step (fired only within the run's budgets and
+//                 candidate lists, so the runtime's eligibility contract
+//                 holds)
+//   delay         cut at a random scheduling decision and avoid the machine
+//                 the original trace ran there for the next few picks,
+//                 delaying its continuation past its neighbors
+//
+// Prefix replay is TOLERANT, unlike ReplayStrategy: the mutated execution is
+// a different execution, so once the runtime's choice points stop lining up
+// with the recorded decisions (a machine no longer enabled, a bound changed,
+// a fault decision that cannot fire here) the strategy permanently falls back
+// to its random tail instead of throwing kReplayDivergence. Every decision
+// the runtime ACTUALLY takes is recorded into the new trace as usual, which
+// is why a mutated execution always replays bit-for-bit with plain
+// ReplayStrategy and no fault flags.
+//
+// Determinism: PrepareIteration reseeds from SplitMix64(base_seed +
+// iteration) exactly like the built-ins, and corpus sampling consumes words
+// from that stream — so (seed, iteration, corpus content) fully determine
+// the mutated execution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/strategy.h"
+#include "corpus/trace_corpus.h"
+
+namespace systest::corpus {
+
+class MutationStrategy final : public SchedulingStrategy {
+ public:
+  enum class Mutator : std::uint8_t { kNone, kSplice, kFaultToggle, kDelay };
+
+  /// `corpus` may be null (or empty): the strategy then degrades to pure
+  /// random search, which keeps "mutate" usable before any trace has been
+  /// fed back. The corpus is borrowed, not owned.
+  MutationStrategy(std::uint64_t seed, TraceCorpus* corpus)
+      : base_seed_(seed), rng_(seed), corpus_(corpus) {}
+
+  void PrepareIteration(std::uint64_t iteration,
+                        std::uint64_t max_steps) override;
+  MachineId Next(std::span<const MachineId> enabled,
+                 std::uint64_t step) override;
+  bool NextBool() override;
+  std::uint64_t NextInt(std::uint64_t bound) override;
+  FaultDecision NextFault(const FaultContext& ctx) override;
+  DeliveryFault NextDeliveryFault(const DeliveryFaultContext& ctx) override;
+  [[nodiscard]] std::string Name() const override { return "mutate"; }
+
+  /// Scheduling steps covered by the replayed prefix: the engine suspends
+  /// known-state pruning below this step so the prefix — which by
+  /// construction walks through already-visited states — is not mistaken
+  /// for a reconverged schedule before the mutation ever diverges.
+  [[nodiscard]] std::uint64_t PruneHoldoffSteps() const noexcept override {
+    return holdoff_steps_;
+  }
+
+  // Introspection for tests.
+  [[nodiscard]] Mutator CurrentMutator() const noexcept { return mutator_; }
+  [[nodiscard]] std::size_t PrefixSize() const noexcept {
+    return prefix_.size();
+  }
+  [[nodiscard]] bool PrefixActive() const noexcept { return prefix_active_; }
+
+ private:
+  /// Next prefix decision a non-fault choice point should consume, or null
+  /// once replay is over. Fault decisions parked at the cursor that can no
+  /// longer fire (their coordinate has passed, or this run's fault plane
+  /// never queried them) are skipped; a kind mismatch diverges.
+  const Decision* PeekKind(Decision::Kind kind);
+  void ConsumePrefix();
+  void Diverge() noexcept;
+
+  std::uint64_t base_seed_;
+  Xoshiro256 rng_;
+  TraceCorpus* corpus_;
+
+  std::vector<Decision> prefix_;
+  std::size_t cursor_ = 0;
+  bool prefix_active_ = false;
+  Mutator mutator_ = Mutator::kNone;
+  std::uint64_t holdoff_steps_ = 0;
+
+  // delay mutator: skip this machine for the next few post-prefix picks
+  std::uint64_t avoid_machine_ = 0;
+  std::uint64_t avoid_remaining_ = 0;
+
+  // fault-toggle mutator (add direction): one planned extra fault
+  bool pending_fault_ = false;
+  bool pending_is_partition_ = false;
+  std::uint64_t pending_step_ = 0;
+};
+
+}  // namespace systest::corpus

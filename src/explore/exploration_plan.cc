@@ -109,6 +109,15 @@ ExplorationPlan ExplorationPlan::Portfolio(const TestConfig& config,
       a.drop_probability_den = 0;
       a.max_duplications = 0;
     }
+    if (config.corpus_mutation && a.worker % 3 == 2) {
+      // Corpus-fed run: every third worker mutates the shared corpus instead
+      // of searching blind — guided workers race the rotation above and are
+      // seeded by what the blind workers (and each other) feed back. Worker
+      // 0 keeps the random baseline, and the flag lives in the config, so
+      // the plan stays a pure function of (config, workers).
+      a.strategy = "mutate";
+      a.strategy_budget = config.strategy_budget;
+    }
   }
   return plan;
 }

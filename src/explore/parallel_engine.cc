@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "api/strategy_registry.h"
+#include "corpus/trace_corpus.h"
 #include "explore/sharded_fingerprint_set.h"
 #include "obs/campaign.h"
 
@@ -152,6 +153,15 @@ ParallelTestReport ParallelTestingEngine::Run() {
       }
       if (worker_config.FaultsEnabled()) {
         wr.injected_faults += result.faults;
+      }
+      if (options_.corpus != nullptr && config_.stateful &&
+          (result.fingerprint_misses > 0 || result.bug_found)) {
+        // Every worker feeds the shared corpus — including blind portfolio
+        // workers, whose discoveries seed the mutate workers racing them.
+        // Before the first-bug CAS below moves the trace out.
+        options_.corpus->Add(
+            result.trace, result.fingerprint_misses,
+            worker_obs != nullptr ? worker_obs->LastNewStateCells() : 0);
       }
       executions.fetch_add(1, std::memory_order_relaxed);
       steps.fetch_add(result.steps, std::memory_order_relaxed);

@@ -50,6 +50,13 @@ struct ParallelOptions {
   /// With metrics: also collect per-worker coverage heatmaps, merged into
   /// aggregate.coverage (and kept per worker in WorkerReport::coverage).
   bool coverage = false;
+  /// Coverage-guided exploration (corpus/trace_corpus.h): the shared trace
+  /// corpus, borrowed for the run. Every worker feeds newly-interesting
+  /// traces back in (stateful runs only — the interest signal is the
+  /// fingerprint-miss count), and "mutate" workers sample it. The corpus is
+  /// striped like the shared fingerprint set, so workers contend only on
+  /// shard collisions.
+  corpus::TraceCorpus* corpus = nullptr;
 };
 
 /// Per-worker slice of the merged report — the per-strategy breakdown.

@@ -61,6 +61,19 @@ class TablesMachine final : public systest::Machine {
   }
   [[nodiscard]] bool Verified() const noexcept { return verified_; }
 
+  /// Stateful exploration payload (ROADMAP "differential-store-row"): the
+  /// machine OWNS all three tables, so their contents belong in its
+  /// fingerprint contribution. Each table keeps an incrementally-maintained
+  /// XOR-of-row-hashes digest (InMemoryChainTable::ContentHash), so this is
+  /// O(1) per call — executions that reach the same three table states and
+  /// logical time dedup, regardless of how their schedules got there.
+  void FingerprintPayload(systest::StateHasher& hasher) const override {
+    hasher.Mix(old_.ContentHash())
+        .Mix(new_.ContentHash())
+        .Mix(rt_.ContentHash())
+        .Mix(seq_);
+  }
+
  private:
   void OnRequest(const BackendRequest& request);
   void OnVerify(const VerifyTables& verify);

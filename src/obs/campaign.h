@@ -114,6 +114,12 @@ struct WorkerObs {
   /// Finished per-worker coverage report (empty when coverage was off).
   [[nodiscard]] CoverageReport TakeCoverage() { return coverage.TakeReport(); }
 
+  /// Heatmap cells the most recent flushed execution visited first — the
+  /// corpus's heat bonus (0 whenever coverage collection is off).
+  [[nodiscard]] std::uint64_t LastNewStateCells() const noexcept {
+    return coverage_enabled ? coverage.LastNewStates() : 0;
+  }
+
   ExecutionProbe probe;
   CampaignMetrics& metrics;
   Counter& worker_executions;

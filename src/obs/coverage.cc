@@ -220,6 +220,7 @@ std::string CoverageReport::ToJson() const {
 void CoverageAccumulator::AddExecution(const Runtime& runtime,
                                        const ExecutionProbe& probe) {
   ++report_.executions;
+  last_new_states_ = 0;
   const std::size_t machine_count = runtime.MachineCount();
   for (std::size_t i = 1; i <= machine_count; ++i) {
     const Machine* machine = runtime.FindMachine(MachineId{i});
@@ -243,6 +244,9 @@ void CoverageAccumulator::AddExecution(const Runtime& runtime,
       cov.state_visits.resize(visits.size(), 0);
     }
     for (std::size_t s = 0; s < visits.size(); ++s) {
+      // A cell going 0 -> nonzero is a state this worker reached for the
+      // first time: the under-visited-state signal the corpus biases on.
+      if (visits[s] != 0 && cov.state_visits[s] == 0) ++last_new_states_;
       cov.state_visits[s] += visits[s];
     }
   }

@@ -88,10 +88,19 @@ class CoverageAccumulator {
   /// Sorted, mergeable report; the accumulator is left empty.
   [[nodiscard]] CoverageReport TakeReport();
 
+  /// Heatmap cells (machine, state) the most recent AddExecution visited
+  /// FIRST — states no prior execution of this worker had reached. This is
+  /// the corpus's under-visited-state bias: a trace scoring fresh cells gets
+  /// extra sampling energy (corpus/trace_corpus.h).
+  [[nodiscard]] std::uint64_t LastNewStates() const noexcept {
+    return last_new_states_;
+  }
+
  private:
   CoverageReport report_;
   std::unordered_map<std::string, std::size_t> machine_index_;
   std::unordered_map<std::uint32_t, std::size_t> event_index_;  // by type id
+  std::uint64_t last_new_states_ = 0;
 };
 
 }  // namespace systest::obs

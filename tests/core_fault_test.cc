@@ -536,7 +536,9 @@ TEST(FaultPlane, ReplayOfFaultFreeTraceStillWorksThroughFaultAwarePath) {
           .Replay(Trace::Parse(trace_text));
   EXPECT_FALSE(replayed.bug_found);
   EXPECT_FALSE(replayed.faults);
-  EXPECT_EQ(replayed.bug_trace.Size(), 0u);
+  // Clean replays re-record the decisions they consumed so callers can check
+  // the round trip; a faithful replay reproduces the input bit-for-bit.
+  EXPECT_EQ(replayed.bug_trace, Trace::Parse(trace_text));
 }
 
 // ---------------------------------------------------------------------------

@@ -12,9 +12,11 @@
 #include <utility>
 #include <vector>
 
+#include "chaintable/memory_table.h"
 #include "core/systest.h"
 #include "explore/parallel_engine.h"
 #include "explore/sharded_fingerprint_set.h"
+#include "mtable/tables_machine.h"
 #include "samplerepl/harness.h"
 
 namespace {
@@ -441,6 +443,96 @@ TEST(VisitedSets, ShardedSetMatchesSerialSemantics) {
     EXPECT_FALSE(set.Insert(fp * 0x9e3779b97f4a7c15ull));
   }
   EXPECT_EQ(set.Size(), 300u);
+}
+
+// ---------------------------------------------------------------------------
+// mtable differential-store-row payload: InMemoryChainTable keeps an
+// incrementally-maintained XOR-of-row-hashes digest, and TablesMachine mixes
+// all three of its tables (plus logical time) into its fingerprint payload.
+
+chaintable::WriteOp MakeWrite(chaintable::WriteKind kind, std::string row,
+                              std::string value,
+                              chaintable::Etag etag = chaintable::kAnyEtag) {
+  chaintable::WriteOp op;
+  op.kind = kind;
+  op.row.key = {"p", std::move(row)};
+  op.row.properties = {{"v", std::move(value)}};
+  op.etag = etag;
+  return op;
+}
+
+TEST(TableContentHash, EveryMutationKindMovesTheDigest) {
+  chaintable::InMemoryChainTable table;
+  const std::uint64_t empty = table.ContentHash();
+
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kInsert, "r1", "a")).Ok());
+  const std::uint64_t after_insert = table.ContentHash();
+  EXPECT_NE(after_insert, empty);
+
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kReplace, "r1", "b")).Ok());
+  const std::uint64_t after_replace = table.ContentHash();
+  EXPECT_NE(after_replace, after_insert);
+
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kMerge, "r1", "c")).Ok());
+  EXPECT_NE(table.ContentHash(), after_replace);
+
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kInsertOrReplace, "r2", "d")).Ok());
+  EXPECT_NE(table.ContentHash(), after_replace);
+}
+
+TEST(TableContentHash, DeleteRestoresTheExactPriorDigest) {
+  // XOR removal is exact: deleting a row must return the digest to its value
+  // before that row existed — no residue, no recompute.
+  chaintable::InMemoryChainTable table;
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kInsert, "r1", "a")).Ok());
+  const std::uint64_t with_r1 = table.ContentHash();
+
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kInsert, "r2", "b")).Ok());
+  EXPECT_NE(table.ContentHash(), with_r1);
+
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kDelete, "r2", "")).Ok());
+  EXPECT_EQ(table.ContentHash(), with_r1);
+}
+
+TEST(TableContentHash, FailedWritesLeaveTheDigestUntouched) {
+  chaintable::InMemoryChainTable table;
+  ASSERT_TRUE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kInsert, "r1", "a")).Ok());
+  const std::uint64_t before = table.ContentHash();
+  // AlreadyExists, NotFound, ConditionNotMet: all rejected, digest constant.
+  EXPECT_FALSE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kInsert, "r1", "x")).Ok());
+  EXPECT_FALSE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kReplace, "missing", "x")).Ok());
+  EXPECT_FALSE(table.ExecuteWrite(
+      MakeWrite(chaintable::WriteKind::kDelete, "r1", "", /*etag=*/999)).Ok());
+  EXPECT_EQ(table.ContentHash(), before);
+}
+
+TEST(TablesMachinePayload, InitialRowsReachTheFingerprint) {
+  // Two TablesMachines whose STRUCTURAL views are identical (same name, same
+  // id, same start state, empty queues) but whose seeded tables differ: only
+  // the payload view may tell them apart.
+  auto fingerprint = [](std::string seed_value, bool payloads) {
+    systest::RoundRobinStrategy strategy(0);
+    strategy.PrepareIteration(0, 10);
+    systest::Runtime rt(strategy, StatefulOptions(10));
+    std::vector<chaintable::TableRow> rows;
+    rows.push_back({{"p", "r1"}, {{"v", std::move(seed_value)}}});
+    const MachineId id = rt.CreateMachine<mtable::TablesMachine>("T", rows);
+    return rt.FindMachine(id)->ComputeStateFingerprint(payloads);
+  };
+  EXPECT_EQ(fingerprint("a", false), fingerprint("b", false))
+      << "structural view should not see table contents";
+  EXPECT_NE(fingerprint("a", true), fingerprint("b", true))
+      << "payload view must see the differential store-row digest";
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 
 #include "api/strategy_registry.h"
 #include "core/systest.h"
+#include "corpus/trace_corpus.h"
 #include "explore/parallel_engine.h"
 #include "samplerepl/harness.h"
 
@@ -418,6 +419,68 @@ TEST(ParallelEngine, PartitionInjectionAcrossWorkersReplaysWinningTrace) {
   const TestReport replayed = serial.Replay(report.aggregate.bug_trace);
   ASSERT_TRUE(replayed.bug_found);
   EXPECT_EQ(replayed.bug_message, report.aggregate.bug_message);
+}
+
+// Shared trace corpus across workers: the whole fleet feeds ONE striped
+// TraceCorpus while mutate workers concurrently sample it. This binary runs
+// under TSan in CI, so this is also the data-race guard for the corpus's
+// striped shards (concurrent Add vs Sample vs Stats).
+TEST(ParallelEngine, WorkersFeedAndSampleOneSharedCorpus) {
+  samplerepl::HarnessOptions hopts;
+  hopts.crashable_nodes = true;
+  hopts.liveness_monitor = false;
+  TestConfig config = samplerepl::DefaultConfig();
+  config.iterations = 800;
+  config.max_crashes = 1;
+  config.max_restarts = 1;
+  config.stateful = true;
+  config.strategy = "mutate";
+  config.corpus_mutation = true;
+  config.stop_on_first_bug = false;
+
+  systest::corpus::TraceCorpus corpus;
+  const systest::corpus::ScopedActiveCorpus active(&corpus);
+  ParallelOptions options;
+  options.threads = 4;
+  options.verify_replay = false;
+  options.corpus = &corpus;
+  ParallelTestingEngine engine(config, samplerepl::MakeHarness(hopts),
+                               options);
+  const ParallelTestReport report = engine.Run();
+
+  EXPECT_TRUE(report.aggregate.stateful);
+  const systest::corpus::CorpusStats stats = corpus.Stats();
+  EXPECT_GT(stats.added, 0u) << "no worker ever fed the shared corpus";
+  EXPECT_GT(stats.sampled, 0u) << "no mutate worker ever sampled it";
+  EXPECT_EQ(stats.entries, corpus.Size());
+  // Workers rediscover each other's schedules; dedup must have fired and the
+  // store can never exceed what was actually added.
+  EXPECT_LE(stats.entries, stats.added + stats.loaded);
+}
+
+// Portfolio in a corpus-fed run converts every third worker to the mutate
+// strategy while worker 0 keeps the random baseline.
+TEST(ExplorationPlan, PortfolioConvertsEveryThirdWorkerToMutate) {
+  TestConfig config = RaceConfig();
+  config.stateful = true;
+  config.corpus_mutation = true;
+  const ExplorationPlan plan = ExplorationPlan::Portfolio(config, 9);
+  EXPECT_EQ(plan.Workers()[0].strategy.str(), "random");
+  int mutate_workers = 0;
+  for (const WorkerAssignment& a : plan.Workers()) {
+    if (a.worker % 3 == 2) {
+      EXPECT_EQ(a.strategy.str(), "mutate") << "worker " << a.worker;
+      ++mutate_workers;
+    } else {
+      EXPECT_NE(a.strategy.str(), "mutate") << "worker " << a.worker;
+    }
+  }
+  EXPECT_EQ(mutate_workers, 3);
+  // Without the flag, no worker mutates.
+  const ExplorationPlan plain = ExplorationPlan::Portfolio(RaceConfig(), 9);
+  for (const WorkerAssignment& a : plain.Workers()) {
+    EXPECT_NE(a.strategy.str(), "mutate");
+  }
 }
 
 // Portfolio with partitions budgeted dedicates every other faulted worker to

@@ -56,6 +56,12 @@ struct Options {
   std::vector<std::string> params;
   std::string trace_out;
   std::string replay;
+  // Coverage-guided exploration: persist/load the trace corpus here. With
+  // --all / --tag the path is a per-scenario SUBDIRECTORY (corpora from
+  // different scenarios must never mix — their traces replay different
+  // machines).
+  std::string corpus_dir;
+  long long corpus_max = -1;  // <0 = library default
   bool verbose = false;
   bool list = false;
   bool json = false;
@@ -104,7 +110,8 @@ void PrintUsage(const char* argv0) {
       "  --max-steps <n>    per-execution scheduling step bound\n"
       "  --budget <n>       PCT priority change points / delay budget\n"
       "  --time-budget <s>  wall-clock budget in seconds\n"
-      "  --trace-out <f>    write the winning bug trace to <f>\n"
+      "  --trace-out <f>    write the winning bug trace to <f> (with --all /\n"
+      "                     --tag: one file per scenario, name suffixed)\n"
       "  --replay <f>       replay a saved trace instead of exploring\n"
       "  --faults           enable scheduler-controlled fault injection;\n"
       "                     arms crash/restart 1/1 only if neither the\n"
@@ -129,6 +136,12 @@ void PrintUsage(const char* argv0) {
       "                     geometric per-step odds\n"
       "  --stateful         fingerprint visited program states and prune\n"
       "                     executions that reconverge to them\n"
+      "  --corpus-dir <d>   persist the trace corpus of interesting schedules\n"
+      "                     to <d> and reload it next run; arms the corpus\n"
+      "                     and implies --stateful (with --all / --tag: one\n"
+      "                     subdirectory per scenario). Pair with\n"
+      "                     --strategy mutate (or portfolio) to exploit it\n"
+      "  --corpus-max <n>   cap on stored corpus entries (default 1024)\n"
       "  --progress         live one-line progress telemetry on stderr\n"
       "                     (exec/s, distinct states, prune %%, faults, ETA,\n"
       "                     per-worker rates)\n"
@@ -195,6 +208,12 @@ bool ParseArgs(int argc, char** argv, Options& options) {
       if (!(value = need_value(i))) return false;
       options.heal_den = std::atoll(value);
       options.partitions = true;
+    } else if (arg == "--corpus-dir") {
+      if (!(value = need_value(i))) return false;
+      options.corpus_dir = value;
+    } else if (arg == "--corpus-max") {
+      if (!(value = need_value(i))) return false;
+      options.corpus_max = std::atoll(value);
     } else if (arg == "--fault-points") {
       if (!(value = need_value(i))) return false;
       options.fault_points = std::atoll(value);
@@ -378,6 +397,12 @@ SessionConfig BuildSessionConfig(const std::string& scenario,
   if (options.fault_points >= 0 && options.replay.empty()) {
     config.fault_placement_points = static_cast<int>(options.fault_points);
   }
+  if (options.replay.empty()) {
+    config.corpus_dir = options.corpus_dir;
+    if (options.corpus_max >= 0) {
+      config.corpus_max = static_cast<std::uint64_t>(options.corpus_max);
+    }
+  }
   config.readable_trace_on_bug = options.verbose;
   config.replay_file = options.replay;
   config.progress = options.progress;
@@ -405,6 +430,18 @@ int RunOne(const std::string& scenario, const Options& options,
   SessionConfig config = BuildSessionConfig(scenario, options);
   if (multi_scenario && !config.metrics_out.empty()) {
     config.metrics_out = PerScenarioPath(config.metrics_out, scenario);
+  }
+  if (multi_scenario && !config.corpus_dir.empty()) {
+    // A subdirectory, not a name suffix: the corpus path is a directory, and
+    // corpora from different scenarios must never mix (their traces replay
+    // different machines).
+    config.corpus_dir += "/" + scenario;
+  }
+  std::string trace_out = options.trace_out;
+  if (multi_scenario && !trace_out.empty()) {
+    // Same fan-out as metrics: "bug.trace" becomes "bug.<scenario>.trace" so
+    // each scenario's witness survives the sweep.
+    trace_out = PerScenarioPath(trace_out, scenario);
   }
   TestSession session(std::move(config));
   systest::api::HumanReporter human(stdout, options.verbose);
@@ -441,17 +478,17 @@ int RunOne(const std::string& scenario, const Options& options,
     return 0;
   }
 
-  if (!options.trace_out.empty()) {
+  if (!trace_out.empty()) {
     // Status goes to stderr in --json mode so stdout stays one JSON line
     // per run.
     std::FILE* status = options.json ? stderr : stdout;
     if (report.report.bug_found) {
-      report.report.bug_trace.SaveFile(options.trace_out);
+      report.report.bug_trace.SaveFile(trace_out);
       std::fprintf(status, "bug trace written to %s (replay with --replay)\n",
-                   options.trace_out.c_str());
+                   trace_out.c_str());
     } else {
       std::fprintf(status, "no bug found; %s not written\n",
-                   options.trace_out.c_str());
+                   trace_out.c_str());
     }
   }
   return 0;
@@ -487,16 +524,6 @@ int main(int argc, char** argv) {
     PrintUsage(argv[0]);
     return 2;
   }
-  if (targets.size() > 1 && !options.trace_out.empty()) {
-    // One output path cannot hold one witness per scenario; each run would
-    // silently overwrite the previous trace.
-    std::fprintf(stderr,
-                 "error: --trace-out requires a single --scenario (got %zu "
-                 "scenarios)\n",
-                 targets.size());
-    return 2;
-  }
-
   int exit_code = 0;
   for (const std::string& target : targets) {
     if (targets.size() > 1 && !options.json) {
