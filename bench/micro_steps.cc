@@ -35,6 +35,11 @@ struct Ball final : Event {
 
 class PingPong final : public Machine {
  public:
+  /// Execution recycling: rounds_/serve_ are const-after-ctor and peer_ is
+  /// patched exactly once at harness time (the machine OBJECT persists across
+  /// resets, so the patch persists with it).
+  static constexpr bool kReusableRuntime = true;
+
   PingPong(MachineId peer, int rounds, bool serve)
       : peer_(peer), rounds_(rounds), serve_(serve) {
     State("Play").OnEntry(&PingPong::OnStart).On<Ball>(&PingPong::OnBall);
@@ -63,20 +68,25 @@ double Seconds(Clock::time_point start) {
 
 void RunPingPong(std::uint64_t executions) {
   const int rounds = 1000;
-  std::uint64_t steps = 0;
-  const auto start = Clock::now();
-  for (std::uint64_t i = 0; i < executions; ++i) {
-    systest::RandomStrategy strategy(42 + i);
-    strategy.PrepareIteration(0, 1'000'000);
-    systest::RuntimeOptions options;
-    options.max_steps = 1'000'000;
-    systest::Runtime rt(strategy, options);
+  // Execution recycling: one Runtime + one event arena serve the whole
+  // budget (the ExecutionRunner probes the first execution, seals it, and
+  // reset-reuses from then on) — the same path TestingEngine takes.
+  systest::TestConfig config;
+  config.iterations = executions;
+  config.max_steps = 1'000'000;
+  config.seed = 42;
+  config.strategy = "random";
+  const systest::Harness harness = [rounds](systest::Runtime& rt) {
     auto a = rt.CreateMachine<PingPong>("A", MachineId{}, rounds, false);
     auto b = rt.CreateMachine<PingPong>("B", a, rounds, true);
     static_cast<PingPong*>(rt.FindMachine(a))->peer_ = b;
-    while (rt.Step()) {
-    }
-    steps += rt.Steps();
+  };
+  systest::RandomStrategy strategy(config.seed);
+  systest::ExecutionRunner runner(config, harness, strategy, nullptr);
+  std::uint64_t steps = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < executions; ++i) {
+    steps += runner.RunOne(i, nullptr).steps;
   }
   const double seconds = Seconds(start);
   const double steps_per_sec = seconds > 0 ? steps / seconds : 0.0;

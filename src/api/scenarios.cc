@@ -15,12 +15,16 @@ struct ArrivalEvent final : systest::Event {
 
 class Referee final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   Referee() {
     State("Run").On<ArrivalEvent>(&Referee::OnArrival);
     SetStart("Run");
   }
 
  private:
+  void OnReset() override { first_ = 0; }
+
   void OnArrival(const ArrivalEvent& arrival) {
     if (first_ == 0) {
       first_ = arrival.who;
@@ -32,6 +36,8 @@ class Referee final : public systest::Machine {
 
 class Racer final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;  // const-after-ctor members
+
   Racer(systest::MachineId referee, int who) : referee_(referee), who_(who) {
     State("Run").OnEntry(&Racer::OnStart);
     SetStart("Run");

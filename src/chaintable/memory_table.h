@@ -33,6 +33,17 @@ class InMemoryChainTable final : public IChainTable {
   [[nodiscard]] std::size_t RowCount() const noexcept { return rows_.size(); }
   [[nodiscard]] bool Empty() const noexcept { return rows_.empty(); }
 
+  /// Execution recycling: restores the table to its just-constructed state
+  /// (empty, etag counter rewound to the residue class it was built with).
+  /// Owners that seed rows at construction must re-seed after calling this.
+  void Reset(Etag first_etag = 1, Etag etag_stride = 1) noexcept {
+    rows_.clear();
+    etag_counter_ = first_etag;
+    etag_stride_ = etag_stride;
+    mutations_ = 0;
+    content_hash_ = 0;
+  }
+
   /// Order-independent 64-bit digest of the full table contents (every key,
   /// its properties, its etag): the XOR of one FNV-1a hash per stored row.
   /// Maintained DIFFERENTIALLY — each ExecuteWrite XORs the mutated row's

@@ -43,6 +43,8 @@ struct WriterDone final : systest::Event {
 /// between — the classic lost-update window.
 class CounterWriter final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   CounterWriter(std::shared_ptr<InMemoryChainTable> table,
                 systest::MachineId auditor, std::uint64_t ops, bool blind)
       : table_(std::move(table)), auditor_(auditor), ops_(ops), blind_(blind) {
@@ -60,6 +62,14 @@ class CounterWriter final : public systest::Machine {
   }
 
  private:
+  void OnReset() override {
+    reading_ = true;
+    done_ = 0;
+    successes_ = 0;
+    seen_value_ = 0;
+    seen_etag_ = kInvalidEtag;
+  }
+
   void Kick() { Send<OpTick>(Id()); }
 
   void OnTick(const OpTick&) {
@@ -102,9 +112,13 @@ class CounterWriter final : public systest::Machine {
 /// increments the writers believe succeeded.
 class CounterAuditor final : public systest::Machine {
  public:
+  /// Execution recycling: the auditor owns the RESET of the shared table
+  /// (exactly one harness-time machine may, and it is created first).
+  static constexpr bool kReusableRuntime = true;
+
   CounterAuditor(std::shared_ptr<InMemoryChainTable> table,
                  std::size_t writers)
-      : table_(std::move(table)), pending_(writers) {
+      : table_(std::move(table)), writers_(writers), pending_(writers) {
     State("Collect").On<WriterDone>(&CounterAuditor::OnDone);
     SetStart("Collect");
   }
@@ -114,6 +128,17 @@ class CounterAuditor final : public systest::Machine {
   }
 
  private:
+  void OnReset() override {
+    pending_ = writers_;
+    total_ = 0;
+    table_->Reset();
+    WriteOp seed;
+    seed.kind = WriteKind::kInsert;
+    seed.row.key = kCounterKey;
+    seed.row.properties = {{"v", "0"}};
+    table_->ExecuteWrite(seed);  // identical to the harness's seeding
+  }
+
   void OnDone(const WriterDone& done) {
     total_ += done.successes;
     if (--pending_ > 0) return;
@@ -126,6 +151,7 @@ class CounterAuditor final : public systest::Machine {
   }
 
   std::shared_ptr<InMemoryChainTable> table_;
+  std::size_t writers_;  // retained for OnReset
   std::size_t pending_;
   std::uint64_t total_ = 0;
 };

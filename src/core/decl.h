@@ -199,10 +199,17 @@ struct MachineDecl {
   std::unordered_map<std::string, StateId> by_name;
   std::type_index type{typeid(void)};  ///< for diagnostics and tests
 
+  /// Linear scan: state counts are tiny (2-6), so comparing names directly
+  /// (length check first) beats hashing the string on the Goto/Transition
+  /// hot path. by_name stays for compile-time duplicate detection.
   [[nodiscard]] const CompiledState* FindState(
       const std::string& name) const {
-    const auto it = by_name.find(name);
-    return it == by_name.end() ? nullptr : &states[it->second];
+    for (const CompiledState& state : states) {
+      if (state.name == name) {
+        return &state;
+      }
+    }
+    return nullptr;
   }
 };
 
@@ -229,8 +236,12 @@ struct MonitorDecl {
 
   [[nodiscard]] const CompiledMonitorState* FindState(
       const std::string& name) const {
-    const auto it = by_name.find(name);
-    return it == by_name.end() ? nullptr : &states[it->second];
+    for (const CompiledMonitorState& state : states) {
+      if (state.name == name) {
+        return &state;
+      }
+    }
+    return nullptr;
   }
 };
 
@@ -274,6 +285,23 @@ struct SharesStateDecls : std::true_type {};
 template <typename M>
 struct SharesStateDecls<M, std::void_t<decltype(M::kShareStateDecls)>>
     : std::bool_constant<M::kShareStateDecls> {};
+
+/// Whether machine/monitor type M supports Runtime execution recycling
+/// (Runtime::ResetForNextExecution). Opt-IN — the inverse polarity of
+/// SharesStateDecls — because reuse is only sound for a type whose author
+/// has audited its members: everything that changes during an execution
+/// must be restored by Machine::ResetForReuse's built-in wipe plus the
+/// type's OnReset() hook. A type declares
+///   static constexpr bool kReusableRuntime = true;
+/// to participate; a Runtime is recyclable only if EVERY machine and
+/// monitor created at harness time declared it (mid-execution machines are
+/// simply truncated at reset). Unmarked types silently keep the
+/// build-per-execution path, exactly as before.
+template <typename M, typename = void>
+struct ReusableRuntime : std::false_type {};
+template <typename M>
+struct ReusableRuntime<M, std::void_t<decltype(M::kReusableRuntime)>>
+    : std::bool_constant<M::kReusableRuntime> {};
 
 /// Debug-build tripwire for the sharing contract: verifies that a later
 /// instance's freshly built declarations structurally match the shared

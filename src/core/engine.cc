@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/strategy_registry.h"
+#include "core/event_arena.h"
 #include "corpus/trace_corpus.h"
 #include "obs/campaign.h"
 
@@ -144,9 +145,13 @@ RuntimeOptions MakeRuntimeOptions(const TestConfig& config, bool logging) {
   return options;
 }
 
-bool StepToCompletion(Runtime& runtime, const Harness& harness,
-                      std::uint64_t max_steps) {
-  harness(runtime);
+namespace {
+
+/// The scheduling loop of StepToCompletion, entered AFTER the world is set
+/// up — by the harness on a fresh Runtime, or by ResetForNextExecution on a
+/// recycled one. Both entry points run the identical loop so recycling
+/// cannot change semantics.
+bool StepFromSetup(Runtime& runtime, std::uint64_t max_steps) {
   while (runtime.Steps() < max_steps) {
     if (!runtime.Step()) {
       runtime.CheckTermination(/*hit_bound=*/false);
@@ -157,20 +162,16 @@ bool StepToCompletion(Runtime& runtime, const Harness& harness,
   return true;
 }
 
-namespace {
-
-/// Stateful variant of StepToCompletion: after every step the post-step
+/// Stateful variant of StepFromSetup: after every step the post-step
 /// fingerprint is recorded in `visited`; once the execution has spent
 /// kFingerprintPruneRun consecutive steps in already-visited states it is
 /// pruned (result.pruned) — the schedule has reconverged to territory a
 /// prior execution already explored. Pruned executions skip the quiescence /
 /// bounded-liveness property checks: they did not actually terminate.
-bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
-                              std::uint64_t max_steps,
-                              std::uint64_t prune_run,
-                              std::uint64_t prune_holdoff, VisitedSet& visited,
-                              ExecutionResult& result) {
-  harness(runtime);
+bool StepFromSetupStateful(Runtime& runtime, std::uint64_t max_steps,
+                           std::uint64_t prune_run,
+                           std::uint64_t prune_holdoff, VisitedSet& visited,
+                           ExecutionResult& result) {
   // The post-setup initial state counts as visited too (every execution of a
   // deterministic harness revisits it), but never prunes by itself: the
   // known-run counter only accumulates across scheduling steps.
@@ -204,7 +205,23 @@ bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
   return true;
 }
 
+bool StepToCompletionStateful(Runtime& runtime, const Harness& harness,
+                              std::uint64_t max_steps,
+                              std::uint64_t prune_run,
+                              std::uint64_t prune_holdoff, VisitedSet& visited,
+                              ExecutionResult& result) {
+  harness(runtime);
+  return StepFromSetupStateful(runtime, max_steps, prune_run, prune_holdoff,
+                               visited, result);
+}
+
 }  // namespace
+
+bool StepToCompletion(Runtime& runtime, const Harness& harness,
+                      std::uint64_t max_steps) {
+  harness(runtime);
+  return StepFromSetup(runtime, max_steps);
+}
 
 ExecutionResult RunOneExecution(const TestConfig& config,
                                 const Harness& harness,
@@ -252,6 +269,127 @@ ExecutionResult RunOneExecution(const TestConfig& config,
   return result;
 }
 
+ExecutionRunner::ExecutionRunner(const TestConfig& config,
+                                 const Harness& harness,
+                                 SchedulingStrategy& strategy,
+                                 obs::WorkerObs* obs)
+    : config_(config),
+      harness_(harness),
+      strategy_(strategy),
+      obs_(obs),
+      options_(MakeRuntimeOptions(config, /*logging=*/false)),
+      arena_(std::make_unique<detail::EventArena>()) {
+  if (obs_ != nullptr) {
+    options_.probe = &obs_->probe;
+  }
+}
+
+ExecutionRunner::~ExecutionRunner() { DropRecycledRuntime(); }
+
+void ExecutionRunner::DropRecycledRuntime() {
+  if (runtime_ == nullptr) {
+    return;
+  }
+  // The sealed setup prototypes are heap/pool-backed and must see REAL
+  // deletes, so they are extracted first and die after the disarm below.
+  // Everything else the runtime still holds (queued events, coroutine-held
+  // events) is arena-backed, so the runtime itself must die while the arena
+  // is armed — those deletes have to no-op.
+  std::vector<std::unique_ptr<const Event>> prototypes =
+      runtime_->TakeSetupPrototypes();
+  {
+    const detail::ScopedEventArenaArm arm(arena_.get());
+    runtime_.reset();
+  }
+  prototypes.clear();
+  arena_->ResetEpoch();
+}
+
+void ExecutionRunner::RunBody(Runtime& runtime, bool run_harness,
+                              bool try_seal, ExecutionResult& result,
+                              VisitedSet* visited) {
+  try {
+    if (run_harness) {
+      harness_(runtime);
+    }
+    if (try_seal) {
+      // Seal AFTER the harness (the setup events to snapshot exist now) and
+      // BEFORE the first step (ResetForNextExecution rebuilds exactly the
+      // post-harness world). Logging runs keep per-execution "create" log
+      // lines that a reset would not reproduce, so they never recycle.
+      mode_ = (!options_.logging && runtime.SealForReuse()) ? Mode::kRecycling
+                                                            : Mode::kFresh;
+    }
+    if (config_.stateful && visited != nullptr) {
+      result.hit_step_bound = StepFromSetupStateful(
+          runtime, config_.max_steps, config_.prune_run,
+          strategy_.PruneHoldoffSteps(), *visited, result);
+    } else {
+      result.hit_step_bound = StepFromSetup(runtime, config_.max_steps);
+    }
+  } catch (const BugFound& bug) {
+    result.bug_found = true;
+    result.bug_kind = bug.Kind();
+    result.bug_message = bug.what();
+  }
+  result.steps = runtime.Steps();
+  result.faults = runtime.GetFaultStats();
+  if (obs_ != nullptr) {
+    // Flush while the runtime is still alive: coverage walks its machines.
+    obs_->FlushExecution(runtime, result, visited);
+  }
+  result.trace = runtime.TakeTrace();
+  if (config_.stateful && config_.record_fingerprint_trail) {
+    result.fingerprint_trail = runtime.TakeFingerprintTrail();
+  }
+}
+
+ExecutionResult ExecutionRunner::RunOne(std::uint64_t iteration,
+                                        VisitedSet* visited) {
+  ExecutionResult result;
+  if (config_.fault_placement_points > 0) {
+    strategy_.SetFaultPlacementPoints(config_.fault_placement_points);
+  }
+  strategy_.PrepareIteration(iteration, config_.max_steps);
+  if (obs_ != nullptr) {
+    obs_->BeginExecution();
+  }
+  switch (mode_) {
+    case Mode::kRecycling: {
+      const detail::ScopedEventArenaArm arm(arena_.get());
+      runtime_->ResetForNextExecution(arena_.get());
+      RunBody(*runtime_, /*run_harness=*/false, /*try_seal=*/false, result,
+              visited);
+      return result;
+    }
+    case Mode::kProbing: {
+      if (arena_ == nullptr) {
+        arena_ = std::make_unique<detail::EventArena>();
+      }
+      {
+        // Armed optimistically: if the seal succeeds this execution's live
+        // events are already arena-backed, exactly like every later one.
+        const detail::ScopedEventArenaArm arm(arena_.get());
+        runtime_ = std::make_unique<Runtime>(strategy_, options_);
+        RunBody(*runtime_, /*run_harness=*/true, /*try_seal=*/true, result,
+                visited);
+      }
+      if (mode_ != Mode::kRecycling) {
+        // Opted out (or the harness itself threw, leaving mode_ at kProbing
+        // to retry the seal next time): this probe's runtime dies with its
+        // arena, and later executions take the fresh/pool path below.
+        DropRecycledRuntime();
+      }
+      return result;
+    }
+    case Mode::kFresh:
+      break;
+  }
+  Runtime runtime(strategy_, options_);
+  RunBody(runtime, /*run_harness=*/true, /*try_seal=*/false, result, visited);
+  return result;
+}
+
 TestingEngine::TestingEngine(TestConfig config, Harness harness)
     : config_(std::move(config)), harness_(std::move(harness)) {}
 
@@ -268,6 +406,11 @@ TestReport TestingEngine::Run() {
         std::make_unique<obs::WorkerObs>(*metrics_, /*worker_index=*/0,
                                          coverage_);
   }
+  // One recycled Runtime serves the whole budget when the harness opted in
+  // (kReusableRuntime); otherwise the runner transparently builds a fresh
+  // Runtime per iteration, exactly the old loop. Declared after strategy /
+  // worker_obs: the runner borrows both and must die first.
+  ExecutionRunner runner(config_, harness_, *strategy, worker_obs.get());
   const auto start = Clock::now();
 
   for (std::uint64_t iteration = 0; iteration < config_.iterations;
@@ -277,9 +420,7 @@ TestReport TestingEngine::Run() {
       break;
     }
     ++report.executions;
-    ExecutionResult result =
-        RunOneExecution(config_, harness_, *strategy, iteration, visited_ptr,
-                        worker_obs.get());
+    ExecutionResult result = runner.RunOne(iteration, visited_ptr);
     report.total_steps += result.steps;
     if (config_.stateful) {
       report.fingerprint_hits += result.fingerprint_hits;

@@ -268,6 +268,66 @@ ExecutionResult RunOneExecution(const TestConfig& config,
                                 VisitedSet* visited = nullptr,
                                 obs::WorkerObs* obs = nullptr);
 
+/// Thread-affine execution recycler (ROADMAP "Raw speed: reuse everything
+/// across executions"): the stateful replacement for calling RunOneExecution
+/// in a loop. The first RunOne builds the Runtime and runs the harness as
+/// usual, then tries Runtime::SealForReuse. If every harness machine/monitor
+/// opted in (kReusableRuntime), the SAME Runtime serves every later
+/// execution via ResetForNextExecution, with events bump-allocated from an
+/// execution-scoped arena that rewinds between executions — no
+/// construction, no per-event frees, no trace reallocation. Otherwise the
+/// runner silently falls back to a fresh Runtime per execution on the
+/// thread-local event pool, bit-for-bit the pre-existing path. Results are
+/// identical either way: golden traces, fingerprints and RNG streams do not
+/// depend on which path ran (tests/core_recycle_test.cc pins this).
+///
+/// One runner per thread; it borrows config/harness/strategy/obs, which
+/// must outlive it. Replay never recycles (TestingEngine::Replay builds its
+/// own Runtime), so witness reproduction is untouched.
+class ExecutionRunner {
+ public:
+  ExecutionRunner(const TestConfig& config, const Harness& harness,
+                  SchedulingStrategy& strategy, obs::WorkerObs* obs);
+  ~ExecutionRunner();
+  ExecutionRunner(const ExecutionRunner&) = delete;
+  ExecutionRunner& operator=(const ExecutionRunner&) = delete;
+
+  /// Runs one execution for the 0-based `iteration` — drop-in for
+  /// RunOneExecution with this runner's bound config/harness/strategy/obs.
+  ExecutionResult RunOne(std::uint64_t iteration, VisitedSet* visited);
+
+  /// Whether the runner is currently recycling one sealed Runtime (false
+  /// until the first RunOne, and permanently false after a fallback).
+  [[nodiscard]] bool Recycling() const noexcept {
+    return mode_ == Mode::kRecycling;
+  }
+
+ private:
+  enum class Mode : std::uint8_t {
+    kProbing,    ///< first execution: build, run, try to seal
+    kRecycling,  ///< sealed: reset-and-reuse with the arena armed
+    kFresh,      ///< opted out: fresh Runtime per execution, pool path
+  };
+
+  /// harness (optional) + seal attempt (optional) + step loop + result
+  /// assembly, exactly mirroring RunOneExecution's order.
+  void RunBody(Runtime& runtime, bool run_harness, bool try_seal,
+               ExecutionResult& result, VisitedSet* visited);
+  /// Destroys the recycled Runtime while its arena is armed (arena-backed
+  /// event deletes must no-op), freeing the heap-backed setup prototypes
+  /// after disarming, then rewinds the arena.
+  void DropRecycledRuntime();
+
+  const TestConfig& config_;
+  const Harness& harness_;
+  SchedulingStrategy& strategy_;
+  obs::WorkerObs* obs_;
+  RuntimeOptions options_;  ///< built once; probe wired at construction
+  std::unique_ptr<detail::EventArena> arena_;
+  std::unique_ptr<Runtime> runtime_;  ///< the recycled Runtime (kRecycling)
+  Mode mode_ = Mode::kProbing;
+};
+
 /// Systematic testing engine. Thread-compatible; one engine per thread.
 class TestingEngine {
  public:

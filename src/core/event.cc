@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "core/event_arena.h"
+
 #if defined(__GNUG__)
 #include <cxxabi.h>
 #endif
@@ -74,6 +76,73 @@ std::unique_ptr<const Event> CloneEvent(const Event& ev) {
   return fn != nullptr ? fn(ev) : nullptr;
 }
 
+namespace {
+
+// Trivially-destructible TLS (single fs-relative load, no init guard, no
+// teardown ordering hazard) — same scheme as g_event_pool below.
+thread_local EventArena* g_armed_arena = nullptr;
+thread_local EventAllocStats g_alloc_stats;
+
+}  // namespace
+
+EventAllocStats& ThreadEventAllocStats() noexcept { return g_alloc_stats; }
+
+EventArena* ArmedEventArena() noexcept { return g_armed_arena; }
+
+void* EventArena::Allocate(std::size_t size) {
+  size = (size + (kAlign - 1)) & ~(kAlign - 1);
+  epoch_bytes_ += size;
+  EventAllocStats& stats = g_alloc_stats;
+  ++stats.arena_allocations;
+  if (epoch_bytes_ > stats.arena_bytes_high_water) {
+    stats.arena_bytes_high_water = epoch_bytes_;
+  }
+  if (size > kChunkSize) [[unlikely]] {
+    // Dedicated chunk — the matching delete will no-op while armed, so a
+    // ::operator new fallback here would leak. The epoch rewind frees it.
+    Chunk chunk{std::make_unique<std::byte[]>(size), size};
+    void* ptr = chunk.data.get();
+    oversize_.push_back(std::move(chunk));
+    return ptr;
+  }
+  while (true) {
+    if (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      if (offset_ + size <= chunk.size) {
+        void* ptr = chunk.data.get() + offset_;
+        offset_ += size;
+        return ptr;
+      }
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(kChunkSize),
+                            kChunkSize});
+  }
+}
+
+void EventArena::ResetEpoch() noexcept {
+  current_ = 0;
+  offset_ = 0;
+  epoch_bytes_ = 0;
+  oversize_.clear();
+}
+
+ScopedEventArenaArm::ScopedEventArenaArm(EventArena* arena) noexcept
+    : previous_(g_armed_arena) {
+  g_armed_arena = arena;
+}
+
+ScopedEventArenaArm::~ScopedEventArenaArm() { g_armed_arena = previous_; }
+
+ScopedEventArenaPause::ScopedEventArenaPause() noexcept
+    : previous_(g_armed_arena) {
+  g_armed_arena = nullptr;
+}
+
+ScopedEventArenaPause::~ScopedEventArenaPause() { g_armed_arena = previous_; }
+
 }  // namespace detail
 
 namespace {
@@ -129,6 +198,14 @@ EventPool* InitEventPool() {
 }  // namespace
 
 void* Event::operator new(std::size_t size) {
+  // Execution-scoped arena (armed by ExecutionRunner while a recycled
+  // Runtime runs one execution): bump-allocate, reclaim in bulk at the
+  // execution-end epoch rewind. See core/event_arena.h.
+  if (detail::EventArena* arena = detail::ArmedEventArena();
+      arena != nullptr) {
+    return arena->Allocate(size);
+  }
+  detail::EventAllocStats& stats = detail::ThreadEventAllocStats();
   if (size <= kMaxPooledSize) {
     EventPool* pool = g_event_pool;
     if (pool == nullptr) [[unlikely]] {
@@ -140,15 +217,25 @@ void* Event::operator new(std::size_t size) {
       void* ptr = list.head;
       list.head = *static_cast<void**>(ptr);
       --list.count;
+      ++stats.pool_hits;
       return ptr;
     }
+    ++stats.pool_misses;
     return ::operator new((bin + 1) * kBinStep);
   }
+  ++stats.pool_misses;
   return ::operator new(size);
 }
 
 void Event::operator delete(void* ptr, std::size_t size) noexcept {
   if (ptr == nullptr) {
+    return;
+  }
+  // While an arena is armed, every live event on this thread is arena-backed
+  // (heap-backed survivors — the sealed setup prototypes — are only freed
+  // after disarming, see Runtime::TakeSetupPrototypes). Freeing is the epoch
+  // rewind's job; individual deletes are no-ops.
+  if (detail::ArmedEventArena() != nullptr) {
     return;
   }
   EventPool* pool = g_event_pool;

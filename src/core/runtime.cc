@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/event_arena.h"
 #include "obs/probe.h"
 
 namespace systest {
@@ -372,6 +373,35 @@ void Machine::DoCrash() {
   }
 }
 
+void Machine::ResetForReuse() {
+  // The DoCrash wipe, generalized to EVERY flag and counter an execution can
+  // have touched — including state a BugFound unwind may have left half-set
+  // (pending raise/goto, a suspended coroutine, a fulfilled receive).
+  queue_.Clear();
+  current_event_.reset();
+  received_.reset();
+  waiting_types_.clear();
+  root_task_ = Task();  // destroys a suspended coroutine frame, if any
+  resume_point_ = {};
+  pending_raise_.reset();
+  pending_goto_.reset();
+  pending_halt_ = false;
+  started_ = false;
+  halted_ = false;
+  crashed_ = false;
+  partitioned_ = false;
+  current_state_ = nullptr;
+  enabled_cache_ = false;
+  enabled_dirty_ = true;
+  fp_dirty_ = false;
+  restart_count_ = 0;
+  transitions_taken_ = 0;
+  std::fill(state_visits_.begin(), state_visits_.end(), 0);
+  // crashable_/partitionable_ are restored by the runtime from the sealed
+  // baseline (it maintains the world-level opt-in counters).
+  OnReset();
+}
+
 void Machine::DoRestart() {
   crashed_ = false;
   ++restart_count_;
@@ -443,6 +473,13 @@ void Monitor::FailAssert(const std::string& message) {
 }
 
 void Monitor::Start() { Goto(start_state_); }
+
+void Monitor::ResetForReuse() {
+  current_state_ = nullptr;
+  hot_steps_ = 0;
+  transitions_taken_ = 0;
+  OnReset();
+}
 
 void Monitor::HandleNotification(const Event& event) {
   if (current_state_ == nullptr) {
@@ -1132,6 +1169,125 @@ void Runtime::CheckTermination(bool hit_bound) {
               " consecutive steps of a bounded-infinite execution");
     }
   }
+}
+
+bool Runtime::SealForReuse() {
+  if (sealed_) {
+    return true;
+  }
+  if (steps_ != 0 || !trace_.Empty()) {
+    return false;  // stepping (or a nondet choice) already happened
+  }
+  for (const auto& machine : machines_) {
+    if (!machine->reusable_) {
+      return false;
+    }
+  }
+  for (const auto& monitor : monitors_) {
+    if (!monitor->reusable_) {
+      return false;
+    }
+  }
+  // The prototypes must survive every arena epoch of the recycled runtime's
+  // lifetime, so they are cloned with the arena disarmed (heap/pool-backed,
+  // real deletes). The pause outlives `setup` so the partial clones of a
+  // failure return are really freed, not arena-no-op'd.
+  const detail::ScopedEventArenaPause pause;
+  std::vector<SetupEvent> setup;
+  for (const auto& machine : machines_) {
+    for (const auto& ev : machine->queue_) {
+      std::unique_ptr<const Event> clone = detail::CloneEvent(*ev);
+      if (clone == nullptr) {
+        return false;  // uncloneable setup event: stay on the fresh path
+      }
+      setup.push_back(SetupEvent{machine->id_, std::move(clone)});
+    }
+  }
+  setup_events_ = std::move(setup);
+  sealed_machines_ = machines_.size();
+  sealed_monitors_ = monitors_.size();
+  sealed_fp_probes_ = fp_probes_.size();
+  sealed_monitors_by_id_ = monitors_by_id_;
+  sealed_crashable_.resize(machines_.size());
+  sealed_partitionable_.resize(machines_.size());
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    sealed_crashable_[i] = machines_[i]->crashable_ ? 1 : 0;
+    sealed_partitionable_[i] = machines_[i]->partitionable_ ? 1 : 0;
+  }
+  sealed_ = true;
+  return true;
+}
+
+void Runtime::ResetForNextExecution(detail::EventArena* arena) {
+  assert(sealed_);
+  // Machines/monitors/probes created mid-execution are dropped; ids restart
+  // at the sealed count, so the next execution assigns identical ids to
+  // identical Create calls.
+  machines_.resize(sealed_machines_);
+  monitors_.resize(sealed_monitors_);
+  fp_probes_.resize(sealed_fp_probes_);
+  monitors_by_id_ = sealed_monitors_by_id_;
+  crashable_machines_ = 0;
+  partitionable_machines_ = 0;
+  crashed_machines_ = 0;
+  partitioned_machines_ = 0;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    Machine& machine = *machines_[i];
+    machine.ResetForReuse();
+    machine.crashable_ = sealed_crashable_[i] != 0;
+    machine.partitionable_ = sealed_partitionable_[i] != 0;
+    crashable_machines_ += machine.crashable_ ? 1 : 0;
+    partitionable_machines_ += machine.partitionable_ ? 1 : 0;
+  }
+  steps_ = 0;
+  cascade_actions_ = 0;
+  delivery_seq_ = 0;
+  fault_stats_ = {};
+  log_.clear();
+  trace_.Clear();
+  // TakeTrace moved the decision storage away with the trace, so re-reserve
+  // exactly what the constructor did.
+  trace_.Reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(options_.max_steps, 4096)));
+  fp_trail_.clear();
+  if (options_.stateful) {
+    fp_contrib_.assign(machines_.size(), 0);
+    world_fp_ = 0;
+    fp_dirty_ids_.clear();
+    for (const auto& machine : machines_) {
+      MarkFingerprintDirty(*machine);
+    }
+  }
+  // Rewind the event epoch BEFORE re-delivering the setup prototypes: their
+  // clones must come out of the NEW epoch. Every event pointer the old epoch
+  // backed (queues, current events, coroutine-held events) was dropped by
+  // the wipes above, so nothing dangles.
+  if (arena != nullptr) {
+    arena->ResetEpoch();
+  }
+  for (const auto& monitor : monitors_) {
+    monitor->ResetForReuse();
+    monitor->Start();
+  }
+  // Re-deliver the sealed setup events, reproducing the harness's
+  // DeliverEvent side effects (probe delivery counts, fingerprint marks)
+  // bit-for-bit. sender == nullptr, so the fault plane never sees them —
+  // exactly like the original Runtime::SendEvent calls.
+  for (const auto& setup : setup_events_) {
+    DeliverEvent(setup.target, detail::CloneEvent(*setup.prototype), nullptr);
+  }
+}
+
+std::vector<std::unique_ptr<const Event>>
+Runtime::TakeSetupPrototypes() noexcept {
+  std::vector<std::unique_ptr<const Event>> prototypes;
+  prototypes.reserve(setup_events_.size());
+  for (SetupEvent& setup : setup_events_) {
+    prototypes.push_back(std::move(setup.prototype));
+  }
+  setup_events_.clear();
+  sealed_ = false;
+  return prototypes;
 }
 
 Runtime::Stats Runtime::GetStats() const {

@@ -55,6 +55,10 @@ namespace obs {
 struct ExecutionProbe;  // obs/probe.h — per-execution instrumentation sink
 }  // namespace obs
 
+namespace detail {
+class EventArena;  // core/event_arena.h — execution-scoped event storage
+}  // namespace detail
+
 /// Fluent builder used in machine constructors to declare a state's behavior.
 /// Inert (decl_ == nullptr) when the machine type's declarations are already
 /// compiled — see core/decl.h.
@@ -340,6 +344,18 @@ class Machine {
   /// hold whatever OnCrash left — i.e. the durable state. Default: nothing.
   virtual void OnRestart() {}
 
+  // ---- Execution-recycling hook ----
+
+  /// Invoked by Runtime::ResetForNextExecution AFTER the built-in wipe
+  /// (queue, control state, receive/coroutine state, fault flags — see
+  /// ResetForReuse) so the type restores any member the constructor would
+  /// have initialized: counters back to their initial values, containers
+  /// cleared, cached ids of mid-execution machines dropped. Only called for
+  /// types that declared `static constexpr bool kReusableRuntime = true`
+  /// (detail::ReusableRuntime); the default suits types whose members are
+  /// either constant after construction or fully covered by the wipe.
+  virtual void OnReset() {}
+
  private:
   friend class Runtime;
   template <typename E>
@@ -396,6 +412,11 @@ class Machine {
   /// Fault plane: clears crashed_ and re-arms the start state; the start
   /// entry runs when the machine is next scheduled.
   void DoRestart();
+  /// Execution recycling: wipes everything an execution mutates (the DoCrash
+  /// wipe, generalized — all control flags, receive state, counters,
+  /// coverage) back to the just-attached baseline, then runs OnReset so the
+  /// type restores its own members. Called only on kReusableRuntime types.
+  void ResetForReuse();
   const detail::CompiledState& FindState(const std::string& name) const;
   [[nodiscard]] bool HasMatchingQueuedEvent() const;
 
@@ -435,6 +456,7 @@ class Machine {
   bool enabled_dirty_ = true;
   bool fp_dirty_ = false;  // queued for contribution rehash (stateful only)
   bool logging_ = false;  // Runtime's options_.logging, cached at attach
+  bool reusable_ = false;  // type declared kReusableRuntime (set at create)
 
   std::uint64_t restart_count_ = 0;
   std::uint64_t transitions_taken_ = 0;
@@ -590,6 +612,12 @@ class Monitor {
 
   [[nodiscard]] Runtime& Rt();
 
+  /// Execution-recycling hook, mirroring Machine::OnReset: restore any
+  /// member the constructor initialized. The built-in wipe already clears
+  /// the control state and hot-steps counter; the runtime re-runs Start()
+  /// afterwards.
+  virtual void OnReset() {}
+
  private:
   friend class Runtime;
 
@@ -597,6 +625,9 @@ class Monitor {
 
   void Start();
   void HandleNotification(const Event& event);
+  /// Execution recycling: back to the just-registered baseline (the runtime
+  /// calls Start() again afterwards). Called only on kReusableRuntime types.
+  void ResetForReuse();
   const detail::CompiledMonitorState& FindState(const std::string& name) const;
 
   Runtime* runtime_ = nullptr;
@@ -609,6 +640,7 @@ class Monitor {
   const detail::CompiledMonitorState* current_state_ = nullptr;
   std::uint64_t hot_steps_ = 0;
   std::uint64_t transitions_taken_ = 0;
+  bool reusable_ = false;  // type declared kReusableRuntime (set at register)
 };
 
 /// Options controlling one serialized execution.
@@ -730,6 +762,7 @@ class Runtime {
       machine = std::make_unique<M>(std::forward<Args>(args)...);
       machine->share_decls_ = false;
     }
+    machine->reusable_ = detail::ReusableRuntime<M>::value;
     return Attach(std::move(machine), std::move(debug_name));
   }
 
@@ -760,6 +793,7 @@ class Runtime {
       monitor = std::make_unique<M>(std::forward<Args>(args)...);
       monitor->share_decls_ = false;
     }
+    monitor->reusable_ = detail::ReusableRuntime<M>::value;
     M& ref = *monitor;
     AttachMonitor(std::move(monitor), std::move(debug_name),
                   MonitorTypeIdOf<M>());
@@ -869,6 +903,36 @@ class Runtime {
   [[nodiscard]] std::vector<Fingerprint> TakeFingerprintTrail() noexcept {
     return std::move(fp_trail_);
   }
+
+  // ---- Execution recycling (see README "Performance") ----
+
+  /// Seals the post-harness/pre-step world as the reuse baseline. Succeeds
+  /// (and returns true) only when no step has run, no decision was recorded,
+  /// every machine and monitor came from a kReusableRuntime type, and every
+  /// queued setup event is cloneable — otherwise the runtime stays on the
+  /// build-per-execution path and this returns false. Engines call it once
+  /// after the first harness run; a sealed runtime can then serve the whole
+  /// budget through ResetForNextExecution.
+  bool SealForReuse();
+  [[nodiscard]] bool SealedForReuse() const noexcept { return sealed_; }
+
+  /// Wipes the world back to the sealed baseline IN PLACE: mid-execution
+  /// machines/monitors/probes are dropped, surviving machines get the
+  /// DoCrash-style wipe plus their OnReset hook, fault/partition opt-ins and
+  /// counters are restored, the trace/log/fingerprint/fault state is
+  /// cleared, `arena` (when non-null) rewinds its event epoch, monitors
+  /// restart, and the sealed setup events are re-delivered — reproducing the
+  /// harness's deliveries (probe counts, fingerprint marks) bit-for-bit.
+  /// Safe after ANY execution outcome, including a BugFound unwind.
+  void ResetForNextExecution(detail::EventArena* arena);
+
+  /// Moves the sealed setup-event prototypes out and unseals. The prototypes
+  /// are heap-backed (cloned under ScopedEventArenaPause), so a caller about
+  /// to destroy a recycled Runtime while its arena is armed — making every
+  /// other Event delete a no-op — must free them AFTER disarming, by taking
+  /// them first and letting the returned vector die on the pool path.
+  [[nodiscard]] std::vector<std::unique_ptr<const Event>>
+  TakeSetupPrototypes() noexcept;
 
   [[nodiscard]] const Trace& GetTrace() const noexcept { return trace_; }
   /// Moves the recorded decision trace out of a runtime that is about to be
@@ -1013,6 +1077,22 @@ class Runtime {
   std::vector<MachineId> restart_scratch_;    // restart candidates, reused
   std::vector<MachineId> partition_scratch_;  // partition candidates, reused
   std::vector<MachineId> heal_scratch_;       // heal candidates, reused
+  // Execution-recycling seal (SealForReuse / ResetForNextExecution): the
+  // post-harness baseline a reset restores. Prototypes are heap-backed
+  // clones (taken under ScopedEventArenaPause) so they survive every arena
+  // epoch; per-execution clones of them are re-delivered at each reset.
+  struct SetupEvent {
+    MachineId target;
+    std::unique_ptr<const Event> prototype;
+  };
+  bool sealed_ = false;
+  std::size_t sealed_machines_ = 0;
+  std::size_t sealed_monitors_ = 0;
+  std::size_t sealed_fp_probes_ = 0;
+  std::vector<Monitor*> sealed_monitors_by_id_;
+  std::vector<SetupEvent> setup_events_;
+  std::vector<std::uint8_t> sealed_crashable_;      // per sealed machine
+  std::vector<std::uint8_t> sealed_partitionable_;  // per sealed machine
 };
 
 // ---- Machine members that need Runtime's definition ----

@@ -5,6 +5,7 @@ namespace systest {
 TimerMachine::TimerMachine(MachineId target, std::uint64_t max_rounds,
                            std::uint64_t tag)
     : target_(target),
+      initial_rounds_(max_rounds),
       rounds_left_(max_rounds),
       unbounded_(max_rounds == 0),
       tag_(tag) {

@@ -49,16 +49,24 @@ struct CancelTimer final : Event {};
 /// paper's "bounded infinite execution" regime for liveness checking).
 class TimerMachine final : public Machine {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   TimerMachine(MachineId target, std::uint64_t max_rounds,
                std::uint64_t tag = 0);
 
  private:
+  void OnReset() override {
+    rounds_left_ = initial_rounds_;
+    consecutive_skips_ = 0;
+  }
+
   void OnStart();
   void OnRound();
   void OnAck();
   void OnCancel();
 
   MachineId target_;
+  std::uint64_t initial_rounds_;
   std::uint64_t rounds_left_;
   bool unbounded_;
   std::uint64_t tag_;

@@ -107,8 +107,8 @@ ParallelTestReport ParallelTestingEngine::Run() {
 
     // Each worker owns a private strategy seeded from its assignment, and
     // every Runtime it builds is thread-local: workers share nothing but the
-    // atomics above. RunOneExecution only consumes the execution bounds from
-    // the config; all seeding flows through the strategy.
+    // atomics above (and, under stateful, the sharded visited set). All
+    // seeding flows through the strategy.
     const auto strategy = StrategyRegistry::Instance().Create(
         assignment.strategy, assignment.seed, assignment.strategy_budget);
     wr.strategy_name = strategy->Name();
@@ -134,6 +134,12 @@ ParallelTestReport ParallelTestingEngine::Run() {
           *options_.metrics, static_cast<std::size_t>(w), options_.coverage);
     }
 
+    // Thread-affine recycler: one sealed Runtime (and one event arena) per
+    // worker for its whole assignment when the harness opted in. Declared
+    // after strategy / worker_config / worker_obs — it borrows all three.
+    ExecutionRunner runner(worker_config, harness_, *strategy,
+                           worker_obs.get());
+
     const auto worker_start = Clock::now();
     for (std::uint64_t i = 0; i < assignment.iterations; ++i) {
       if (stop.load(std::memory_order_relaxed)) break;
@@ -141,9 +147,7 @@ ParallelTestReport ParallelTestingEngine::Run() {
           SecondsSince(start) >= config_.time_budget_seconds) {
         break;
       }
-      ExecutionResult result =
-          RunOneExecution(worker_config, harness_, *strategy, i, visited.get(),
-                          worker_obs.get());
+      ExecutionResult result = runner.RunOne(i, visited.get());
       ++wr.executions;
       wr.steps += result.steps;
       if (config_.stateful) {

@@ -12,6 +12,8 @@ namespace {
 /// Liveness monitor: hot until the scenario's final check completes.
 class ScenarioLivenessMonitor final : public systest::Monitor {
  public:
+  static constexpr bool kReusableRuntime = true;  // stateless beyond control state
+
   ScenarioLivenessMonitor() {
     State("Running").Hot().On<NotifyScenarioDone>(&ScenarioLivenessMonitor::OnDone);
     State("Done").Cold().Ignore<NotifyScenarioDone>();
@@ -63,6 +65,11 @@ class CounterClientMachine final : public systest::Machine {
 /// modeled timer, then audits convergence.
 class FailoverDriverMachine final : public systest::Machine {
  public:
+  /// Execution recycling: the cluster, client and timer are created
+  /// mid-execution (truncated by the reset); only the driver's counters
+  /// need restoring.
+  static constexpr bool kReusableRuntime = true;
+
   explicit FailoverDriverMachine(FailoverOptions options) : options_(options) {
     State("Driving")
         .OnEntry(&FailoverDriverMachine::OnStart)
@@ -74,6 +81,17 @@ class FailoverDriverMachine final : public systest::Machine {
   }
 
  private:
+  void OnReset() override {
+    cluster_ = {};
+    failure_timer_ = {};
+    failures_injected_ = 0;
+    repairs_done_ = 0;
+    client_done_ = false;
+    audit_sent_ = false;
+    audit_reports_ = 0;
+    expected_total_ = 0;
+  }
+
   void OnStart() {
     cluster_ = Create<FabricClusterMachine>("FabricCluster", options_.replicas,
                                             options_.bugs, Id());
@@ -144,6 +162,8 @@ class FailoverDriverMachine final : public systest::Machine {
 /// acknowledged total.
 class ReconfigDriverMachine final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   explicit ReconfigDriverMachine(ReconfigOptions options) : options_(options) {
     State("Driving")
         .OnEntry(&ReconfigDriverMachine::OnStart)
@@ -155,6 +175,15 @@ class ReconfigDriverMachine final : public systest::Machine {
   }
 
  private:
+  void OnReset() override {
+    cluster_ = {};
+    reconfig_done_ = options_.added_nodes == 0;
+    client_done_ = false;
+    audit_sent_ = false;
+    audit_reports_ = 0;
+    expected_total_ = 0;
+  }
+
   void OnStart() {
     cluster_ = Create<FabricClusterMachine>(
         "FabricCluster", options_.replicas, options_.bugs, Id(),
@@ -238,6 +267,8 @@ class ConfigDeployerMachine final : public systest::Machine {
 /// the upstream records, and checks the final aggregate.
 class PipelineDriverMachine final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;  // options_ is const-after-ctor
+
   explicit PipelineDriverMachine(PipelineOptions options) : options_(options) {
     State("Driving")
         .OnEntry(&PipelineDriverMachine::OnStart)

@@ -17,6 +17,11 @@ namespace {
 /// behind (the protocol's idempotence is exactly what this scenario tests).
 class CompletionDriver final : public systest::Machine {
  public:
+  /// Execution recycling: the services and the migrator are created
+  /// mid-execution (in OnStart), so the reset truncates them away — only this
+  /// driver's own bookkeeping needs restoring.
+  static constexpr bool kReusableRuntime = true;
+
   CompletionDriver(systest::MachineId tables, MigrationHarnessOptions options)
       : tables_(tables), options_(std::move(options)),
         services_left_(options_.num_services) {
@@ -29,6 +34,12 @@ class CompletionDriver final : public systest::Machine {
   }
 
  private:
+  void OnReset() override {
+    services_.clear();
+    services_left_ = options_.num_services;
+    migration_done_ = false;
+  }
+
   void OnStart() {
     for (int i = 0; i < options_.num_services; ++i) {
       ServiceOptions service_options;

@@ -12,6 +12,8 @@ namespace mtable {
 /// blocked on a backend response.
 class MigrationLivenessMonitor final : public systest::Monitor {
  public:
+  static constexpr bool kReusableRuntime = true;  // stateless beyond control state
+
   MigrationLivenessMonitor() {
     State("Running").Hot().On<NotifyVerified>(&MigrationLivenessMonitor::OnDone);
     State("Done").Cold().Ignore<NotifyVerified>();

@@ -19,8 +19,17 @@ using chaintable::TableKey;
 using chaintable::TableRow;
 using chaintable::WriteOp;
 
-TablesMachine::TablesMachine(std::vector<chaintable::TableRow> initial_rows) {
-  for (const TableRow& row : initial_rows) {
+TablesMachine::TablesMachine(std::vector<chaintable::TableRow> initial_rows)
+    : initial_rows_(std::move(initial_rows)) {
+  SeedInitialRows();
+  State("Serving")
+      .On<BackendRequest>(&TablesMachine::OnRequest)
+      .On<VerifyTables>(&TablesMachine::OnVerify);
+  SetStart("Serving");
+}
+
+void TablesMachine::SeedInitialRows() {
+  for (const TableRow& row : initial_rows_) {
     WriteOp op;
     op.kind = chaintable::WriteKind::kInsert;
     op.row = row;
@@ -30,10 +39,18 @@ TablesMachine::TablesMachine(std::vector<chaintable::TableRow> initial_rows) {
     (void)rt_result;
     history_[row.key].push_back(HistoryEntry{0, row.properties});
   }
-  State("Serving")
-      .On<BackendRequest>(&TablesMachine::OnRequest)
-      .On<VerifyTables>(&TablesMachine::OnVerify);
-  SetStart("Serving");
+}
+
+void TablesMachine::OnReset() {
+  old_.Reset(1, 3);
+  new_.Reset(2, 3);
+  rt_.Reset(3, 3);
+  rt_slots_.clear();
+  seq_ = 0;
+  history_.clear();
+  streams_.clear();
+  verified_ = false;
+  SeedInitialRows();
 }
 
 BackendResult TablesMachine::ExecuteOn(chaintable::IChainTable& table,

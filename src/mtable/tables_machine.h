@@ -46,6 +46,11 @@ namespace mtable {
 
 class TablesMachine final : public systest::Machine {
  public:
+  /// Execution recycling: everything an execution mutates (the three tables,
+  /// the slot mirror, history, streams, logical time) is restored by OnReset,
+  /// which re-runs the constructor's seeding from the retained initial rows.
+  static constexpr bool kReusableRuntime = true;
+
   /// `initial_rows` are seeded into the old table and the RT before the
   /// execution starts (the pre-migration data set).
   explicit TablesMachine(std::vector<chaintable::TableRow> initial_rows);
@@ -75,6 +80,12 @@ class TablesMachine final : public systest::Machine {
   }
 
  private:
+  void OnReset() override;
+
+  /// Seeds `initial_rows_` into the old table, the RT and the history —
+  /// shared by the constructor and OnReset.
+  void SeedInitialRows();
+
   void OnRequest(const BackendRequest& request);
   void OnVerify(const VerifyTables& verify);
 
@@ -129,6 +140,9 @@ class TablesMachine final : public systest::Machine {
   std::map<std::uint64_t, StreamInfo> streams_;
 
   bool verified_ = false;
+
+  /// Retained for OnReset's re-seeding.
+  std::vector<chaintable::TableRow> initial_rows_;
 };
 
 }  // namespace mtable

@@ -37,6 +37,12 @@ CampaignMetrics::CampaignMetrics(MetricsRegistry& registry)
       fault_restarts(registry.GetCounter(names::kFaultRestarts)),
       fault_drops(registry.GetCounter(names::kFaultDrops)),
       fault_duplications(registry.GetCounter(names::kFaultDuplications)),
+      event_pool_hits(registry.GetCounter(names::kEventPoolHits)),
+      event_pool_misses(registry.GetCounter(names::kEventPoolMisses)),
+      event_arena_allocations(
+          registry.GetCounter(names::kEventArenaAllocations)),
+      event_arena_bytes_high_water(
+          registry.GetGauge(names::kEventArenaBytesHighWater)),
       enabled_set_size(registry.GetHistogram(
           names::kEnabledSetSize,
           Bounds(kEnabledSetBounds, kEnabledSetBucketCount - 1))),
@@ -81,6 +87,9 @@ WorkerObs::WorkerObs(CampaignMetrics& metrics, std::size_t worker_index,
       worker_executions(metrics.WorkerExecutions(worker_index)),
       coverage_enabled(coverage_enabled) {
   probe.coverage = coverage_enabled;
+  // Baseline for the first flush's delta. Engines construct the WorkerObs on
+  // the thread that runs its executions, so the TLS totals line up.
+  last_alloc_ = systest::detail::ThreadEventAllocStats();
 }
 
 void WorkerObs::BeginExecution() noexcept { probe.Reset(); }
@@ -120,6 +129,17 @@ void WorkerObs::FlushExecution(const Runtime& runtime,
       }
     }
   }
+  const systest::detail::EventAllocStats& alloc =
+      systest::detail::ThreadEventAllocStats();
+  metrics.event_pool_hits.Add(alloc.pool_hits - last_alloc_.pool_hits);
+  metrics.event_pool_misses.Add(alloc.pool_misses - last_alloc_.pool_misses);
+  metrics.event_arena_allocations.Add(alloc.arena_allocations -
+                                      last_alloc_.arena_allocations);
+  if (alloc.arena_bytes_high_water >
+      metrics.event_arena_bytes_high_water.Value()) {
+    metrics.event_arena_bytes_high_water.Set(alloc.arena_bytes_high_water);
+  }
+  last_alloc_ = alloc;
   if (visited != nullptr) {
     metrics.distinct_states.Set(visited->Size());
   }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "core/event_arena.h"  // standalone: EventAllocStats only
 #include "obs/coverage.h"
 #include "obs/metrics.h"
 #include "obs/probe.h"
@@ -41,6 +42,15 @@ inline constexpr const char* kFaultDrops = "faults.drops";
 inline constexpr const char* kFaultDuplications = "faults.duplications";
 inline constexpr const char* kEnabledSetSize = "enabled_set_size";
 inline constexpr const char* kExecutionSteps = "execution_steps";
+// Event allocator telemetry (core/event_arena.h): pool free-list hit/miss
+// split on the fresh path, arena bump-allocation volume on the recycled
+// path. A healthy recycled campaign shows arena allocations dominating and
+// pool misses flat after warmup.
+inline constexpr const char* kEventPoolHits = "event_pool.hits";
+inline constexpr const char* kEventPoolMisses = "event_pool.misses";
+inline constexpr const char* kEventArenaAllocations = "event_arena.allocations";
+inline constexpr const char* kEventArenaBytesHighWater =
+    "event_arena.bytes_high_water";
 /// Prefixes: "deliveries_by_type.<Event>" and "worker.<n>.executions".
 inline constexpr const char* kDeliveriesByTypePrefix = "deliveries_by_type.";
 inline constexpr const char* kWorkerPrefix = "worker.";
@@ -80,6 +90,11 @@ class CampaignMetrics {
   Counter& fault_restarts;
   Counter& fault_drops;
   Counter& fault_duplications;
+  Counter& event_pool_hits;
+  Counter& event_pool_misses;
+  Counter& event_arena_allocations;
+  /// Max single-execution arena footprint seen by any worker (bytes).
+  Gauge& event_arena_bytes_high_water;
   Histogram& enabled_set_size;
   Histogram& execution_steps;
   /// Fault placements by step decile, one histogram per kind; bucket index ==
@@ -125,6 +140,11 @@ struct WorkerObs {
   Counter& worker_executions;
   bool coverage_enabled = false;
   CoverageAccumulator coverage;
+  /// Thread-local allocator counters as of the previous flush; FlushExecution
+  /// publishes the delta, so per-execution cost is four subtractions (no
+  /// step-path instrumentation — the allocator already maintains the TLS
+  /// totals unconditionally).
+  systest::detail::EventAllocStats last_alloc_;
 };
 
 }  // namespace systest::obs

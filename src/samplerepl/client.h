@@ -16,6 +16,10 @@ namespace samplerepl {
 
 class ClientMachine final : public systest::Machine {
  public:
+  /// All data members are fixed at construction (Drive() keeps its mutable
+  /// state in coroutine locals, which the reset discards with the frame).
+  static constexpr bool kReusableRuntime = true;
+
   /// `timers` are the modeled sync timers; the client cancels them once all
   /// requests have been acknowledged so that correct executions quiesce
   /// (failed executions keep the timers running and hit the step bound, the

@@ -14,9 +14,17 @@ namespace samplerepl {
 /// nodes actually replicated the data.
 class ReplicaSafetyMonitor final : public systest::Monitor {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   explicit ReplicaSafetyMonitor(std::size_t replica_target);
 
  private:
+  void OnReset() override {
+    latest_value_ = 0;
+    have_request_ = false;
+    replicas_.clear();
+  }
+
   void OnClientReq(const NotifyClientReq& notification);
   void OnStored(const NotifyStored& notification);
   void OnNodeWiped(const NotifyNodeWiped& notification);
@@ -34,6 +42,8 @@ class ReplicaSafetyMonitor final : public systest::Monitor {
 /// execution) the client is blocked and the engine reports a liveness bug.
 class RequestLivenessMonitor final : public systest::Monitor {
  public:
+  static constexpr bool kReusableRuntime = true;  // stateless beyond control state
+
   RequestLivenessMonitor();
 
  private:

@@ -28,6 +28,8 @@ struct ServerBugs {
 
 class ServerMachine final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   ServerMachine(std::size_t replica_target, ServerBugs bugs);
 
   /// Stateful exploration payload: the replication protocol's semantic state
@@ -53,6 +55,15 @@ class ServerMachine final : public systest::Machine {
   };
 
  private:
+  void OnReset() override {
+    client_ = {};
+    nodes_.clear();
+    data_ = 0;
+    has_data_ = false;
+    num_replicas_ = 0;
+    replica_nodes_.clear();
+  }
+
   void OnConfig(const ConfigEvent& config);
   void OnClientReq(const ClientReq& request);
   void OnSync(const SyncEvent& sync);

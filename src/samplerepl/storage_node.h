@@ -16,6 +16,8 @@ namespace samplerepl {
 
 class StorageNodeMachine final : public systest::Machine {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   explicit StorageNodeMachine(systest::MachineId server);
 
   /// Stateful exploration payload: the node's semantic state is its log.
@@ -30,6 +32,11 @@ class StorageNodeMachine final : public systest::Machine {
   void OnCrash() override;
 
  private:
+  void OnReset() override {
+    log_value_ = 0;
+    empty_ = true;
+  }
+
   void OnReplReq(const ReplReq& request);
   void OnTimeout(const systest::TimerTick& tick);
 

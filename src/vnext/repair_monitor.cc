@@ -4,7 +4,8 @@ namespace vnext {
 
 RepairMonitor::RepairMonitor(std::size_t replica_target,
                              std::set<NodeId> initial_replicas)
-    : replica_target_(replica_target), replicas_(std::move(initial_replicas)) {
+    : replica_target_(replica_target), replicas_(std::move(initial_replicas)),
+      initial_replicas_(replicas_) {
   State("Repaired")
       .Cold()
       .On<ENFailedEvent>(&RepairMonitor::OnFailedWhileRepaired)

@@ -17,6 +17,8 @@ namespace vnext {
 
 class RepairMonitor final : public systest::Monitor {
  public:
+  static constexpr bool kReusableRuntime = true;
+
   RepairMonitor(std::size_t replica_target, std::set<NodeId> initial_replicas);
 
   [[nodiscard]] std::size_t ReplicaCount() const noexcept {
@@ -24,6 +26,8 @@ class RepairMonitor final : public systest::Monitor {
   }
 
  private:
+  void OnReset() override { replicas_ = initial_replicas_; }
+
   void OnFailedWhileRepaired(const ENFailedEvent& failed);
   void OnRepairedWhileRepaired(const ExtentRepairedEvent& repaired);
   void OnFailedWhileRepairing(const ENFailedEvent& failed);
@@ -31,6 +35,7 @@ class RepairMonitor final : public systest::Monitor {
 
   std::size_t replica_target_;
   std::set<NodeId> replicas_;  // ExtentNodesWithReplica (Fig. 11)
+  std::set<NodeId> initial_replicas_;  // retained for OnReset
 };
 
 }  // namespace vnext

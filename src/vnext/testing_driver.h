@@ -40,9 +40,21 @@ struct DriverOptions {
 
 class TestingDriverMachine final : public systest::Machine {
  public:
+  /// Execution recycling: the manager, the ENs and their timers are created
+  /// mid-execution (truncated by the reset); only the driver's own roster
+  /// needs restoring.
+  static constexpr bool kReusableRuntime = true;
+
   explicit TestingDriverMachine(DriverOptions options);
 
  private:
+  void OnReset() override {
+    next_node_ = 1;
+    node_machines_.clear();
+    live_nodes_.clear();
+    manager_machine_ = {};
+  }
+
   void OnStart();
   void OnMgrOutbound(const MgrOutboundEvent& outbound);
   void OnCopyRequest(const CopyRequestEvent& request);

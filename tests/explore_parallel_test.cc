@@ -272,6 +272,31 @@ TEST(ParallelEngine, StatefulWorkersShareOneVisitedSet) {
   EXPECT_GT(report.aggregate.fingerprint_hits, 0u);
 }
 
+// Execution recycling under the parallel engine: every worker seals its
+// first samplerepl execution and reset-reuses ONE Runtime (and one
+// thread-affine event arena) for its remaining 1000 iterations. This binary
+// runs under TSan in CI, so this is the data-race guard for the recycling
+// plane: the arena TLS arm/disarm protocol, per-worker sealed setup
+// prototypes, and the recycled Runtimes' strict thread-affinity.
+TEST(ParallelEngine, RecyclingWorkersStayIsolatedUnderTsan) {
+  TestConfig config;
+  config.iterations = 4'000;  // 4 workers x 1000 recycled executions
+  config.max_steps = 300;
+  config.seed = 31;
+  config.strategy = "random";
+  ParallelOptions options;
+  options.threads = 4;
+  options.verify_replay = false;
+  ParallelTestingEngine engine(
+      config, samplerepl::MakeHarness(samplerepl::HarnessOptions{}), options);
+  const ParallelTestReport report = engine.Run();
+  EXPECT_FALSE(report.aggregate.bug_found);
+  EXPECT_EQ(report.aggregate.executions, 4'000u);
+  std::uint64_t per_worker = 0;
+  for (const auto& w : report.workers) per_worker += w.executions;
+  EXPECT_EQ(per_worker, 4'000u);
+}
+
 // Parallel fault injection: the whole fleet explores crash/restart
 // schedules on the samplerepl crash-recovery scenario, the winning fault
 // trace is replayed on the calling thread, and per-worker fault counters

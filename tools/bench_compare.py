@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON-lines run against a committed baseline.
+
+Both inputs are the format every SysTest bench emits under --json (and the
+format committed in BENCH_baseline.json / BENCH_pr*.json): one JSON object
+per line with at least
+
+    {"bench": "...", "executions_per_sec": ..., "steps_per_sec": ...}
+
+Non-JSON lines and rows without a "bench" key (e.g. the "_meta" header) are
+skipped, so the files can be `tee`d straight from CI runs.
+
+Gating policy: only the benches named by --gate FAIL the comparison, and only
+on a throughput regression worse than --fail-over percent. Everything else is
+printed as advisory context. Rationale: shared CI runners are noisy and sized
+differently from the box that recorded the baseline, so gating every row
+would flake constantly — but the two serialized-core rows (samplerepl_exec,
+pingpong_steps) are stable enough that losing a quarter of their throughput
+means a real hot-path regression, not noise.
+
+Exit status: 0 when no gated bench regressed past the threshold, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+METRICS = ("executions_per_sec", "steps_per_sec")
+
+
+def load_rows(path):
+    """bench name -> first row seen for it (later duplicates ignored)."""
+    rows = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            name = obj.get("bench")
+            if name and name not in rows:
+                rows[name] = obj
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare bench JSON lines against a baseline")
+    parser.add_argument("baseline", help="committed baseline JSON-lines file")
+    parser.add_argument("current", help="this run's JSON-lines file")
+    parser.add_argument(
+        "--fail-over", type=float, default=25.0, metavar="PCT",
+        help="fail a GATED bench when it regresses more than PCT%% "
+             "(default: 25)")
+    parser.add_argument(
+        "--gate", default="samplerepl_exec,pingpong_steps", metavar="NAMES",
+        help="comma-separated bench names that fail the run; all other "
+             "benches are advisory (default: %(default)s)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    gates = {name.strip() for name in args.gate.split(",") if name.strip()}
+
+    failures = []
+    print(f"bench comparison: {args.current} vs baseline {args.baseline}")
+    print(f"gated (fail over -{args.fail_over:.0f}%): "
+          f"{', '.join(sorted(gates)) or '(none)'}")
+    for name in sorted(set(baseline) | set(current)):
+        gated = name in gates
+        tag = "GATE" if gated else "info"
+        if name not in baseline:
+            print(f"  [info] {name:<28} new bench (no baseline row)")
+            continue
+        if name not in current:
+            # A gated bench silently vanishing from the run would make the
+            # gate vacuous — treat that as a failure too.
+            print(f"  [{tag}] {name:<28} MISSING from current run")
+            if gated:
+                failures.append((name, "missing", 0.0))
+            continue
+        for metric in METRICS:
+            base_value = float(baseline[name].get(metric) or 0.0)
+            cur_value = float(current[name].get(metric) or 0.0)
+            if base_value <= 0.0:
+                continue
+            delta = (cur_value - base_value) / base_value * 100.0
+            print(f"  [{tag}] {name:<28} {metric:<20} "
+                  f"{base_value:>14.1f} -> {cur_value:>14.1f}  ({delta:+7.1f}%)")
+            if gated and delta < -args.fail_over:
+                failures.append((name, metric, delta))
+
+    if failures:
+        print("\nFAIL: gated bench regressed past the threshold:")
+        for name, metric, delta in failures:
+            detail = metric if delta == 0.0 else f"{metric} {delta:+.1f}%"
+            print(f"  {name}: {detail}")
+        return 1
+    print("\nOK: no gated regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
