@@ -66,12 +66,17 @@ inline std::string HardwareDescription() {
 }
 
 /// Emits one machine-readable result line (see header comment).
+/// `extra_fields` is raw JSON injected as additional TOP-LEVEL fields (e.g.
+/// "\"hit_rate\":0.39") so tools/bench_compare.py can track bench-specific
+/// metrics without parsing the free-form config string; empty adds nothing.
 inline void EmitJson(const std::string& name, double executions_per_sec,
-                     double steps_per_sec, const std::string& config) {
+                     double steps_per_sec, const std::string& config,
+                     const std::string& extra_fields = std::string()) {
   std::printf(
       "{\"bench\":\"%s\",\"executions_per_sec\":%.1f,"
-      "\"steps_per_sec\":%.1f,\"config\":\"%s %s\"}\n",
-      name.c_str(), executions_per_sec, steps_per_sec, config.c_str(),
+      "\"steps_per_sec\":%.1f,%s%s\"config\":\"%s %s\"}\n",
+      name.c_str(), executions_per_sec, steps_per_sec, extra_fields.c_str(),
+      extra_fields.empty() ? "" : ",", config.c_str(),
       HardwareDescription().c_str());
   std::fflush(stdout);
 }

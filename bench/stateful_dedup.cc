@@ -12,6 +12,21 @@
 // replica counters, chaintable table contents) split structurally identical
 // states apart, lowering the hit rate and raising distinct-state counts.
 //
+// The recovery section pins the tiered visited set's reason to exist: for
+// the two domains that overflow the historical 1M flat cap (vnext within
+// the base budget; samplerepl scaled to 5 nodes / 4 requests / 5 values,
+// where it saturates within 4x of it — the default 3/2/2 harness has an
+// honest state space of only ~60k, which no cap size can make interesting),
+// the same budget runs twice —
+// "/sat1m" against the old cap (hot level = total budget, so the set is
+// exactly the flat one and FREEZES at 1M: revisits of the uncounted tail
+// read as misses, collapsing the honest hit rate) and "/tiered100x" against
+// a 100x budget with the hot level still at 1M, so the overflow compacts
+// into bloom-fronted sorted runs instead of being dropped. The hit-rate gap
+// between the paired rows is the pruning the flat cap was throwing away.
+// Stateful rows carry distinct_states/hit_rate as top-level JSON fields;
+// tools/bench_compare.py tracks hit_rate as an advisory metric.
+//
 // Usage: stateful_dedup [--json] [iterations-per-scenario]
 #include <chrono>
 #include <cstdio>
@@ -47,6 +62,79 @@ constexpr DomainRow kDomains[] = {
     {"fabric", "fabric-failover-fixed"},
 };
 
+/// The historical flat-set cap the recovery rows saturate (and the tiered
+/// rows keep as their hot-level size).
+constexpr std::uint64_t kOldCap = 1u << 20;
+constexpr std::uint64_t kRecoveryFactor = 100;  // tiered budget = 100x cap
+
+/// Runs one engine configuration and emits its row. Stateful rows add
+/// distinct_states / hit_rate as top-level JSON fields.
+void EmitRow(const std::string& name, const TestConfig& config,
+             const systest::Harness& harness, const char* scenario,
+             const std::string& config_note = std::string()) {
+  TestingEngine engine(config, harness);
+  const TestReport report = engine.Run();
+  const double exec_per_sec =
+      report.total_seconds > 0 ? report.executions / report.total_seconds
+                               : 0.0;
+  const double steps_per_sec =
+      report.total_seconds > 0 ? report.total_steps / report.total_seconds
+                               : 0.0;
+  const double states_per_sec =
+      report.total_seconds > 0 ? report.distinct_states / report.total_seconds
+                               : 0.0;
+  if (bench::JsonMode()) {
+    std::string top_level;
+    std::string extra = bench::DescribeConfig(config);
+    if (!config_note.empty()) extra += " " + config_note;
+    if (config.stateful) {
+      char top[96];
+      std::snprintf(top, sizeof(top),
+                    "\"distinct_states\":%llu,\"hit_rate\":%.4f",
+                    static_cast<unsigned long long>(report.distinct_states),
+                    report.FingerprintHitRate());
+      top_level = top;
+      char buf[224];
+      std::snprintf(
+          buf, sizeof(buf),
+          " distinct_per_sec=%.1f pruned=%llu hits=%llu misses=%llu"
+          " budget=%llu saturated=%d compactions=%llu runs=%llu",
+          states_per_sec,
+          static_cast<unsigned long long>(report.pruned_executions),
+          static_cast<unsigned long long>(report.fingerprint_hits),
+          static_cast<unsigned long long>(report.fingerprint_misses),
+          static_cast<unsigned long long>(report.visited_budget),
+          report.VisitedSetSaturated() ? 1 : 0,
+          static_cast<unsigned long long>(report.visited.compactions),
+          static_cast<unsigned long long>(report.visited.runs));
+      extra += buf;
+    }
+    bench::EmitJson(name, exec_per_sec, steps_per_sec, extra, top_level);
+  } else if (config.stateful) {
+    std::printf(
+        "  %-30s  %9.0f exec/s  %8llu distinct (%8.0f/s)  %6llu pruned  "
+        "hit-rate %5.1f%%%s  (%.3fs)\n",
+        name.c_str(), exec_per_sec,
+        static_cast<unsigned long long>(report.distinct_states),
+        states_per_sec,
+        static_cast<unsigned long long>(report.pruned_executions),
+        report.FingerprintHitRate() * 100.0,
+        report.VisitedSetSaturated() ? "  SATURATED" : "",
+        report.total_seconds);
+  } else {
+    std::printf("  %-30s  %9.0f exec/s  (%llu execs, %.3fs)\n", name.c_str(),
+                exec_per_sec,
+                static_cast<unsigned long long>(report.executions),
+                report.total_seconds);
+  }
+  if (report.bug_found) {
+    // Controls are expected bug-free; a violation here is a real finding.
+    std::fprintf(stderr, "unexpected bug in %s: %s\n", scenario,
+                 report.bug_message.c_str());
+    std::exit(1);
+  }
+}
+
 void RunDomain(const DomainRow& row, std::uint64_t iterations) {
   const Scenario& scenario = ScenarioRegistry::Instance().Get(row.scenario);
   const systest::Harness harness = scenario.make(ParamMap{});
@@ -56,64 +144,44 @@ void RunDomain(const DomainRow& row, std::uint64_t iterations) {
 
   enum class Mode { kOff, kOn, kPayload };
   for (const Mode mode : {Mode::kOff, Mode::kOn, Mode::kPayload}) {
-    const bool stateful = mode != Mode::kOff;
-    config.stateful = stateful;
+    config.stateful = mode != Mode::kOff;
     config.fingerprint_payloads = mode == Mode::kPayload;
-    TestingEngine engine(config, harness);
-    const TestReport report = engine.Run();
-    const double exec_per_sec =
-        report.total_seconds > 0 ? report.executions / report.total_seconds
-                                 : 0.0;
-    const double steps_per_sec =
-        report.total_seconds > 0 ? report.total_steps / report.total_seconds
-                                 : 0.0;
-    const double states_per_sec =
-        report.total_seconds > 0
-            ? report.distinct_states / report.total_seconds
-            : 0.0;
     const std::string name =
         std::string("stateful_dedup/") + row.domain +
         (mode == Mode::kOff ? "/off"
                             : mode == Mode::kOn ? "/on" : "/payload");
-    if (bench::JsonMode()) {
-      std::string extra = bench::DescribeConfig(config);
-      if (stateful) {
-        char buf[160];
-        std::snprintf(buf, sizeof(buf),
-                      " distinct_states=%llu distinct_per_sec=%.1f "
-                      "pruned=%llu hits=%llu misses=%llu hit_rate=%.4f",
-                      static_cast<unsigned long long>(report.distinct_states),
-                      states_per_sec,
-                      static_cast<unsigned long long>(report.pruned_executions),
-                      static_cast<unsigned long long>(report.fingerprint_hits),
-                      static_cast<unsigned long long>(
-                          report.fingerprint_misses),
-                      report.FingerprintHitRate());
-        extra += buf;
-      }
-      bench::EmitJson(name, exec_per_sec, steps_per_sec, extra);
-    } else if (stateful) {
-      std::printf(
-          "  %-26s  %9.0f exec/s  %8llu distinct (%8.0f/s)  %6llu pruned  "
-          "hit-rate %5.1f%%  (%.3fs)\n",
-          name.c_str(), exec_per_sec,
-          static_cast<unsigned long long>(report.distinct_states),
-          states_per_sec,
-          static_cast<unsigned long long>(report.pruned_executions),
-          report.FingerprintHitRate() * 100.0, report.total_seconds);
-    } else {
-      std::printf("  %-26s  %9.0f exec/s  (%llu execs, %.3fs)\n", name.c_str(),
-                  exec_per_sec,
-                  static_cast<unsigned long long>(report.executions),
-                  report.total_seconds);
-    }
-    if (report.bug_found) {
-      // Controls are expected bug-free; a violation here is a real finding.
-      std::fprintf(stderr, "unexpected bug in %s: %s\n", row.scenario,
-                   report.bug_message.c_str());
-      std::exit(1);
-    }
+    EmitRow(name, config, harness, row.scenario);
   }
+}
+
+/// Saturated-flat vs tiered-100x pair for one state-heavy domain.
+/// `iteration_factor` scales the shared budget and `param_assigns` scales
+/// the harness so the domain actually overflows the 1M cap within it.
+void RunRecovery(const DomainRow& row, std::uint64_t iterations,
+                 std::uint64_t iteration_factor,
+                 const std::vector<const char*>& param_assigns = {}) {
+  const Scenario& scenario = ScenarioRegistry::Instance().Get(row.scenario);
+  ParamMap params;
+  std::string note;
+  for (const char* assign : param_assigns) {
+    params.ParseAssign(assign);
+    note += (note.empty() ? "params=" : ",") + std::string(assign);
+  }
+  const systest::Harness harness = scenario.make(params);
+  TestConfig config =
+      scenario.default_config ? scenario.default_config() : TestConfig{};
+  config.iterations = iterations * iteration_factor;
+  config.stateful = true;
+
+  config.max_visited = kOldCap;
+  config.max_visited_hot = kOldCap;  // hot == total: exactly the flat set
+  EmitRow(std::string("stateful_dedup/") + row.domain + "/sat1m", config,
+          harness, row.scenario, note);
+
+  config.max_visited = kOldCap * kRecoveryFactor;
+  config.max_visited_hot = kOldCap;  // overflow compacts into runs
+  EmitRow(std::string("stateful_dedup/") + row.domain + "/tiered100x", config,
+          harness, row.scenario, note);
 }
 
 }  // namespace
@@ -132,5 +200,14 @@ int main(int argc, char** argv) {
   for (const DomainRow& row : kDomains) {
     RunDomain(row, iterations);
   }
+  if (!bench::JsonMode()) {
+    std::printf(
+        "flat-cap saturation vs tiered recovery (budget %llux the 1M cap)\n",
+        static_cast<unsigned long long>(kRecoveryFactor));
+  }
+  RunRecovery(kDomains[2], iterations, 1);  // vnext overflows at base scale
+  // samplerepl needs the bigger harness to overflow 1M (see header).
+  RunRecovery(kDomains[0], iterations, 4,
+              {"nodes=5", "requests=4", "value-space=5"});
   return 0;
 }

@@ -59,16 +59,37 @@ void HumanReporter::OnFinish(const SessionReport& report) {
                      report.report.pruned_executions),
                  static_cast<unsigned long long>(report.report.executions),
                  report.report.FingerprintHitRate() * 100.0);
-    if (report.report.VisitedSetSaturated()) {
-      // Near-total pruning means the fingerprint view has saturated: the
-      // budget is no longer reaching anything it can tell apart. Without a
-      // payload hook that is NOT the same as semantic coverage.
+    const VisitedStats& v = report.report.visited;
+    if (v.compactions > 0 || v.runs > 0) {
+      // Tiered-set maintenance line: only interesting once the hot level has
+      // compacted at least once (the default config never does).
       std::fprintf(out_,
-                   "note: >90%% of executions pruned — the fingerprint view "
-                   "has saturated. If machines carry semantic state beyond "
-                   "their state ids and queues, add FingerprintPayload "
-                   "overrides (and enable fingerprint_payloads), or run "
-                   "without --stateful for deeper schedules.\n");
+                   "visited set: %llu hot + %llu in %llu runs "
+                   "(%llu compactions, %llu merges, %llu spilled runs, "
+                   "%llu bytes on disk)\n",
+                   static_cast<unsigned long long>(v.hot_entries),
+                   static_cast<unsigned long long>(v.run_entries),
+                   static_cast<unsigned long long>(v.runs),
+                   static_cast<unsigned long long>(v.compactions),
+                   static_cast<unsigned long long>(v.merges),
+                   static_cast<unsigned long long>(v.spilled_runs),
+                   static_cast<unsigned long long>(v.spilled_bytes));
+    }
+    if (report.report.VisitedSetSaturated()) {
+      // The TOTAL distinct-state budget — hot level plus compacted runs —
+      // is exhausted, so novel states now pass through uncounted and the
+      // reported hit rate goes dishonest. (Hot-level compactions alone are
+      // routine and never trigger this note.)
+      std::fprintf(out_,
+                   "note: visited-set budget exhausted (%llu distinct states "
+                   "recorded, max_visited=%llu) — novel states are no longer "
+                   "recorded. Raise --max-visited (the tiered back level "
+                   "scales to hundreds of millions; add --visited-spill-dir "
+                   "to keep runs on disk).\n",
+                   static_cast<unsigned long long>(
+                       report.report.distinct_states),
+                   static_cast<unsigned long long>(
+                       report.report.visited_budget));
     }
   }
   if (report.corpus_on) {
@@ -170,10 +191,28 @@ void JsonReporter::OnFinish(const SessionReport& report) {
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.4f", r.FingerprintHitRate());
     field("fingerprint_hit_rate", rate, false);
-    // CI-detectable saturation warning: a smoke budget whose executions
-    // almost all prune is over-provisioned (or the fingerprint view needs
-    // payload hooks) — machine-readable counterpart of HumanReporter's note.
+    // CI-detectable saturation warning: true only when the TOTAL
+    // distinct-state budget (hot + back-level runs) is exhausted — hot
+    // compactions alone never set it. Machine-readable counterpart of
+    // HumanReporter's note.
     field("visited_set_saturated", r.VisitedSetSaturated() ? "true" : "false",
+          false);
+    field("visited_budget", std::to_string(r.visited_budget), false);
+    // Tiered visited-set telemetry (core/fingerprint.h VisitedStats): level
+    // occupancy plus compaction/spill traffic. CI's compaction smoke greps
+    // these to assert a small hot cap actually compacted.
+    field("visited_hot", std::to_string(r.visited.hot_entries), false);
+    field("visited_run_entries", std::to_string(r.visited.run_entries),
+          false);
+    field("visited_runs", std::to_string(r.visited.runs), false);
+    field("visited_compactions", std::to_string(r.visited.compactions),
+          false);
+    field("visited_merges", std::to_string(r.visited.merges), false);
+    field("visited_spilled_runs", std::to_string(r.visited.spilled_runs),
+          false);
+    field("visited_spilled_bytes", std::to_string(r.visited.spilled_bytes),
+          false);
+    field("visited_bloom_fp", std::to_string(r.visited.bloom_false_positives),
           false);
   }
   if (report.corpus_on) {

@@ -83,6 +83,10 @@ TestConfig TestSession::ResolveConfig() const {
     tc.fingerprint_payloads = *config_.fingerprint_payloads;
   }
   if (config_.max_visited) tc.max_visited = *config_.max_visited;
+  if (config_.max_visited_hot) tc.max_visited_hot = *config_.max_visited_hot;
+  if (config_.visited_spill_dir) {
+    tc.visited_spill_dir = *config_.visited_spill_dir;
+  }
   if (config_.prune_run) tc.prune_run = *config_.prune_run;
   if (config_.max_crashes) tc.max_crashes = *config_.max_crashes;
   if (config_.max_restarts) tc.max_restarts = *config_.max_restarts;

@@ -62,6 +62,14 @@ struct SessionConfig {
   std::optional<bool> stateful;
   std::optional<bool> fingerprint_payloads;
   std::optional<std::uint64_t> max_visited;
+  /// Hot-level capacity of the tiered visited set
+  /// (TestConfig::max_visited_hot): reaching it compacts the exact front
+  /// into a sorted run. Unset keeps the default (equal to the max_visited
+  /// default, so nothing compacts unless the budget is raised).
+  std::optional<std::uint64_t> max_visited_hot;
+  /// Spill directory for compacted runs (TestConfig::visited_spill_dir).
+  /// Empty/unset keeps runs in memory.
+  std::optional<std::string> visited_spill_dir;
   /// Stateful prune-run length override (TestConfig::prune_run).
   std::optional<std::uint64_t> prune_run;
   /// Fault plane (TestConfig::{max_crashes, max_restarts,

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 #include "api/strategy_registry.h"
@@ -86,6 +88,15 @@ void TestConfig::Validate() const {
   if (stateful && max_visited == 0) {
     fail("stateful with max_visited == 0 (a frozen-empty visited set could "
          "never record a state, making stateful a silent no-op)");
+  }
+  if (stateful && max_visited_hot == 0) {
+    fail("stateful with max_visited_hot == 0 (the hot level is where every "
+         "novel state lands first; a zero-sized front could never accept "
+         "one)");
+  }
+  if (!visited_spill_dir.empty() && !stateful) {
+    fail("visited_spill_dir without stateful (there is no visited set to "
+         "spill; the directory would silently never be used)");
   }
   if (stateful && prune_run == 0) {
     fail("stateful with prune_run == 0 (every execution would be pruned at "
@@ -398,7 +409,17 @@ TestReport TestingEngine::Run() {
   const auto strategy = StrategyRegistry::Instance().Create(
       config_.strategy, config_.seed, config_.strategy_budget);
   report.strategy_name = strategy->Name();
-  FingerprintSet visited(static_cast<std::size_t>(config_.max_visited));
+  TieredOptions visited_options;
+  visited_options.max_entries = static_cast<std::size_t>(config_.max_visited);
+  visited_options.hot_entries =
+      static_cast<std::size_t>(config_.max_visited_hot);
+  visited_options.spill_dir = config_.visited_spill_dir;
+  if (!visited_options.spill_dir.empty()) {
+    // Creation failure is non-fatal: runs then stay in memory.
+    std::error_code ec;
+    std::filesystem::create_directories(visited_options.spill_dir, ec);
+  }
+  TieredFingerprintSet visited(visited_options);
   VisitedSet* visited_ptr = config_.stateful ? &visited : nullptr;
   std::unique_ptr<obs::WorkerObs> worker_obs;
   if (metrics_ != nullptr) {
@@ -464,6 +485,8 @@ TestReport TestingEngine::Run() {
   if (config_.stateful) {
     report.stateful = true;
     report.distinct_states = visited.Size();
+    report.visited_budget = config_.max_visited;
+    report.visited = visited.Stats();
   }
   report.faults = config_.FaultsEnabled();
   if (worker_obs != nullptr && coverage_) {

@@ -72,12 +72,27 @@ struct TestConfig {
   /// separating states that differ only in domain data (default view is
   /// state id + queued event types).
   bool fingerprint_payloads = false;
-  /// With stateful: cap on distinct fingerprints tracked (memory bound).
-  /// Once full the set freezes — known states still prune, unseen states
-  /// pass through uncounted. (Parallel runs enforce it approximately: the
-  /// sharded set's count is maintained without a global lock, so a race can
-  /// overshoot by at most one entry per worker.)
+  /// With stateful: TOTAL budget of distinct fingerprints tracked across
+  /// both levels of the tiered visited set (memory/disk bound). Once the
+  /// budget is exhausted the set freezes — known states still prune, unseen
+  /// states pass through uncounted. (Parallel runs enforce it approximately:
+  /// the sharded set's count is maintained without a global lock, so a race
+  /// can overshoot by at most one entry per worker.)
   std::uint64_t max_visited = 1u << 20;
+  /// With stateful: capacity of the exact in-memory HOT level. When the hot
+  /// level fills, its fingerprints compact into an immutable sorted run
+  /// behind a bloom filter (core/fingerprint.h) and the hot level restarts.
+  /// The default equals the max_visited default, so out of the box nothing
+  /// ever compacts and behavior is identical to the historical flat set;
+  /// raising max_visited into the hundreds of millions while keeping
+  /// max_visited_hot modest is the intended big-state-space configuration.
+  std::uint64_t max_visited_hot = 1u << 20;
+  /// With stateful: when non-empty, compacted runs are written to this
+  /// directory as raw 64-bit files and mapped back read-only, so the back
+  /// level's RAM footprint is its bloom filters (~1.5 bytes/state) rather
+  /// than the full runs. Files are private to the run and unlinked when the
+  /// set is destroyed. Empty = runs stay in memory.
+  std::string visited_spill_dir;
   /// With stateful: consecutive already-visited states after which an
   /// execution is pruned. The default is the tuning kFingerprintPruneRun
   /// shipped with; harnesses with long forced prefixes (deterministic setup
@@ -147,7 +162,8 @@ struct TestConfig {
   /// throws std::invalid_argument for zero iterations, zero max_steps, an
   /// empty strategy name, a negative time budget, a liveness temperature
   /// threshold above the step bound, fingerprint_payloads without stateful,
-  /// stateful with max_visited == 0 or prune_run == 0, restarts without
+  /// stateful with max_visited == 0, max_visited_hot == 0 or prune_run == 0,
+  /// a visited_spill_dir without stateful, restarts without
   /// crashes, a drop denominator of 1 (every message dropped), a heal
   /// denominator of 1 (every partition healed on the next step), fault
   /// odds below 2, or pre-sampled fault placement with no fault budgets.
@@ -173,10 +189,14 @@ struct TestReport {
 
   // Stateful-exploration aggregates (meaningful when `stateful`).
   bool stateful = false;               ///< run used fingerprint dedup
-  std::uint64_t distinct_states = 0;   ///< visited-set size at the end
+  std::uint64_t distinct_states = 0;   ///< visited-set size (both levels)
   std::uint64_t pruned_executions = 0; ///< executions early-terminated
   std::uint64_t fingerprint_hits = 0;  ///< states seen that were known
   std::uint64_t fingerprint_misses = 0;///< states seen that were novel
+  std::uint64_t visited_budget = 0;    ///< config max_visited (0 = stateless)
+  /// Tiered visited-set telemetry: level occupancy and compaction/spill/
+  /// bloom traffic (core/fingerprint.h). All-zero for stateless runs.
+  VisitedStats visited;
 
   // Fault-plane aggregates (meaningful when `faults`): injected-fault
   // totals summed over every execution of the run.
@@ -188,14 +208,15 @@ struct TestReport {
   /// reports can alias without copying.
   std::shared_ptr<const obs::CoverageReport> coverage;
 
-  /// A stateful campaign whose recent executions almost all prune is
-  /// saturated: the visited set already covers the territory this strategy
-  /// and seed can reach, and further budget mostly re-treads it. Machine-
-  /// detectable (JsonReporter emits it) so CI can flag over-provisioned
-  /// smoke budgets.
+  /// A stateful campaign has saturated its visited set when the TOTAL
+  /// distinct-state budget — hot level plus back-level runs — is exhausted:
+  /// from then on novel states pass through uncounted and the reported hit
+  /// rate goes dishonest. Hot-level compactions are NOT saturation; they
+  /// are routine maintenance of the tiered set. Machine-detectable
+  /// (JsonReporter emits it) so CI can flag under-provisioned budgets.
   [[nodiscard]] bool VisitedSetSaturated() const noexcept {
-    return stateful && !bug_found && executions >= 10 &&
-           pruned_executions * 10 >= executions * 9;
+    return stateful && !bug_found && visited_budget > 0 &&
+           distinct_states >= visited_budget;
   }
 
   /// Fraction of observed states that were already visited (0 when the run

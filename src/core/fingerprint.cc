@@ -1,0 +1,210 @@
+// SysTest systematic-testing framework.
+//
+// TieredFingerprintSet implementation: compaction, k-way run merge, blocked
+// bloom construction, and the optional mmap spill path. See fingerprint.h
+// for the design narrative.
+#include "src/core/fingerprint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace systest {
+namespace detail {
+
+void BlockedBloom::Build(const Fingerprint* data, std::size_t n) {
+  words_.clear();
+  block_bits_ = 0;
+  if (n == 0) return;
+  // ~12 bits/entry rounded up to whole 512-bit blocks, at least one block.
+  std::size_t blocks = (n * 12 + 511) / 512;
+  int bits = 0;
+  while ((std::size_t{1} << bits) < blocks) ++bits;
+  blocks = std::size_t{1} << bits;
+  block_bits_ = bits;
+  words_.assign(blocks * 8, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Fingerprint fp = data[i];
+    const std::uint64_t h1 = fp * 0xc2b2ae3d27d4eb4full;
+    std::uint64_t* block = words_.data() + (BlockIndex(h1) << 3);
+    std::uint64_t h2 = fp * 0x165667b19e3779f9ull;
+    for (int k = 0; k < kProbes; ++k) {
+      const unsigned bit = static_cast<unsigned>(h2 & 511u);
+      h2 >>= 9;
+      block[bit >> 6] |= 1ull << (bit & 63u);
+    }
+  }
+}
+
+namespace {
+
+/// Writes `entries` as raw little-endian u64s into a fresh file under `dir`
+/// and maps it back read-only. Returns the mapping (or nullptr on any
+/// failure — callers fall back to keeping the run in memory).
+void* SpillToFile(const std::vector<Fingerprint>& entries,
+                  const std::string& dir, std::string& path_out,
+                  std::size_t& bytes_out) {
+  static std::atomic<std::uint64_t> spill_seq{0};
+  char name[64];
+  std::snprintf(name, sizeof(name), "/run-%d-%llu.fps",
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(
+                    spill_seq.fetch_add(1, std::memory_order_relaxed)));
+  const std::string path = dir + name;
+  const std::size_t bytes = entries.size() * sizeof(Fingerprint);
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) return nullptr;
+  const char* p = reinterpret_cast<const char*>(entries.data());
+  std::size_t off = 0;
+  while (off < bytes) {
+    const ssize_t n = ::write(fd, p + off, bytes - off);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(path.c_str());
+      return nullptr;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    ::unlink(path.c_str());
+    return nullptr;
+  }
+  path_out = path;
+  bytes_out = bytes;
+  return map;
+}
+
+}  // namespace
+
+SortedRun::SortedRun(std::vector<Fingerprint> entries,
+                     const std::string& spill_dir,
+                     std::uint64_t& spilled_bytes)
+    : mem_(std::move(entries)) {
+  size_ = mem_.size();
+  bloom_.Build(mem_.data(), size_);
+  if (!spill_dir.empty() && size_ > 0) {
+    std::size_t bytes = 0;
+    void* map = SpillToFile(mem_, spill_dir, path_, bytes);
+    if (map != nullptr) {
+      map_ = map;
+      map_bytes_ = bytes;
+      data_ = static_cast<const Fingerprint*>(map);
+      spilled_bytes += bytes;
+      mem_.clear();
+      mem_.shrink_to_fit();
+      return;
+    }
+  }
+  data_ = mem_.data();
+}
+
+SortedRun::~SortedRun() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_bytes_);
+    ::unlink(path_.c_str());
+  }
+}
+
+bool SortedRun::Contains(Fingerprint fp) const noexcept {
+  return std::binary_search(data_, data_ + size_, fp);
+}
+
+}  // namespace detail
+
+TieredFingerprintSet::TieredFingerprintSet(const TieredOptions& options)
+    : options_(options) {
+  if (options_.hot_entries == 0) options_.hot_entries = 1;
+}
+
+TieredFingerprintSet::~TieredFingerprintSet() = default;
+
+bool TieredFingerprintSet::ProbeRuns(Fingerprint fp) {
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    const detail::SortedRun& run = **it;
+    if (!run.MayContain(fp)) continue;
+    ++stats_.run_probes;
+    if (run.Contains(fp)) {
+      ++stats_.bloom_true_positives;
+      return true;
+    }
+    ++stats_.bloom_false_positives;
+  }
+  return false;
+}
+
+bool TieredFingerprintSet::Insert(Fingerprint fp) {
+  if (hot_.Contains(fp)) {
+    ++stats_.hot_hits;
+    return false;
+  }
+  if (ProbeRuns(fp)) return false;
+  // Novel. Frozen semantics mirror FingerprintSet: at the total budget the
+  // state is reported novel but not recorded.
+  if (total_entries_ >= options_.max_entries) return true;
+  hot_.Insert(fp);
+  ++total_entries_;
+  if (hot_.Size() >= options_.hot_entries) Compact();
+  return true;
+}
+
+bool TieredFingerprintSet::Contains(Fingerprint fp) const noexcept {
+  if (hot_.Contains(fp)) return true;
+  for (const auto& run : runs_) {
+    if (run->MayContain(fp) && run->Contains(fp)) return true;
+  }
+  return false;
+}
+
+void TieredFingerprintSet::Compact() {
+  std::vector<Fingerprint> entries;
+  entries.reserve(hot_.Size());
+  hot_.AppendTo(entries);
+  hot_.Clear();
+  std::sort(entries.begin(), entries.end());
+  // Hot entries were checked against every run on insert, so runs stay
+  // mutually disjoint and no dedup across runs is needed here.
+  run_entries_ += entries.size();
+  runs_.push_back(std::make_unique<detail::SortedRun>(
+      std::move(entries), options_.spill_dir, stats_.spilled_bytes));
+  ++stats_.compactions;
+
+  if (runs_.size() >= kMaxRuns) {
+    // Full k-way merge of all runs into one. Runs are disjoint, so this is
+    // a pure merge of sorted sequences; a simple repeated two-way merge is
+    // fine at k=8 and keeps the code obvious.
+    std::vector<Fingerprint> merged;
+    merged.reserve(run_entries_);
+    for (const auto& run : runs_) {
+      const std::size_t old = merged.size();
+      merged.insert(merged.end(), run->Data(), run->Data() + run->Size());
+      std::inplace_merge(merged.begin(),
+                         merged.begin() + static_cast<std::ptrdiff_t>(old),
+                         merged.end());
+    }
+    runs_.clear();
+    runs_.push_back(std::make_unique<detail::SortedRun>(
+        std::move(merged), options_.spill_dir, stats_.spilled_bytes));
+    ++stats_.merges;
+  }
+}
+
+VisitedStats TieredFingerprintSet::Stats() const {
+  VisitedStats out = stats_;
+  out.hot_entries = hot_.Size();
+  out.run_entries = run_entries_;
+  out.runs = runs_.size();
+  for (const auto& run : runs_) {
+    if (run->Spilled()) ++out.spilled_runs;
+  }
+  return out;
+}
+
+}  // namespace systest

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <system_error>
 #include <thread>
 #include <utility>
 
@@ -94,8 +96,17 @@ ParallelTestReport ParallelTestingEngine::Run() {
   // schedules (sharded + striped-locked; see sharded_fingerprint_set.h).
   std::unique_ptr<ShardedFingerprintSet> visited;
   if (config_.stateful) {
-    visited = std::make_unique<ShardedFingerprintSet>(
-        static_cast<std::size_t>(config_.max_visited));
+    TieredOptions visited_options;
+    visited_options.max_entries = static_cast<std::size_t>(config_.max_visited);
+    visited_options.hot_entries =
+        static_cast<std::size_t>(config_.max_visited_hot);
+    visited_options.spill_dir = config_.visited_spill_dir;
+    if (!visited_options.spill_dir.empty()) {
+      // Creation failure is non-fatal: runs then stay in memory.
+      std::error_code ec;
+      std::filesystem::create_directories(visited_options.spill_dir, ec);
+    }
+    visited = std::make_unique<ShardedFingerprintSet>(visited_options);
   }
 
   const auto start = Clock::now();
@@ -206,6 +217,8 @@ ParallelTestReport ParallelTestingEngine::Run() {
   if (visited) {
     agg.stateful = true;
     agg.distinct_states = visited->Size();
+    agg.visited_budget = config_.max_visited;
+    agg.visited = visited->Stats();
     for (const WorkerReport& w : report.workers) {
       agg.pruned_executions += w.pruned_executions;
       agg.fingerprint_hits += w.fingerprint_hits;

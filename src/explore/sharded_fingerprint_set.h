@@ -8,12 +8,21 @@
 // inner loop. Sharing one set across the portfolio is the point: a state any
 // worker has visited prunes every other worker's schedules that reconverge
 // to it, so the fleet stops racing toward duplicate states.
+//
+// Each shard is a TieredFingerprintSet (exact hot front + compacting sorted
+// runs — see core/fingerprint.h), so shards compact independently: one
+// shard's compaction holds only its own lock while the other 63 keep
+// serving probes. The hot budget splits evenly across shards; the TOTAL
+// distinct-state budget stays global, enforced by a shared relaxed-atomic
+// count (per-shard caps would freeze hot shards early while cold shards
+// still had room).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <mutex>
-#include <unordered_set>
+#include <string>
 
 #include "core/fingerprint.h"
 
@@ -23,26 +32,54 @@ class ShardedFingerprintSet final : public VisitedSet {
  public:
   /// `max_entries` is the global cap (TestConfig::max_visited), enforced by
   /// a shared relaxed-atomic count so the sharded set has the SAME cap
-  /// semantics as the serial FingerprintSet (a full set freezes: known
-  /// states still hit, unseen states pass through uncounted). The check and
-  /// the insert are not one atomic step, so concurrent workers can overshoot
-  /// the cap by at most one entry each — an approximation, not a leak.
+  /// semantics as the serial set (a full set freezes: known states still
+  /// hit, unseen states pass through uncounted). The check and the insert
+  /// are not one atomic step, so concurrent workers can overshoot the cap
+  /// by at most one entry each — an approximation, not a leak.
   explicit ShardedFingerprintSet(std::size_t max_entries)
-      : max_entries_(max_entries) {}
+      : ShardedFingerprintSet({max_entries, max_entries, std::string{}}) {}
+
+  /// Tiered configuration (TestConfig::{max_visited, max_visited_hot,
+  /// visited_spill_dir}). The hot budget is divided across the 64 shards;
+  /// each shard's own max_entries is left effectively unlimited because the
+  /// global atomic enforces the real budget.
+  explicit ShardedFingerprintSet(const TieredOptions& options)
+      : max_entries_(options.max_entries) {
+    TieredOptions per_shard;
+    per_shard.max_entries = ~std::size_t{0};  // global atomic is the cap
+    per_shard.hot_entries =
+        options.hot_entries / kShards > 0 ? options.hot_entries / kShards : 1;
+    per_shard.spill_dir = options.spill_dir;
+    for (Shard& shard : shards_) {
+      shard.set = std::make_unique<TieredFingerprintSet>(per_shard);
+    }
+  }
 
   bool Insert(Fingerprint fp) override {
     Shard& shard = shards_[ShardOf(fp)];
     const std::lock_guard<std::mutex> lock(shard.mutex);
     if (count_.load(std::memory_order_relaxed) >= max_entries_) {
-      return shard.set.find(fp) == shard.set.end();
+      return !shard.set->Contains(fp);
     }
-    const bool inserted = shard.set.insert(fp).second;
+    const bool inserted = shard.set->Insert(fp);
     if (inserted) count_.fetch_add(1, std::memory_order_relaxed);
     return inserted;
   }
 
   [[nodiscard]] std::size_t Size() const override {
     return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Sums level telemetry across all shards, taking each shard lock in
+  /// turn. Not a consistent global snapshot (shards keep moving), which is
+  /// fine for the obs gauges this feeds — call it off the hot path.
+  [[nodiscard]] VisitedStats Stats() const override {
+    VisitedStats total;
+    for (const Shard& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.set->Stats();
+    }
+    return total;
   }
 
  private:
@@ -54,7 +91,7 @@ class ShardedFingerprintSet final : public VisitedSet {
 
   struct alignas(64) Shard {  // own cache line: no false sharing across locks
     mutable std::mutex mutex;
-    std::unordered_set<Fingerprint> set;
+    std::unique_ptr<TieredFingerprintSet> set;
   };
 
   std::size_t max_entries_;

@@ -43,6 +43,15 @@ CampaignMetrics::CampaignMetrics(MetricsRegistry& registry)
           registry.GetCounter(names::kEventArenaAllocations)),
       event_arena_bytes_high_water(
           registry.GetGauge(names::kEventArenaBytesHighWater)),
+      visited_hot_hits(registry.GetGauge(names::kVisitedHotHits)),
+      visited_run_probes(registry.GetGauge(names::kVisitedRunProbes)),
+      visited_bloom_tp(registry.GetGauge(names::kVisitedBloomTruePositives)),
+      visited_bloom_fp(registry.GetGauge(names::kVisitedBloomFalsePositives)),
+      visited_compactions(registry.GetGauge(names::kVisitedCompactions)),
+      visited_spilled_bytes(registry.GetGauge(names::kVisitedSpilledBytes)),
+      visited_hot_entries(registry.GetGauge(names::kVisitedHotEntries)),
+      visited_run_entries(registry.GetGauge(names::kVisitedRunEntries)),
+      visited_runs(registry.GetGauge(names::kVisitedRuns)),
       enabled_set_size(registry.GetHistogram(
           names::kEnabledSetSize,
           Bounds(kEnabledSetBounds, kEnabledSetBucketCount - 1))),
@@ -142,6 +151,18 @@ void WorkerObs::FlushExecution(const Runtime& runtime,
   last_alloc_ = alloc;
   if (visited != nullptr) {
     metrics.distinct_states.Set(visited->Size());
+    if (flushes_since_visited_stats_++ % 32 == 0) {
+      const VisitedStats stats = visited->Stats();
+      metrics.visited_hot_hits.Set(stats.hot_hits);
+      metrics.visited_run_probes.Set(stats.run_probes);
+      metrics.visited_bloom_tp.Set(stats.bloom_true_positives);
+      metrics.visited_bloom_fp.Set(stats.bloom_false_positives);
+      metrics.visited_compactions.Set(stats.compactions);
+      metrics.visited_spilled_bytes.Set(stats.spilled_bytes);
+      metrics.visited_hot_entries.Set(stats.hot_entries);
+      metrics.visited_run_entries.Set(stats.run_entries);
+      metrics.visited_runs.Set(stats.runs);
+    }
   }
   if (coverage_enabled) {
     coverage.AddExecution(runtime, probe);

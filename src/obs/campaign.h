@@ -51,6 +51,20 @@ inline constexpr const char* kEventPoolMisses = "event_pool.misses";
 inline constexpr const char* kEventArenaAllocations = "event_arena.allocations";
 inline constexpr const char* kEventArenaBytesHighWater =
     "event_arena.bytes_high_water";
+// Tiered visited-set telemetry (core/fingerprint.h VisitedStats). Gauges,
+// not counters: the set itself maintains the cumulative totals, so the flush
+// publishes snapshots instead of deltas. Refreshed every 32nd execution per
+// worker — collecting them takes every shard lock on the sharded set, which
+// is too dear for every flush and pointless at sampling resolution.
+inline constexpr const char* kVisitedHotHits = "visited.hot_hits";
+inline constexpr const char* kVisitedRunProbes = "visited.run_probes";
+inline constexpr const char* kVisitedBloomTruePositives = "visited.bloom_tp";
+inline constexpr const char* kVisitedBloomFalsePositives = "visited.bloom_fp";
+inline constexpr const char* kVisitedCompactions = "visited.compactions";
+inline constexpr const char* kVisitedSpilledBytes = "visited.spilled_bytes";
+inline constexpr const char* kVisitedHotEntries = "visited.hot_entries";
+inline constexpr const char* kVisitedRunEntries = "visited.run_entries";
+inline constexpr const char* kVisitedRuns = "visited.runs";
 /// Prefixes: "deliveries_by_type.<Event>" and "worker.<n>.executions".
 inline constexpr const char* kDeliveriesByTypePrefix = "deliveries_by_type.";
 inline constexpr const char* kWorkerPrefix = "worker.";
@@ -95,6 +109,16 @@ class CampaignMetrics {
   Counter& event_arena_allocations;
   /// Max single-execution arena footprint seen by any worker (bytes).
   Gauge& event_arena_bytes_high_water;
+  // Tiered visited-set snapshots (names::kVisited*).
+  Gauge& visited_hot_hits;
+  Gauge& visited_run_probes;
+  Gauge& visited_bloom_tp;
+  Gauge& visited_bloom_fp;
+  Gauge& visited_compactions;
+  Gauge& visited_spilled_bytes;
+  Gauge& visited_hot_entries;
+  Gauge& visited_run_entries;
+  Gauge& visited_runs;
   Histogram& enabled_set_size;
   Histogram& execution_steps;
   /// Fault placements by step decile, one histogram per kind; bucket index ==
@@ -145,6 +169,10 @@ struct WorkerObs {
   /// step-path instrumentation — the allocator already maintains the TLS
   /// totals unconditionally).
   systest::detail::EventAllocStats last_alloc_;
+  /// Flushes since the last visited.* gauge refresh (VisitedSet::Stats() on
+  /// the sharded set takes all 64 shard locks, so it runs every 32nd
+  /// execution, not every flush).
+  std::uint32_t flushes_since_visited_stats_ = 0;
 };
 
 }  // namespace systest::obs

@@ -272,6 +272,37 @@ TEST(ParallelEngine, StatefulWorkersShareOneVisitedSet) {
   EXPECT_GT(report.aggregate.fingerprint_hits, 0u);
 }
 
+// Tiered sharded set under concurrency: a tiny per-shard hot level forces
+// constant compaction (and k-way merges) INSIDE the shard locks while four
+// samplerepl workers hammer the set. This binary runs under TSan in CI, so
+// this is the data-race guard for the tiered back level — runs, blooms and
+// stats must stay shard-private. samplerepl generates thousands of distinct
+// states, so shards genuinely compact (the race harness above would not).
+TEST(ParallelEngine, TieredShardsCompactUnderConcurrentWorkers) {
+  TestConfig config;
+  config.iterations = 2'000;
+  config.max_steps = 300;
+  config.seed = 31;
+  config.strategy = "random";
+  config.stateful = true;
+  config.max_visited_hot = 256;  // 4 entries per shard before compaction
+  ParallelOptions options;
+  options.threads = 4;
+  options.verify_replay = false;
+  ParallelTestingEngine engine(
+      config, samplerepl::MakeHarness(samplerepl::HarnessOptions{}), options);
+  const ParallelTestReport report = engine.Run();
+  EXPECT_FALSE(report.aggregate.bug_found);
+  EXPECT_TRUE(report.aggregate.stateful);
+  EXPECT_GT(report.aggregate.distinct_states, 256u);
+  EXPECT_GT(report.aggregate.visited.compactions, 0u);
+  // Size() (the global atomic) and the per-shard occupancy must agree.
+  EXPECT_EQ(report.aggregate.visited.hot_entries +
+                report.aggregate.visited.run_entries,
+            report.aggregate.distinct_states);
+  EXPECT_EQ(report.aggregate.visited_budget, config.max_visited);
+}
+
 // Execution recycling under the parallel engine: every worker seals its
 // first samplerepl execution and reset-reuses ONE Runtime (and one
 // thread-affine event arena) for its remaining 1000 iterations. This binary

@@ -27,6 +27,14 @@ import sys
 
 METRICS = ("executions_per_sec", "steps_per_sec")
 
+# Metrics only some benches emit (e.g. stateful_dedup rows carry the
+# fingerprint hit_rate and distinct_states since the tiered visited set).
+# Compared ONLY when both sides have the field, and NEVER gated: they track
+# exploration quality, not throughput, and their point in CI is visibility —
+# the vnext/samplerepl hit-rate recovery rows drifting down is the early
+# signal that the tiered set stopped recovering pruning at scale.
+ADVISORY_METRICS = ("hit_rate", "distinct_states")
+
 
 def load_rows(path):
     """bench name -> first row seen for it (later duplicates ignored)."""
@@ -92,6 +100,17 @@ def main():
                   f"{base_value:>14.1f} -> {cur_value:>14.1f}  ({delta:+7.1f}%)")
             if gated and delta < -args.fail_over:
                 failures.append((name, metric, delta))
+        for metric in ADVISORY_METRICS:
+            if metric not in baseline[name] or metric not in current[name]:
+                continue
+            base_value = float(baseline[name][metric])
+            cur_value = float(current[name][metric])
+            if base_value <= 0.0:
+                continue
+            delta = (cur_value - base_value) / base_value * 100.0
+            print(f"  [info] {name:<28} {metric:<20} "
+                  f"{base_value:>14.4f} -> {cur_value:>14.4f}  "
+                  f"({delta:+7.1f}%)")
 
     if failures:
         print("\nFAIL: gated bench regressed past the threshold:")

@@ -67,6 +67,10 @@ struct Options {
   bool json = false;
   bool stateful = false;
   bool fingerprint_stats = false;  // implies --stateful
+  // Tiered visited set (core/fingerprint.h). Each implies --stateful.
+  long long max_visited = -1;      // total distinct-state budget; <0 = default
+  long long max_visited_hot = -1;  // hot-level capacity; <0 = default
+  std::string visited_spill_dir;   // spill compacted runs here; "" = RAM
   // Fault plane. Each budget flag overrides exactly the field it names and
   // implies --faults; bare --faults arms crash/restart 1/1 only when the
   // resolved config would otherwise have no faults. Replay needs NONE of
@@ -136,6 +140,15 @@ void PrintUsage(const char* argv0) {
       "                     geometric per-step odds\n"
       "  --stateful         fingerprint visited program states and prune\n"
       "                     executions that reconverge to them\n"
+      "  --max-visited <n>  total distinct-state budget across both levels\n"
+      "                     of the tiered visited set (default 1M; implies\n"
+      "                     --stateful)\n"
+      "  --max-visited-hot <n>  exact hot-level capacity; reaching it\n"
+      "                     compacts the hot front into a sorted run behind\n"
+      "                     a bloom filter (default 1M; implies --stateful)\n"
+      "  --visited-spill-dir <d>  write compacted runs to <d> as mmap-able\n"
+      "                     files instead of keeping them in RAM (implies\n"
+      "                     --stateful)\n"
       "  --corpus-dir <d>   persist the trace corpus of interesting schedules\n"
       "                     to <d> and reload it next run; arms the corpus\n"
       "                     and implies --stateful (with --all / --tag: one\n"
@@ -179,6 +192,18 @@ bool ParseArgs(int argc, char** argv, Options& options) {
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--stateful") {
+      options.stateful = true;
+    } else if (arg == "--max-visited") {
+      if (!(value = need_value(i))) return false;
+      options.max_visited = std::atoll(value);
+      options.stateful = true;
+    } else if (arg == "--max-visited-hot") {
+      if (!(value = need_value(i))) return false;
+      options.max_visited_hot = std::atoll(value);
+      options.stateful = true;
+    } else if (arg == "--visited-spill-dir") {
+      if (!(value = need_value(i))) return false;
+      options.visited_spill_dir = value;
       options.stateful = true;
     } else if (arg == "--faults") {
       options.faults = true;
@@ -360,6 +385,16 @@ SessionConfig BuildSessionConfig(const std::string& scenario,
   if (options.budget >= 0) config.strategy_budget = options.budget;
   if (options.time_budget >= 0) config.time_budget_seconds = options.time_budget;
   if (options.stateful) config.stateful = true;
+  if (options.max_visited >= 0) {
+    config.max_visited = static_cast<std::uint64_t>(options.max_visited);
+  }
+  if (options.max_visited_hot >= 0) {
+    config.max_visited_hot =
+        static_cast<std::uint64_t>(options.max_visited_hot);
+  }
+  if (!options.visited_spill_dir.empty()) {
+    config.visited_spill_dir = options.visited_spill_dir;
+  }
   if (options.faults && options.replay.empty()) {
     // Each flag overrides exactly the budget it names; scenarios that carry
     // their own fault defaults keep everything untouched. Bare --faults only
@@ -471,6 +506,21 @@ int RunOne(const std::string& scenario, const Options& options,
         static_cast<unsigned long long>(r.fingerprint_hits),
         static_cast<unsigned long long>(r.fingerprint_misses),
         r.FingerprintHitRate() * 100.0);
+    std::printf(
+        "  hot entries         %llu\n"
+        "  run entries         %llu in %llu runs\n"
+        "  compactions         %llu (%llu merges)\n"
+        "  spilled             %llu runs, %llu bytes\n"
+        "  bloom probes        %llu true-positive, %llu false-positive\n",
+        static_cast<unsigned long long>(r.visited.hot_entries),
+        static_cast<unsigned long long>(r.visited.run_entries),
+        static_cast<unsigned long long>(r.visited.runs),
+        static_cast<unsigned long long>(r.visited.compactions),
+        static_cast<unsigned long long>(r.visited.merges),
+        static_cast<unsigned long long>(r.visited.spilled_runs),
+        static_cast<unsigned long long>(r.visited.spilled_bytes),
+        static_cast<unsigned long long>(r.visited.bloom_true_positives),
+        static_cast<unsigned long long>(r.visited.bloom_false_positives));
   }
 
   if (!options.replay.empty()) {
